@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section through the shared drivers in :mod:`repro.core.experiments`.  The
+drivers are expensive (seconds to minutes), so each is executed exactly once
+per benchmark run (``rounds=1``); pytest-benchmark still records the timing
+and the driver's data is attached to ``benchmark.extra_info`` so the
+regenerated rows appear in the benchmark output.
+
+Set ``REPRO_FULL_EXPERIMENTS=1`` to run the larger, paper-sized workloads.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick_mode() -> bool:
+    """Whether to run the reduced-size workloads (the default)."""
+    return os.environ.get("REPRO_FULL_EXPERIMENTS", "0") != "1"
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Execute an experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,28 @@
+"""Benchmark regenerating paper Table 1 (integration acceleration techniques)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.experiments import run_table1
+
+
+def test_table1_acceleration_techniques(benchmark, quick_mode):
+    """Time/speedup/error/memory of the four acceleration techniques."""
+    samples = 5_000 if quick_mode else 50_000
+    report = run_once(benchmark, run_table1, samples=samples)
+    print("\n" + report.text)
+    benchmark.extra_info["table"] = report.data
+
+    data = report.data
+    # Reproduction targets (shape, not absolute numbers):
+    # every technique stays within a few percent of the analytical result ...
+    assert data["fast_subroutines"]["max_error"] < 0.02
+    assert data["indefinite_tabulation"]["rms_error"] < 0.02
+    assert data["rational_fit"]["rms_error"] < 0.02
+    # ... table-based techniques cost megabytes, rational fitting ~nothing,
+    # matching the memory column of Table 1.
+    assert data["direct_tabulation"]["memory_bytes"] > 1e5
+    assert data["indefinite_tabulation"]["memory_bytes"] > 1e5
+    assert data["rational_fit"]["memory_bytes"] < 1e4
+    assert data["analytical"]["memory_bytes"] == 0

@@ -1,0 +1,32 @@
+"""Benchmark regenerating paper Table 3 (parallel speedup and efficiency)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.experiments import run_table3
+
+
+def test_table3_parallel_scaling(benchmark, quick_mode):
+    """Speedup/efficiency of the shared- and distributed-memory setup flows."""
+    report = run_once(benchmark, run_table3, quick=quick_mode)
+    print("\n" + report.text)
+    benchmark.extra_info["table"] = {
+        "shared": report.data["shared"],
+        "distributed": report.data["distributed"],
+    }
+
+    shared = report.data["shared"]
+    distributed = report.data["distributed"]
+    # Reproduction targets: ~90 % efficiency at 4 shared-memory nodes and
+    # high efficiency out to 10 distributed nodes (the paper reports 91 %
+    # and 89 %; we accept >= 75 % to absorb timing noise of the container).
+    assert shared[4] > 0.75
+    assert distributed[4] > 0.75
+    assert distributed[10] > 0.70
+    # Efficiency never exceeds 1 by more than measurement noise.
+    assert all(e < 1.1 for e in shared.values())
+    assert all(e < 1.1 for e in distributed.values())
+    # The template ratio M/N of the bus stays in the paper's 1.2-3 range.
+    ratio = report.data["num_templates"] / report.data["num_basis_functions"]
+    assert 1.2 <= ratio <= 3.0

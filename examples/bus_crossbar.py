@@ -1,0 +1,60 @@
+"""Crossing-bus example: parallel system setup and scaling (Figure 7 / Table 3).
+
+Builds an ``n x n`` crossing bus (the paper's Table 3 / Figure 8 structure,
+default 8x8 here so the example finishes in seconds), extracts it with the
+shared-memory and distributed-memory flows, and prints the speedup /
+efficiency of the system setup over 1-10 simulated nodes.
+
+Run with ``python examples/bus_crossbar.py [bus_size]``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis import ScalingTable, format_table
+from repro.assembly import DistributedAssembler, SharedMemoryAssembler
+from repro.basis import build_basis_set
+from repro.geometry import generators
+from repro.parallel import SimulatedParallelMachine
+
+
+def main() -> None:
+    bus_size = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    layout = generators.bus_crossing(bus_size, bus_size)
+    basis_set = build_basis_set(layout)
+    machine = SimulatedParallelMachine()
+
+    print(f"{bus_size}x{bus_size} crossing bus: {layout.num_conductors} conductors, "
+          f"N = {basis_set.num_basis_functions} basis functions, "
+          f"M = {basis_set.num_templates} templates")
+    print()
+
+    start = time.perf_counter()
+    shared_times = []
+    shared_nodes = [1, 2, 4]
+    for nodes in shared_nodes:
+        setup = SharedMemoryAssembler(basis_set, layout.permittivity, num_nodes=nodes).assemble()
+        shared_times.append(machine.shared_memory_run(setup).total_seconds)
+
+    distributed_times = []
+    distributed_nodes = [1, 2, 4, 8, 10]
+    for nodes in distributed_nodes:
+        setup = DistributedAssembler(basis_set, layout.permittivity, num_nodes=nodes).assemble()
+        distributed_times.append(machine.distributed_run(setup).total_seconds)
+    elapsed = time.perf_counter() - start
+
+    shared = ScalingTable.from_times("shared", shared_nodes, shared_times)
+    distributed = ScalingTable.from_times("distributed", distributed_nodes, distributed_times)
+    print(format_table(["nodes", "time", "speedup", "efficiency"], shared.rows(),
+                       title="Shared-memory (OpenMP-like) system setup"))
+    print()
+    print(format_table(["nodes", "time", "speedup", "efficiency"], distributed.rows(),
+                       title="Distributed-memory (MPI-like) system setup"))
+    print()
+    print(f"(total example runtime: {elapsed:.1f} s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Quickstart: extract the capacitance of a pair of crossing wires.
+
+Run with ``python examples/quickstart.py``.  This is the smallest complete
+use of the public API: build a layout, run the extractor, inspect the
+capacitance matrix and compare against the slow-but-exact piecewise-constant
+reference.
+"""
+
+from __future__ import annotations
+
+from repro import CapacitanceExtractor, ExtractionConfig, generators
+from repro.core.reference import reference_capacitance
+from repro.solver import compare_capacitance
+
+
+def main() -> None:
+    # The elementary structure of Figure 1: two 1 um x 1 um wires crossing
+    # at a vertical separation of 1 um.
+    layout = generators.crossing_wires(separation=1.0e-6)
+
+    extractor = CapacitanceExtractor(ExtractionConfig(tolerance=0.01))
+    result = extractor.extract(layout)
+
+    print("Conductors:", ", ".join(result.conductor_names))
+    print(f"Basis functions (N): {result.num_basis_functions}")
+    print(f"Templates       (M): {result.num_templates}")
+    print(f"Setup time:  {result.setup_seconds * 1e3:.1f} ms "
+          f"({100 * result.setup_fraction:.0f}% of total)")
+    print(f"Solve time:  {result.solve_seconds * 1e3:.1f} ms")
+    print()
+    print("Capacitance matrix (fF):")
+    print(result.capacitance_femtofarad().round(4))
+    print()
+    coupling = result.coupling_capacitance("source", "target")
+    print(f"Crossing coupling capacitance: {coupling * 1e15:.4f} fF")
+
+    # Compare against a refined piecewise-constant reference solution.
+    reference = reference_capacitance(layout, cells_per_edge=3, max_panels=1200, max_iterations=3)
+    comparison = compare_capacitance(result.capacitance, reference)
+    print(f"Max relative error vs refined PWC reference: "
+          f"{100 * comparison.max_relative_error:.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Transistor-interconnect example: instantiable basis vs the FASTCAP-like baseline.
+
+Reproduces the comparison of paper Table 2 on the synthetic transistor-cell
+interconnect block (see DESIGN.md for the substitution of the industry
+structure): the FASTCAP-like multipole solver, the instantiable-basis
+extractor without acceleration, and with the tabulated-subroutine
+acceleration, all checked against the refined PWC reference.
+
+Run with ``python examples/transistor_interconnect.py``.
+"""
+
+from __future__ import annotations
+
+from repro import CapacitanceExtractor, ExtractionConfig, generators
+from repro.accel import AccelerationTechnique
+from repro.core.reference import reference_capacitance
+from repro.fastcap import FastCapSolver
+from repro.analysis import format_table
+from repro.solver import compare_capacitance
+
+
+def main() -> None:
+    layout = generators.transistor_interconnect(n_fingers=3, n_m1_straps=2, n_m2_lines=2)
+    print(f"Transistor interconnect block: {layout.num_conductors} conductors "
+          f"({', '.join(layout.names)})")
+
+    reference = reference_capacitance(layout, cells_per_edge=3, max_panels=2000, max_iterations=3)
+
+    fastcap = FastCapSolver(cells_per_edge=3).solve(layout)
+    plain = CapacitanceExtractor(ExtractionConfig()).extract(layout)
+    accelerated = CapacitanceExtractor(
+        ExtractionConfig(acceleration=AccelerationTechnique.FAST_SUBROUTINES)
+    ).extract(layout)
+
+    rows = []
+    for label, unknowns, setup, total, memory, capacitance in [
+        ("FASTCAP-like", fastcap.num_panels, fastcap.setup_seconds, fastcap.total_seconds,
+         fastcap.memory_bytes, fastcap.capacitance),
+        ("instantiable w/o accel", plain.num_basis_functions, plain.setup_seconds,
+         plain.total_seconds, plain.memory_bytes, plain.capacitance),
+        ("instantiable w/ accel", accelerated.num_basis_functions, accelerated.setup_seconds,
+         accelerated.total_seconds, accelerated.memory_bytes, accelerated.capacitance),
+    ]:
+        error = compare_capacitance(capacitance, reference).max_relative_error
+        rows.append([
+            label,
+            str(unknowns),
+            f"{setup:.3f} s",
+            f"{total:.3f} s",
+            f"{memory / 1e6:.2f} MB",
+            f"{100 * error:.2f}%",
+        ])
+    print()
+    print(format_table(
+        ["solver", "unknowns", "setup", "total", "memory", "error vs reference"],
+        rows,
+        title="Transistor interconnect comparison (paper Table 2)",
+    ))
+    print()
+    gate_coupling = plain.coupling_capacitance("poly", "m1_0")
+    print(f"Example coupling, poly gate to first M1 strap: {gate_coupling * 1e15:.4f} fF")
+
+
+if __name__ == "__main__":
+    main()

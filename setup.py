@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in editable mode (``pip install -e .``) on
+environments whose setuptools/pip combination lacks the ``wheel`` backend
+needed for PEP 660 editable installs (as is the case in the offline
+evaluation container).
+"""
+
+from setuptools import setup
+
+setup()

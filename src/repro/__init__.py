@@ -1,0 +1,68 @@
+"""Reproduction of "A Highly Scalable Parallel Boundary Element Method for
+Capacitance Extraction" (Hsiao & Daniel, DAC 2011).
+
+The package implements the full system described in the paper:
+
+* ``repro.geometry`` -- Manhattan interconnect geometry substrate.
+* ``repro.greens`` -- closed-form and quadrature integration of the
+  electrostatic Green's function over rectangular panels.
+* ``repro.accel`` -- the four integration-acceleration techniques of Section 4.
+* ``repro.basis`` -- instantiable basis functions (flat and arch templates).
+* ``repro.pwc`` -- the standard piecewise-constant BEM substrate.
+* ``repro.fastcap`` -- a FASTCAP-like multipole-accelerated baseline.
+* ``repro.pfft`` -- a precorrected-FFT baseline.
+* ``repro.assembly`` -- the parallel system-setup strategy of Section 3.
+* ``repro.parallel`` -- real and simulated parallel execution backends.
+* ``repro.solver`` -- dense/iterative solves and capacitance post-processing.
+* ``repro.core`` -- the top-level :class:`~repro.core.engine.CapacitanceExtractor` API.
+* ``repro.analysis`` -- efficiency/error analysis and report generation.
+
+Quickstart::
+
+    from repro import CapacitanceExtractor, generators
+
+    layout = generators.crossing_wires(separation=1e-6)
+    extractor = CapacitanceExtractor()
+    result = extractor.extract(layout)
+    print(result.capacitance_matrix)
+"""
+
+from typing import Any
+
+__all__ = [
+    "CapacitanceExtractor",
+    "ExtractionConfig",
+    "ExtractionResult",
+    "generators",
+    "__version__",
+]
+
+__version__ = "1.0.0"
+
+# The heavyweight public classes are imported lazily (PEP 562) so that light
+# uses of the subpackages (e.g. ``repro.geometry`` alone) do not pay for the
+# full solver import chain.
+_LAZY_ATTRIBUTES = {
+    "CapacitanceExtractor": ("repro.core.engine", "CapacitanceExtractor"),
+    "ExtractionConfig": ("repro.core.config", "ExtractionConfig"),
+    "ExtractionResult": ("repro.core.results", "ExtractionResult"),
+    "generators": ("repro.geometry", "generators"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    """Resolve the lazily exported public attributes."""
+    try:
+        module_name, attribute = _LAZY_ATTRIBUTES[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_ATTRIBUTES))

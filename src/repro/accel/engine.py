@@ -1,0 +1,159 @@
+"""Selection and wiring of the integration acceleration techniques.
+
+:func:`make_evaluator` builds a *collocation evaluator* -- an object exposing
+``from_deltas(a1, a2, b1, b2, c)`` -- for any of the techniques of paper
+Section 4.2 (plus the plain analytical expression as the reference
+technique 0).  The evaluator plugs into
+:class:`~repro.greens.galerkin.GalerkinIntegrator` (and hence into the whole
+system-setup step) through its ``collocation_fn`` argument, which is how the
+"w/ acceleration" configurations of Tables 1 and 2 are produced.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Protocol
+
+import numpy as np
+
+from repro.accel.fastmath import FastAsinh, FastAtan, FastLog
+from repro.accel.indefinite_table import IndefiniteTableEvaluator
+from repro.accel.rational import RationalFitEvaluator
+from repro.accel.tabulation import DirectTableEvaluator
+from repro.greens.collocation import collocation_from_deltas
+
+__all__ = [
+    "AccelerationTechnique",
+    "CollocationEvaluator",
+    "AnalyticalEvaluator",
+    "FastSubroutineEvaluator",
+    "make_evaluator",
+]
+
+_TINY = 1e-300
+
+
+class AccelerationTechnique(Enum):
+    """The integration evaluation techniques compared in Table 1."""
+
+    ANALYTICAL = "analytical"
+    DIRECT_TABULATION = "direct_tabulation"
+    INDEFINITE_TABULATION = "indefinite_tabulation"
+    FAST_SUBROUTINES = "fast_subroutines"
+    RATIONAL_FIT = "rational_fit"
+
+
+class CollocationEvaluator(Protocol):
+    """Protocol shared by all collocation evaluators."""
+
+    name: str
+
+    @property
+    def memory_bytes(self) -> int:
+        """Auxiliary memory (tables, coefficients) used by the technique."""
+        ...  # pragma: no cover - protocol
+
+    def from_deltas(self, a1, a2, b1, b2, c) -> np.ndarray:
+        """Definite rectangle potential for corner coordinate differences."""
+        ...  # pragma: no cover - protocol
+
+
+class AnalyticalEvaluator:
+    """Technique 0: the original analytical expression, evaluated exactly."""
+
+    name = "analytical"
+
+    @property
+    def memory_bytes(self) -> int:
+        """No auxiliary storage."""
+        return 0
+
+    def from_deltas(self, a1, a2, b1, b2, c) -> np.ndarray:
+        """Exact closed-form definite integral."""
+        return collocation_from_deltas(a1, a2, b1, b2, c)
+
+    __call__ = from_deltas
+
+
+class FastSubroutineEvaluator:
+    """Technique 3: the analytical expression with tabulated log/atan/asinh.
+
+    The closed form is re-evaluated term by term, but every transcendental
+    call goes through the IEEE-754 mantissa tables of
+    :mod:`repro.accel.fastmath`, exactly as described in Section 4.2.3.
+    """
+
+    name = "fast_subroutines"
+
+    def __init__(self, mantissa_bits: int = 14, atan_table_size: int = 1 << 14):
+        self.fast_log = FastLog(mantissa_bits)
+        self.fast_atan = FastAtan(atan_table_size)
+        self.fast_asinh = FastAsinh(self.fast_log)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Combined size of the log and atan tables."""
+        return self.fast_log.memory_bytes + self.fast_atan.memory_bytes
+
+    # ------------------------------------------------------------------
+    def _corner(self, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+        """Corner function with tabulated transcendentals."""
+        r = np.sqrt(a * a + b * b + c * c)
+        den_a = np.maximum(np.sqrt(a * a + c * c), _TINY)
+        den_b = np.maximum(np.sqrt(b * b + c * c), _TINY)
+        term_a = a * self.fast_asinh(b / den_a)
+        term_b = b * self.fast_asinh(a / den_b)
+        ratio = a * b / np.where(c == 0.0, np.inf, c * r)
+        term_c = -c * self.fast_atan(ratio)
+        zero = (den_a <= _TINY) & (den_b <= _TINY)
+        result = term_a + term_b + term_c
+        if np.any(zero):
+            result = np.where(zero, 0.0, result)
+        return result
+
+    def from_deltas(self, a1, a2, b1, b2, c) -> np.ndarray:
+        """Definite integral via the 4-corner sum with tabulated subroutines."""
+        a1, a2, b1, b2, c = np.broadcast_arrays(
+            np.asarray(a1, dtype=float),
+            np.asarray(a2, dtype=float),
+            np.asarray(b1, dtype=float),
+            np.asarray(b2, dtype=float),
+            np.asarray(c, dtype=float),
+        )
+        return (
+            self._corner(a1, b1, c)
+            - self._corner(a2, b1, c)
+            - self._corner(a1, b2, c)
+            + self._corner(a2, b2, c)
+        )
+
+    __call__ = from_deltas
+
+
+def make_evaluator(
+    technique: AccelerationTechnique | str,
+    **options,
+) -> CollocationEvaluator:
+    """Build the collocation evaluator for a technique.
+
+    Parameters
+    ----------
+    technique:
+        One of :class:`AccelerationTechnique` or its string value.
+    options:
+        Forwarded to the evaluator constructor (table resolutions, fit
+        degrees, ...).
+    """
+    if isinstance(technique, str):
+        technique = AccelerationTechnique(technique)
+    if technique is AccelerationTechnique.ANALYTICAL:
+        return AnalyticalEvaluator(**options)
+    if technique is AccelerationTechnique.DIRECT_TABULATION:
+        return DirectTableEvaluator(**options)
+    if technique is AccelerationTechnique.INDEFINITE_TABULATION:
+        return IndefiniteTableEvaluator(**options)
+    if technique is AccelerationTechnique.FAST_SUBROUTINES:
+        return FastSubroutineEvaluator(**options)
+    if technique is AccelerationTechnique.RATIONAL_FIT:
+        return RationalFitEvaluator(**options)
+    raise ValueError(f"unknown acceleration technique: {technique!r}")

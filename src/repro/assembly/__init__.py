@@ -1,0 +1,49 @@
+"""Parallel system setup (paper Sections 3 and 5).
+
+The system matrix ``P`` (size ``N x N``, one row/column per basis function)
+is built by iterating the upper triangle of the *template* matrix ``P~``
+(size ``M x M``, one row/column per template) with a single linear index
+``k`` and condensing each entry into ``P`` on the fly (Algorithm 1 and
+Figure 3 of the paper).  Because every entry is independent, the index range
+can be partitioned equally over parallel computing nodes with no data
+dependencies -- the property that gives the method its ~90 % parallel
+efficiency.
+
+Modules
+-------
+* :mod:`repro.assembly.mapping` -- the ``k <-> (i, j)`` triangular index
+  conversion and the flattened template arrays.
+* :mod:`repro.assembly.partition` -- equal partitioning of the index range.
+* :mod:`repro.assembly.serial` -- the straightforward per-pair assembler
+  (reference implementation of Algorithm 1's inner loop).
+* :mod:`repro.assembly.batch` -- the vectorised assembler that evaluates a
+  partition of template pairs in grouped numpy batches.
+* :mod:`repro.assembly.shared_memory` / :mod:`repro.assembly.distributed` --
+  the OpenMP-like and MPI-like execution flows of Figures 4-6.
+"""
+
+from repro.assembly.mapping import (
+    TemplateArrays,
+    triangular_index_to_pair,
+    pair_to_triangular_index,
+    num_template_pairs,
+)
+from repro.assembly.partition import partition_range, WorkPartition
+from repro.assembly.serial import SerialAssembler
+from repro.assembly.batch import BatchGalerkinAssembler, ChunkResult
+from repro.assembly.shared_memory import SharedMemoryAssembler
+from repro.assembly.distributed import DistributedAssembler
+
+__all__ = [
+    "TemplateArrays",
+    "triangular_index_to_pair",
+    "pair_to_triangular_index",
+    "num_template_pairs",
+    "partition_range",
+    "WorkPartition",
+    "SerialAssembler",
+    "BatchGalerkinAssembler",
+    "ChunkResult",
+    "SharedMemoryAssembler",
+    "DistributedAssembler",
+]

@@ -1,0 +1,178 @@
+"""Index mapping and flattened template arrays for the system setup.
+
+Algorithm 1 iterates the upper triangle of the template matrix ``P~`` with a
+single index ``k`` running from ``0`` to ``M(M+1)/2 - 1``; each ``k`` is
+converted to the template pair ``(i, j)`` and then, through the ownership
+array ``l``, to the basis pair ``(i', j')`` of the condensed matrix ``P``.
+This module provides the (vectorised) conversions and the structure-of-arrays
+representation of the template list that the batch assembler operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.basis.functions import BasisSet
+from repro.basis.templates import TemplateInstance
+
+__all__ = [
+    "num_template_pairs",
+    "triangular_index_to_pair",
+    "pair_to_triangular_index",
+    "TemplateArrays",
+]
+
+
+def num_template_pairs(num_templates: int) -> int:
+    """Size of the iteration space, ``K = M (M + 1) / 2``."""
+    if num_templates < 0:
+        raise ValueError(f"num_templates must be >= 0, got {num_templates}")
+    return num_templates * (num_templates + 1) // 2
+
+
+def triangular_index_to_pair(k: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Convert linear upper-triangle indices to template pairs ``(i, j)``.
+
+    The enumeration matches Algorithm 1: ``j`` is the column, ``i <= j`` the
+    row, and ``k = j (j + 1) / 2 + i``.  Uses integer-safe arithmetic (the
+    float square root is only a seed that is then corrected), so it is exact
+    for any ``k`` representable as an int64.
+    """
+    k = np.asarray(k, dtype=np.int64)
+    if np.any(k < 0):
+        raise ValueError("triangular indices must be non-negative")
+    j = np.floor((np.sqrt(8.0 * k.astype(float) + 1.0) - 1.0) / 2.0).astype(np.int64)
+    # Correct any float rounding at the block boundaries.
+    j = np.where(j * (j + 1) // 2 > k, j - 1, j)
+    j = np.where((j + 1) * (j + 2) // 2 <= k, j + 1, j)
+    i = k - j * (j + 1) // 2
+    return i, j
+
+
+def pair_to_triangular_index(i: np.ndarray, j: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`triangular_index_to_pair` (requires ``i <= j``)."""
+    i = np.asarray(i, dtype=np.int64)
+    j = np.asarray(j, dtype=np.int64)
+    if np.any(i > j):
+        raise ValueError("pair_to_triangular_index requires i <= j")
+    if np.any(i < 0):
+        raise ValueError("indices must be non-negative")
+    return j * (j + 1) // 2 + i
+
+
+@dataclass
+class TemplateArrays:
+    """Structure-of-arrays view of the flattened template list.
+
+    Attributes
+    ----------
+    owner:
+        ``owner[t]`` is the basis-function index of template ``t`` (the
+        array ``l`` of Algorithm 1).
+    normal_axis, offset:
+        Panel plane description per template.
+    lo, hi:
+        3-D bounding boxes (the in-plane extents plus the degenerate normal
+        coordinate), shape ``(M, 3)``.
+    centroid:
+        Panel centroids, shape ``(M, 3)``.
+    area, diagonal, moment:
+        Panel area, panel diagonal and template moment ``\\int T ds``.
+    has_profile:
+        Whether the template carries an arch profile.
+    templates:
+        The original :class:`TemplateInstance` objects (needed for the
+        per-pair fallback path of profiled templates).
+    """
+
+    owner: np.ndarray
+    normal_axis: np.ndarray
+    offset: np.ndarray
+    lo: np.ndarray
+    hi: np.ndarray
+    centroid: np.ndarray
+    area: np.ndarray
+    diagonal: np.ndarray
+    moment: np.ndarray
+    has_profile: np.ndarray
+    templates: list[TemplateInstance]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_basis_set(cls, basis_set: BasisSet) -> "TemplateArrays":
+        """Flatten a basis set into template arrays."""
+        templates, owner = basis_set.flattened_templates()
+        return cls.from_templates(templates, owner)
+
+    @classmethod
+    def from_templates(
+        cls, templates: Sequence[TemplateInstance], owner: np.ndarray
+    ) -> "TemplateArrays":
+        """Build the arrays from an explicit template list and ownership map."""
+        templates = list(templates)
+        count = len(templates)
+        owner = np.asarray(owner, dtype=np.intp)
+        if owner.shape != (count,):
+            raise ValueError("owner must have one entry per template")
+
+        normal_axis = np.empty(count, dtype=np.intp)
+        offset = np.empty(count)
+        lo = np.empty((count, 3))
+        hi = np.empty((count, 3))
+        centroid = np.empty((count, 3))
+        area = np.empty(count)
+        diagonal = np.empty(count)
+        moment = np.empty(count)
+        has_profile = np.zeros(count, dtype=bool)
+
+        for t, template in enumerate(templates):
+            panel = template.panel
+            normal_axis[t] = panel.normal_axis
+            offset[t] = panel.offset
+            panel_lo, panel_hi = panel.bounds()
+            lo[t] = panel_lo
+            hi[t] = panel_hi
+            centroid[t] = panel.centroid
+            area[t] = panel.area
+            diagonal[t] = panel.diagonal
+            moment[t] = template.moment()
+            has_profile[t] = not template.is_flat
+
+        return cls(
+            owner=owner,
+            normal_axis=normal_axis,
+            offset=offset,
+            lo=lo,
+            hi=hi,
+            centroid=centroid,
+            area=area,
+            diagonal=diagonal,
+            moment=moment,
+            has_profile=has_profile,
+            templates=templates,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_templates(self) -> int:
+        """Number of templates ``M``."""
+        return len(self.templates)
+
+    @property
+    def num_basis_functions(self) -> int:
+        """Number of basis functions ``N`` (condensed matrix dimension)."""
+        return int(self.owner.max()) + 1 if self.owner.size else 0
+
+    @property
+    def num_pairs(self) -> int:
+        """Iteration-space size ``K = M (M + 1) / 2``."""
+        return num_template_pairs(self.num_templates)
+
+    def tangential_axes(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-template u and v axis indices."""
+        u_axis = np.where(self.normal_axis == 0, 1, 0)
+        v_axis = np.where(self.normal_axis == 2, 1, 2)
+        return u_axis, v_axis

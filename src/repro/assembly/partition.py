@@ -1,0 +1,56 @@
+"""Workload partitioning over parallel nodes (Algorithm 1).
+
+The iteration space ``{0, ..., K-1}`` over the upper triangle of ``P~`` is
+divided into ``D`` contiguous partitions of (as close as possible) equal
+size; each parallel node owns one partition.  The paper notes that although
+the per-entry cost varies with template type and orientation, this simple
+equal split is balanced enough in practice -- the load-balance benchmark
+(``benchmarks/test_table3_scaling.py``) measures exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WorkPartition", "partition_range"]
+
+
+@dataclass(frozen=True)
+class WorkPartition:
+    """One node's share of the template-pair iteration space."""
+
+    node: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        """Number of template-pair indices owned by the node."""
+        return self.stop - self.start
+
+    def indices(self) -> np.ndarray:
+        """The explicit index array (rarely needed; chunks use start/stop)."""
+        return np.arange(self.start, self.stop, dtype=np.int64)
+
+
+def partition_range(total: int, num_nodes: int) -> list[WorkPartition]:
+    """Split ``{0, ..., total-1}`` into ``num_nodes`` contiguous partitions.
+
+    The first ``total % num_nodes`` partitions receive one extra element, so
+    partition sizes differ by at most one (the paper's equal division).
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    base = total // num_nodes
+    remainder = total % num_nodes
+    partitions: list[WorkPartition] = []
+    start = 0
+    for node in range(num_nodes):
+        size = base + (1 if node < remainder else 0)
+        partitions.append(WorkPartition(node=node, start=start, stop=start + size))
+        start += size
+    return partitions

@@ -1,0 +1,48 @@
+"""Instantiable basis functions (paper Section 2.2, reference [3]).
+
+Instantiable basis functions are a compact solution representation for
+Manhattan capacitance extraction.  They are assembled from two template
+shapes extracted from elementary problems:
+
+* the **flat** template -- constant charge density over a rectangle;
+* the **arch** template -- a 1-D arch-shaped profile (peaking at the edge of
+  a wire crossing and decaying away from it) extended uniformly along the
+  perpendicular direction.
+
+The full basis consists of *face* basis functions (one flat template per
+exposed conductor face) plus *induced* basis functions placed around every
+wire crossing (a flat template over the crossing overlap plus arch templates
+on its edges).  Because a basis function may own several templates, the
+template count ``M`` exceeds the basis count ``N`` by the 1.2--3x factor the
+paper quotes, which is what the condensation step of Section 3 exploits.
+
+Modules
+-------
+* :mod:`repro.basis.templates` -- template and profile primitives.
+* :mod:`repro.basis.shapes` -- the arch-shape parameter model ``A_p(u)``.
+* :mod:`repro.basis.functions` -- basis functions and the :class:`BasisSet`.
+* :mod:`repro.basis.instantiate` -- placement of face and induced basis
+  functions over a layout.
+* :mod:`repro.basis.extraction` -- extraction of the arch parameters from
+  the elementary crossing-wire problem (Figure 2), using the PWC substrate.
+* :mod:`repro.basis.library` -- caching of instantiated templates per
+  geometric parameter vector.
+"""
+
+from repro.basis.templates import ArchProfile, TemplateInstance
+from repro.basis.shapes import ArchParameters, ArchParameterModel
+from repro.basis.functions import BasisFunction, BasisSet
+from repro.basis.instantiate import InstantiationConfig, build_basis_set
+from repro.basis.library import TemplateLibrary
+
+__all__ = [
+    "ArchProfile",
+    "TemplateInstance",
+    "ArchParameters",
+    "ArchParameterModel",
+    "BasisFunction",
+    "BasisSet",
+    "InstantiationConfig",
+    "build_basis_set",
+    "TemplateLibrary",
+]

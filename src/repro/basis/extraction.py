@@ -1,0 +1,229 @@
+"""Extraction of arch shapes from elementary crossing-wire problems.
+
+Instantiable basis functions are "the collection of the fundamental shapes
+extracted from elementary problems, such as a pair of crossing wires"
+(paper Section 2.2, Figures 1 and 2).  This module performs that extraction:
+
+1. solve the elementary two-wire crossing with the dense PWC substrate at a
+   fine discretisation,
+2. read the induced charge-density profile on the top face of the bottom
+   wire along the bottom wire's axis (the curve of Figure 2),
+3. decompose it into a constant *flat* level over the crossing overlap and
+   two *arch* shapes peaking at the overlap edges, and
+4. fit the arch decay lengths (extension length outside the overlap,
+   ingrowing length inside it) and the peak amplitude.
+
+Repeating the procedure over a sweep of separations ``h`` yields the
+calibration table consumed by
+:class:`~repro.basis.shapes.ArchParameterModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.basis.shapes import ArchParameterModel, ArchParameters
+from repro.geometry import generators
+from repro.geometry.discretize import discretize_panel
+from repro.geometry.panel import Panel
+
+__all__ = [
+    "ChargeProfile",
+    "extract_charge_profile",
+    "fit_arch_parameters",
+    "extract_arch_parameters",
+    "calibrate_parameter_model",
+]
+
+
+@dataclass
+class ChargeProfile:
+    """Induced charge-density profile along the bottom wire (Figure 2).
+
+    Attributes
+    ----------
+    positions:
+        Centres of the profile bins along the bottom wire's axis (metres).
+    densities:
+        Induced charge density (C/m^2) in each bin, for a 1 V excitation of
+        the top wire with the bottom wire grounded.
+    overlap:
+        The ``(lo, hi)`` extent of the crossing overlap along the axis.
+    separation:
+        Vertical gap ``h`` between the wires.
+    """
+
+    positions: np.ndarray
+    densities: np.ndarray
+    overlap: tuple[float, float]
+    separation: float
+
+    @property
+    def flat_level(self) -> float:
+        """Charge density at the centre of the overlap (the flat shape level)."""
+        centre = 0.5 * (self.overlap[0] + self.overlap[1])
+        index = int(np.argmin(np.abs(self.positions - centre)))
+        return float(self.densities[index])
+
+    @property
+    def peak_level(self) -> float:
+        """Largest charge density inside/near the overlap (the arch peak)."""
+        return float(np.max(np.abs(self.densities)) * np.sign(self.flat_level))
+
+
+def extract_charge_profile(
+    separation: float = 1.0e-6,
+    width: float = 1.0e-6,
+    thickness: float = 1.0e-6,
+    length: float = 10.0e-6,
+    axial_cells: int = 48,
+    lateral_cells: int = 3,
+    other_face_cells: int = 4,
+) -> ChargeProfile:
+    """Solve the elementary crossing and return the induced charge profile.
+
+    The bottom wire's top face is discretised with ``axial_cells`` uniform
+    cells along the wire axis (fine enough to resolve the arch) and
+    ``lateral_cells`` across; every other face uses a coarser
+    ``other_face_cells`` grid.  The PWC system is solved with both
+    excitations and the column for the *top* wire is read back.
+    """
+    from repro.pwc.assembly import PWCSystem
+    from repro.solver.dense import solve_dense
+
+    layout = generators.crossing_wires(
+        separation=separation, width=width, thickness=thickness, length=length
+    )
+    panels: list[Panel] = []
+    profile_indices: list[int] = []
+    top_face_offset = thickness
+
+    for face in layout.surface_panels():
+        is_profile_face = (
+            face.conductor == 0
+            and face.normal_axis == 2
+            and face.outward > 0
+            and abs(face.offset - top_face_offset) < 1e-15
+        )
+        if is_profile_face:
+            # u axis of a z-normal panel is x (the bottom wire's axis).
+            for sub in face.subdivide(axial_cells, lateral_cells):
+                profile_indices.append(len(panels))
+                panels.append(sub)
+        else:
+            max_edge = max(face.u_span, face.v_span) / other_face_cells
+            panels.extend(discretize_panel(face, max_edge))
+
+    system = PWCSystem.assemble(panels, layout.permittivity, num_conductors=2)
+    charges = solve_dense(system.matrix, system.rhs)
+
+    # Induced charge on the bottom wire for the top-wire excitation (column 1).
+    densities_by_cell = charges[profile_indices, 1]
+    positions_by_cell = np.array([panels[i].centroid[0] for i in profile_indices])
+    # Average the lateral cells sharing the same axial position.
+    unique_positions, inverse = np.unique(np.round(positions_by_cell, 12), return_inverse=True)
+    averaged = np.zeros_like(unique_positions)
+    counts = np.zeros_like(unique_positions)
+    np.add.at(averaged, inverse, densities_by_cell)
+    np.add.at(counts, inverse, 1.0)
+    averaged /= np.maximum(counts, 1.0)
+
+    overlap = (-width / 2.0, width / 2.0)
+    return ChargeProfile(
+        positions=unique_positions,
+        densities=averaged,
+        overlap=overlap,
+        separation=separation,
+    )
+
+
+def fit_arch_parameters(profile: ChargeProfile) -> ArchParameters:
+    """Fit arch decay lengths and amplitude from a charge profile.
+
+    The flat level is the density at the overlap centre.  The *extension*
+    length is fitted as the exponential decay length of the density outside
+    the overlap; the *ingrowing* length as the decay length of the excess
+    density (above the flat level) between the overlap edge and its centre.
+    """
+    positions = profile.positions
+    densities = np.abs(profile.densities)
+    flat = abs(profile.flat_level)
+    if flat <= 0.0:
+        raise ValueError("degenerate charge profile: zero flat level")
+    lo, hi = profile.overlap
+    centre = 0.5 * (lo + hi)
+    half_width = 0.5 * (hi - lo)
+
+    # --- extension length: exponential tail outside the overlap ------------
+    # Only the near tail (within ~2h of the edge) decays exponentially; the
+    # far tail crosses over to the slower geometric falloff and would bias
+    # the fit, so it is excluded.
+    outside = (positions > hi) & (positions <= hi + 2.0 * profile.separation)
+    tail_x = positions[outside] - hi
+    tail_y = densities[outside]
+    extension = _decay_length(tail_x, tail_y, default=0.85 * profile.separation)
+
+    # --- ingrowing length: excess over the flat level inside the overlap ---
+    inside = (positions > centre) & (positions <= hi)
+    in_x = hi - positions[inside]
+    in_y = densities[inside] - flat
+    ingrowing = _decay_length(in_x, in_y, default=0.45 * profile.separation)
+    ingrowing = min(ingrowing, half_width)
+
+    peak = float(np.max(densities[(positions >= lo - extension) & (positions <= hi + extension)]))
+    amplitude = max((peak - flat) / flat, 0.0)
+    return ArchParameters(
+        ingrowing_length=float(max(ingrowing, 1e-3 * profile.separation)),
+        extension_length=float(max(extension, 1e-3 * profile.separation)),
+        amplitude_hint=float(amplitude),
+    )
+
+
+def _decay_length(x: np.ndarray, y: np.ndarray, default: float) -> float:
+    """Least-squares exponential decay length of ``y ~ exp(-x / L)``."""
+    mask = (y > 0.0) & (x >= 0.0)
+    if np.count_nonzero(mask) < 3:
+        return default
+    x = x[mask]
+    y = np.log(y[mask])
+    slope, _ = np.polyfit(x, y, 1)
+    if slope >= 0.0:
+        return default
+    return float(-1.0 / slope)
+
+
+def extract_arch_parameters(
+    separations: np.ndarray,
+    width: float = 1.0e-6,
+    thickness: float = 1.0e-6,
+    length: float = 10.0e-6,
+    axial_cells: int = 48,
+) -> tuple[np.ndarray, list[ArchParameters]]:
+    """Run the extraction over a sweep of separations."""
+    separations = np.asarray(separations, dtype=float)
+    if separations.ndim != 1 or separations.size < 1:
+        raise ValueError("separations must be a non-empty 1-D array")
+    parameters: list[ArchParameters] = []
+    for h in separations:
+        profile = extract_charge_profile(
+            separation=float(h),
+            width=width,
+            thickness=thickness,
+            length=length,
+            axial_cells=axial_cells,
+        )
+        parameters.append(fit_arch_parameters(profile))
+    return separations, parameters
+
+
+def calibrate_parameter_model(
+    model: ArchParameterModel,
+    separations: np.ndarray,
+    **extraction_options,
+) -> ArchParameterModel:
+    """Calibrate an :class:`ArchParameterModel` in place from extraction runs."""
+    seps, params = extract_arch_parameters(np.asarray(separations, dtype=float), **extraction_options)
+    model.calibrate(seps, params)
+    return model

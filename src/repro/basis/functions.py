@@ -1,0 +1,189 @@
+"""Basis functions and the :class:`BasisSet` container.
+
+A basis function ``psi_i'`` owns one or more templates (paper eq. (4)); the
+:class:`BasisSet` flattens all templates of all basis functions into the
+global template list ``T_1 ... T_M`` and records the condensation map
+``l_i = i'`` used by Algorithm 1 to fold the template matrix ``P~`` into the
+basis matrix ``P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.basis.templates import TemplateInstance
+
+__all__ = ["BasisKind", "BasisFunction", "BasisSet"]
+
+
+class BasisKind(Enum):
+    """The two families of instantiable basis functions."""
+
+    FACE = "face"
+    INDUCED = "induced"
+
+
+@dataclass(frozen=True)
+class BasisFunction:
+    """One instantiable basis function.
+
+    Attributes
+    ----------
+    conductor:
+        Index of the conductor the basis function lives on.
+    kind:
+        Face or induced basis function.
+    templates:
+        The templates whose sum forms the basis function (flat and/or arch).
+    label:
+        Human-readable description used in diagnostics.
+    """
+
+    conductor: int
+    kind: BasisKind
+    templates: tuple[TemplateInstance, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.templates:
+            raise ValueError("a basis function needs at least one template")
+        if any(t.panel.conductor != self.conductor for t in self.templates):
+            raise ValueError(
+                f"all templates of basis function {self.label!r} must sit on conductor "
+                f"{self.conductor}"
+            )
+
+    @property
+    def num_templates(self) -> int:
+        """Number of templates owned by this basis function."""
+        return len(self.templates)
+
+    def moment(self) -> float:
+        """Total moment ``\\int psi ds`` (sum of template moments)."""
+        return sum(t.moment() for t in self.templates)
+
+
+@dataclass
+class BasisSet:
+    """All basis functions of a problem plus the flattened template list.
+
+    The basis set is the hand-off object between the instantiation step
+    (:mod:`repro.basis.instantiate`) and the parallel system setup
+    (:mod:`repro.assembly`).
+    """
+
+    functions: list[BasisFunction] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add(self, function: BasisFunction) -> int:
+        """Append a basis function, returning its index."""
+        self.functions.append(function)
+        return len(self.functions) - 1
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def __iter__(self) -> Iterator[BasisFunction]:
+        return iter(self.functions)
+
+    def __getitem__(self, index: int) -> BasisFunction:
+        return self.functions[index]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_basis_functions(self) -> int:
+        """``N`` -- the dimension of the condensed system matrix ``P``."""
+        return len(self.functions)
+
+    @property
+    def num_templates(self) -> int:
+        """``M`` -- the number of templates (the dimension of ``P~``)."""
+        return sum(f.num_templates for f in self.functions)
+
+    @property
+    def template_ratio(self) -> float:
+        """``M / N`` -- the paper quotes 1.2 to 3 for typical problems."""
+        if not self.functions:
+            return 0.0
+        return self.num_templates / self.num_basis_functions
+
+    # ------------------------------------------------------------------
+    def flattened_templates(self) -> tuple[list[TemplateInstance], np.ndarray]:
+        """Return the global template list and the condensation map ``l``.
+
+        Returns
+        -------
+        (templates, owner):
+            ``templates[k]`` is the k-th template ``T_k``; ``owner[k]`` is the
+            index of the basis function it belongs to (the array ``l`` of
+            Algorithm 1).
+        """
+        templates: list[TemplateInstance] = []
+        owner: list[int] = []
+        for index, function in enumerate(self.functions):
+            for template in function.templates:
+                templates.append(template)
+                owner.append(index)
+        return templates, np.asarray(owner, dtype=np.intp)
+
+    def conductor_indices(self) -> np.ndarray:
+        """Conductor index of every basis function (length ``N``)."""
+        return np.asarray([f.conductor for f in self.functions], dtype=np.intp)
+
+    def moments(self) -> np.ndarray:
+        """Moments ``\\int psi_i ds`` of every basis function (length ``N``)."""
+        return np.asarray([f.moment() for f in self.functions], dtype=float)
+
+    def incidence_matrix(self, num_conductors: int) -> np.ndarray:
+        """The right-hand-side matrix ``Phi`` of paper eq. (3).
+
+        ``Phi[i, k] = \\int psi_i(r) phi_k(r) ds`` with ``phi_k = 1`` on
+        conductor ``k`` and zero elsewhere, i.e. the basis-function moment
+        when the function sits on conductor ``k``.
+        """
+        if num_conductors < 1:
+            raise ValueError(f"num_conductors must be >= 1, got {num_conductors}")
+        conductors = self.conductor_indices()
+        if conductors.size and conductors.max() >= num_conductors:
+            raise ValueError(
+                "basis set references conductor indices beyond num_conductors"
+            )
+        phi = np.zeros((self.num_basis_functions, num_conductors))
+        phi[np.arange(self.num_basis_functions), conductors] = self.moments()
+        return phi
+
+    def summary(self) -> dict[str, float]:
+        """Counts used in reports and tests."""
+        kinds = [f.kind for f in self.functions]
+        return {
+            "num_basis_functions": float(self.num_basis_functions),
+            "num_templates": float(self.num_templates),
+            "template_ratio": float(self.template_ratio),
+            "num_face": float(sum(1 for k in kinds if k is BasisKind.FACE)),
+            "num_induced": float(sum(1 for k in kinds if k is BasisKind.INDUCED)),
+        }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_panels(panels: Sequence) -> "BasisSet":
+        """Build a piecewise-constant basis set: one flat template per panel.
+
+        This is the degenerate case ``M = N`` that turns the instantiable
+        machinery into a standard PWC Galerkin BEM; the PWC substrate and the
+        FASTCAP-like baseline are built on it.
+        """
+        basis_set = BasisSet()
+        for panel in panels:
+            basis_set.add(
+                BasisFunction(
+                    conductor=panel.conductor,
+                    kind=BasisKind.FACE,
+                    templates=(TemplateInstance(panel=panel),),
+                    label=f"pwc_panel_{len(basis_set.functions)}",
+                )
+            )
+        return basis_set

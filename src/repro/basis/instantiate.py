@@ -1,0 +1,211 @@
+"""Instantiation of the basis set over a layout.
+
+Two families of basis functions are placed (paper Section 2.2):
+
+* **Face** basis functions: one flat template on every exposed rectangular
+  conductor face (optionally refined into a small grid of faces -- a knob
+  used by the accuracy ablation benchmarks, the paper's default is one per
+  face).
+* **Induced** basis functions: for every wire crossing, one basis function
+  on the lower conductor's top face and one on the upper conductor's bottom
+  face.  Each consists of a flat template over the crossing overlap plus
+  arch templates at the overlap edges that are interior to the host face,
+  with decay lengths instantiated from the
+  :class:`~repro.basis.library.TemplateLibrary`.
+
+Templates are clipped to their host face and degenerate templates are
+dropped, so the construction is robust for wires that terminate inside or
+exactly at a crossing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from repro.basis.functions import BasisFunction, BasisKind, BasisSet
+from repro.basis.library import TemplateLibrary
+from repro.basis.templates import (
+    ArchProfile,
+    TemplateInstance,
+    make_arch_template,
+    make_flat_template,
+)
+from repro.geometry.crossings import Crossing, find_crossings
+from repro.geometry.layout import Layout
+from repro.geometry.panel import Panel
+
+__all__ = ["InstantiationConfig", "build_basis_set"]
+
+
+@dataclass
+class InstantiationConfig:
+    """Knobs of the basis instantiation.
+
+    Attributes
+    ----------
+    max_crossing_separation:
+        Crossings with a larger vertical gap do not receive induced basis
+        functions (their interaction is well represented by the face basis
+        functions alone).  ``None`` keeps every crossing.
+    face_refinement:
+        Split every conductor face into ``face_refinement x face_refinement``
+        face basis functions.  ``1`` reproduces the paper's default.
+    include_induced:
+        Disable to run with face basis functions only (ablation).
+    include_arches:
+        Disable to keep induced basis functions but drop their arch
+        templates (ablation of the arch shapes).
+    min_arch_support:
+        Minimum arch support length relative to the host-face extent below
+        which an arch template is dropped as degenerate.
+    library:
+        Template library (arch parameter cache).  A fresh analytic library
+        is created when omitted.
+    """
+
+    max_crossing_separation: float | None = None
+    face_refinement: int = 1
+    include_induced: bool = True
+    include_arches: bool = True
+    min_arch_support: float = 1e-3
+    library: TemplateLibrary = field(default_factory=TemplateLibrary)
+
+    def __post_init__(self) -> None:
+        if self.face_refinement < 1:
+            raise ValueError(f"face_refinement must be >= 1, got {self.face_refinement}")
+        if not (0.0 < self.min_arch_support < 1.0):
+            raise ValueError(
+                f"min_arch_support must be in (0, 1), got {self.min_arch_support}"
+            )
+
+
+def build_basis_set(layout: Layout, config: InstantiationConfig | None = None) -> BasisSet:
+    """Instantiate the full basis set (face + induced) for a layout."""
+    config = config if config is not None else InstantiationConfig()
+    basis_set = BasisSet()
+    _add_face_basis_functions(basis_set, layout, config)
+    if config.include_induced:
+        crossings = find_crossings(layout, max_separation=config.max_crossing_separation)
+        for crossing in crossings:
+            _add_induced_basis_functions(basis_set, crossing, config)
+    return basis_set
+
+
+# ----------------------------------------------------------------------
+# Face basis functions
+# ----------------------------------------------------------------------
+def _add_face_basis_functions(
+    basis_set: BasisSet, layout: Layout, config: InstantiationConfig
+) -> None:
+    """One flat basis function per (possibly refined) exposed face."""
+    for face in layout.surface_panels():
+        if config.face_refinement == 1:
+            sub_faces: Iterable[Panel] = (face,)
+        else:
+            sub_faces = face.subdivide(config.face_refinement, config.face_refinement)
+        for sub_face in sub_faces:
+            basis_set.add(
+                BasisFunction(
+                    conductor=sub_face.conductor,
+                    kind=BasisKind.FACE,
+                    templates=(make_flat_template(sub_face),),
+                    label=f"face_c{sub_face.conductor}_n{len(basis_set.functions)}",
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# Induced basis functions
+# ----------------------------------------------------------------------
+def _add_induced_basis_functions(
+    basis_set: BasisSet, crossing: Crossing, config: InstantiationConfig
+) -> None:
+    """Place one induced basis function per side of a crossing."""
+    for host_face, conductor in (
+        (crossing.lower_facing_panel(), crossing.lower),
+        (crossing.upper_facing_panel(), crossing.upper),
+    ):
+        templates = _induced_templates(host_face, crossing, config)
+        if templates:
+            basis_set.add(
+                BasisFunction(
+                    conductor=conductor,
+                    kind=BasisKind.INDUCED,
+                    templates=tuple(templates),
+                    label=(
+                        f"induced_c{conductor}_h{crossing.separation:.3e}"
+                        f"_n{len(basis_set.functions)}"
+                    ),
+                )
+            )
+
+
+def _induced_templates(
+    host_face: Panel, crossing: Crossing, config: InstantiationConfig
+) -> list[TemplateInstance]:
+    """Flat + arch templates of one induced basis function on ``host_face``.
+
+    The host face is horizontal (normal along z) so its u axis is x and its
+    v axis is y; the overlap rectangle is given in the same axes.
+    """
+    overlaps = {"u": crossing.x_overlap, "v": crossing.y_overlap}
+    extents = {"u": host_face.u_range, "v": host_face.v_range}
+
+    templates: list[TemplateInstance] = []
+    flat_panel = replace(
+        host_face,
+        u_range=_clip_interval(overlaps["u"], extents["u"]),
+        v_range=_clip_interval(overlaps["v"], extents["v"]),
+    )
+    templates.append(make_flat_template(flat_panel))
+
+    if not config.include_arches:
+        return templates
+
+    params = config.library.parameters(
+        separation=crossing.separation,
+        crossing_width=min(
+            overlaps["u"][1] - overlaps["u"][0], overlaps["v"][1] - overlaps["v"][0]
+        ),
+    )
+
+    for arch_axis in ("u", "v"):
+        other_axis = "v" if arch_axis == "u" else "u"
+        overlap = overlaps[arch_axis]
+        extent = extents[arch_axis]
+        cross_range = _clip_interval(overlaps[other_axis], extents[other_axis])
+        min_support = config.min_arch_support * (extent[1] - extent[0])
+
+        for edge, inward_sign in ((overlap[0], +1), (overlap[1], -1)):
+            # Only place an arch when the overlap edge lies strictly inside
+            # the host face (otherwise there is no charge peak to represent).
+            if not (extent[0] + min_support < edge < extent[1] - min_support):
+                continue
+            if inward_sign > 0:
+                support = (edge - params.extension_length, edge + params.ingrowing_length)
+            else:
+                support = (edge - params.ingrowing_length, edge + params.extension_length)
+            support = _clip_interval(support, extent)
+            if support[1] - support[0] < min_support:
+                continue
+            arch = ArchProfile(
+                axis=arch_axis,
+                edge=edge,
+                ingrowing_length=params.ingrowing_length,
+                extension_length=params.extension_length,
+                inward_sign=inward_sign,
+            )
+            if arch_axis == "u":
+                panel = replace(host_face, u_range=support, v_range=cross_range)
+            else:
+                panel = replace(host_face, u_range=cross_range, v_range=support)
+            templates.append(make_arch_template(panel, arch))
+    return templates
+
+
+def _clip_interval(interval: tuple[float, float], bounds: tuple[float, float]) -> tuple[float, float]:
+    """Clip an interval to bounds, keeping a non-degenerate result when possible."""
+    lo = max(interval[0], bounds[0])
+    hi = min(interval[1], bounds[1])
+    return (lo, hi)

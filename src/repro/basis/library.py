@@ -1,0 +1,91 @@
+"""Template library: cached instantiation of arch parameters.
+
+Basis functions are *instantiated* from a library of fundamental shapes
+(paper Section 2.2).  In a large layout, many crossings share the same
+geometric parameter vector (same layer pair, same wire widths), so the
+library caches the arch parameters per quantised parameter vector and
+reports how often each entry was reused -- a useful diagnostic of how
+"instantiable" a given layout actually is.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.basis.shapes import ArchParameterModel, ArchParameters
+
+__all__ = ["TemplateLibrary"]
+
+
+@dataclass(frozen=True)
+class _LibraryKey:
+    """Quantised geometric parameter vector used as the cache key.
+
+    Lengths are quantised on a logarithmic grid so that two lengths within
+    the library's relative quantum share a key regardless of their absolute
+    magnitude.
+    """
+
+    separation: int
+    crossing_width: int
+
+
+class TemplateLibrary:
+    """Cache of arch parameters keyed by quantised crossing geometry.
+
+    Parameters
+    ----------
+    model:
+        The arch parameter model to instantiate from (analytic or calibrated).
+    quantum:
+        Relative quantisation step for the cache key.  Two crossings whose
+        separations and widths agree within this relative tolerance share a
+        library entry.
+    """
+
+    def __init__(self, model: ArchParameterModel | None = None, quantum: float = 1e-3):
+        if quantum <= 0.0:
+            raise ValueError(f"quantum must be positive, got {quantum}")
+        self.model = model if model is not None else ArchParameterModel()
+        self.quantum = float(quantum)
+        self._cache: dict[_LibraryKey, ArchParameters] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _quantise(self, value: float) -> int:
+        """Map a positive length onto its logarithmic quantisation bin."""
+        if value <= 0.0:
+            raise ValueError(f"library lengths must be positive, got {value}")
+        return int(round(math.log(value) / self.quantum))
+
+    def parameters(self, separation: float, crossing_width: float) -> ArchParameters:
+        """Arch parameters for a crossing, served from the cache when possible."""
+        key = _LibraryKey(self._quantise(separation), self._quantise(crossing_width))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        params = self.model.parameters(separation, crossing_width)
+        self._cache[key] = params
+        return params
+
+    # ------------------------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        """Number of distinct parameter vectors instantiated so far."""
+        return len(self._cache)
+
+    @property
+    def reuse_ratio(self) -> float:
+        """Fraction of requests served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all cached entries and reset the counters."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0

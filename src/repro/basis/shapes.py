@@ -1,0 +1,144 @@
+"""Arch-shape parameter model ``A_p(u)``.
+
+The arch templates are parameterised by the geometry of the crossing they
+describe: the paper's parameter vector ``p`` "contains wire separation h ...
+and other geometric parameters, depending on the required capacitance
+accuracy" (Section 2.2).  This module maps those geometric parameters onto
+the concrete decay lengths of the two-sided exponential arch of
+:class:`repro.basis.templates.ArchProfile`.
+
+Two sources for the mapping are supported:
+
+* a *default analytic model*: the induced charge spreads laterally over a
+  distance comparable to the vertical separation ``h`` (the field lines of
+  the crossing wire fan out over ~h before reaching the lower wire), with
+  the crossing wire width providing a floor.  This is accurate enough to
+  bootstrap extraction and is always available.
+* a *calibrated model*: :mod:`repro.basis.extraction` solves the elementary
+  crossing-wire problem with the PWC substrate (Figure 2), fits the decay
+  lengths as a function of ``h`` and feeds the fitted table back in through
+  :meth:`ArchParameterModel.calibrate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ArchParameters", "ArchParameterModel"]
+
+
+@dataclass(frozen=True)
+class ArchParameters:
+    """Parameters of a single arch shape for a given crossing geometry.
+
+    Attributes
+    ----------
+    ingrowing_length:
+        Decay length of the arch towards the inside of the crossing overlap.
+    extension_length:
+        Decay length towards the outside of the overlap.
+    amplitude_hint:
+        Expected ratio of the arch peak charge density to the flat (overlap)
+        charge density.  The solver determines the actual amplitude; the
+        hint is only used by diagnostics and by tests.
+    """
+
+    ingrowing_length: float
+    extension_length: float
+    amplitude_hint: float = 1.0
+
+
+class ArchParameterModel:
+    """Maps crossing geometry (separation, widths) to arch parameters.
+
+    Parameters
+    ----------
+    ingrow_fraction, extension_fraction:
+        Multipliers applied to the separation ``h`` in the default analytic
+        model.  The defaults were chosen to match the shapes extracted from
+        the elementary crossing-wire problem (see
+        ``tests/basis/test_extraction.py``).
+    min_length_fraction:
+        Floor on the decay lengths as a fraction of the crossing wire width,
+        protecting very small separations from degenerate (near-delta)
+        arches.
+    """
+
+    def __init__(
+        self,
+        ingrow_fraction: float = 0.45,
+        extension_fraction: float = 0.85,
+        min_length_fraction: float = 0.08,
+    ):
+        if min(ingrow_fraction, extension_fraction, min_length_fraction) <= 0.0:
+            raise ValueError("all model fractions must be positive")
+        self.ingrow_fraction = float(ingrow_fraction)
+        self.extension_fraction = float(extension_fraction)
+        self.min_length_fraction = float(min_length_fraction)
+        # Calibration table: separation -> (ingrowing, extension, amplitude).
+        self._calibration_h: np.ndarray | None = None
+        self._calibration_values: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_calibrated(self) -> bool:
+        """Whether extraction data has been loaded."""
+        return self._calibration_h is not None
+
+    def calibrate(self, separations: np.ndarray, parameters: list[ArchParameters]) -> None:
+        """Load a calibration table obtained from shape extraction.
+
+        Parameters
+        ----------
+        separations:
+            Monotonically increasing separations ``h`` of the elementary
+            problems that were solved.
+        parameters:
+            The fitted :class:`ArchParameters` for each separation.
+        """
+        separations = np.asarray(separations, dtype=float)
+        if separations.ndim != 1 or separations.size != len(parameters):
+            raise ValueError("separations and parameters must have matching lengths")
+        if separations.size < 2:
+            raise ValueError("calibration needs at least two separations")
+        if np.any(np.diff(separations) <= 0.0):
+            raise ValueError("separations must be strictly increasing")
+        self._calibration_h = separations
+        self._calibration_values = np.array(
+            [[p.ingrowing_length, p.extension_length, p.amplitude_hint] for p in parameters]
+        )
+
+    # ------------------------------------------------------------------
+    def parameters(self, separation: float, crossing_width: float) -> ArchParameters:
+        """Arch parameters for a crossing with the given separation and width.
+
+        ``crossing_width`` is the width of the crossing (upper) wire, i.e.
+        the in-plane extent of the overlap along the arch axis.
+        """
+        if separation <= 0.0:
+            raise ValueError(f"separation must be positive, got {separation}")
+        if crossing_width <= 0.0:
+            raise ValueError(f"crossing_width must be positive, got {crossing_width}")
+        floor = self.min_length_fraction * crossing_width
+        if self.is_calibrated:
+            assert self._calibration_h is not None and self._calibration_values is not None
+            ingrow = float(np.interp(separation, self._calibration_h, self._calibration_values[:, 0]))
+            extension = float(np.interp(separation, self._calibration_h, self._calibration_values[:, 1]))
+            amplitude = float(np.interp(separation, self._calibration_h, self._calibration_values[:, 2]))
+            return ArchParameters(
+                ingrowing_length=max(ingrow, floor),
+                extension_length=max(extension, floor),
+                amplitude_hint=amplitude,
+            )
+        ingrow = max(self.ingrow_fraction * separation, floor)
+        extension = max(self.extension_fraction * separation, floor)
+        # The induced peak decays roughly like 1/(1 + h / w): close wires
+        # induce a strong edge peak, distant wires a weak and smeared one.
+        amplitude = 1.0 / (1.0 + separation / crossing_width)
+        return ArchParameters(
+            ingrowing_length=ingrow,
+            extension_length=extension,
+            amplitude_hint=amplitude,
+        )

@@ -1,0 +1,154 @@
+"""Template primitives: flat rectangles and 1-D arch profiles.
+
+A *template* is the integration unit of the system-setup step (the ``T_i``
+of paper eq. (5)): an axis-aligned rectangular support carrying either a
+constant unit value (flat template / face basis function) or a 1-D arch
+profile ``A_p(u)`` extended uniformly along the perpendicular in-plane
+direction, ``T_{A_p}(u, v) = A_p(u)`` (paper Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.panel import Panel
+
+__all__ = ["ArchProfile", "TemplateInstance"]
+
+
+@dataclass(frozen=True)
+class ArchProfile:
+    """A two-sided exponential arch shape along one tangential axis.
+
+    The profile peaks at ``edge`` (the border of a wire-crossing overlap)
+    and decays exponentially on both sides with different length scales:
+    ``ingrowing_length`` towards the inside of the overlap and
+    ``extension_length`` towards the outside (the terminology of paper
+    Figure 2).  The profile is normalised to a peak value of one; the
+    amplitude of the physical charge is the solved-for coefficient of the
+    basis function that owns the template.
+
+    Parameters
+    ----------
+    axis:
+        ``"u"`` or ``"v"`` -- which tangential axis of the supporting panel
+        the shape varies along.
+    edge:
+        Absolute coordinate of the arch peak along that axis.
+    ingrowing_length, extension_length:
+        Decay lengths towards decreasing / increasing coordinates... more
+        precisely towards the side indicated by ``inward_sign``.
+    inward_sign:
+        +1 when the overlap interior lies at coordinates larger than
+        ``edge``, -1 when it lies at smaller coordinates.
+    """
+
+    axis: str
+    edge: float
+    ingrowing_length: float
+    extension_length: float
+    inward_sign: int = +1
+
+    def __post_init__(self) -> None:
+        if self.axis not in ("u", "v"):
+            raise ValueError(f"axis must be 'u' or 'v', got {self.axis!r}")
+        if self.ingrowing_length <= 0.0 or self.extension_length <= 0.0:
+            raise ValueError(
+                "arch decay lengths must be positive, got "
+                f"ingrowing={self.ingrowing_length}, extension={self.extension_length}"
+            )
+        if self.inward_sign not in (-1, 1):
+            raise ValueError(f"inward_sign must be +1 or -1, got {self.inward_sign}")
+
+    # ------------------------------------------------------------------
+    def __call__(self, coords: np.ndarray) -> np.ndarray:
+        """Evaluate the arch at absolute coordinates along its axis."""
+        coords = np.asarray(coords, dtype=float)
+        offset = (coords - self.edge) * float(self.inward_sign)
+        # offset > 0: inside the overlap (ingrowing side);
+        # offset < 0: outside (extension side).
+        inside = np.exp(-offset / self.ingrowing_length)
+        outside = np.exp(offset / self.extension_length)
+        return np.where(offset >= 0.0, inside, outside)
+
+    def integral_over(self, lo: float, hi: float) -> float:
+        """Exact integral of the arch over ``[lo, hi]`` along its axis."""
+        if hi <= lo:
+            raise ValueError(f"invalid interval [{lo}, {hi}]")
+
+        def antiderivative(x: float) -> float:
+            offset = (x - self.edge) * float(self.inward_sign)
+            if offset >= 0.0:
+                value = self.ingrowing_length * (1.0 - np.exp(-offset / self.ingrowing_length))
+            else:
+                value = -self.extension_length * (1.0 - np.exp(offset / self.extension_length))
+            return float(self.inward_sign) * value
+
+        return antiderivative(hi) - antiderivative(lo)
+
+
+@dataclass(frozen=True)
+class TemplateInstance:
+    """One template: a rectangular support plus an optional arch profile.
+
+    ``profile is None`` denotes a flat template (constant value one).  The
+    profile, when present, also exposes :meth:`integral` over the panel
+    extent so the point-level reductions of the Galerkin integrator can use
+    the template's total moment.
+    """
+
+    panel: Panel
+    profile: "BoundArchProfile | None" = None
+
+    @property
+    def is_flat(self) -> bool:
+        """Whether the template carries a constant unit value."""
+        return self.profile is None
+
+    def moment(self) -> float:
+        """Total integral of the template over its support, ``\\int T ds``."""
+        if self.profile is None:
+            return self.panel.area
+        if self.profile.axis == "u":
+            return self.profile.integral() * self.panel.v_span
+        return self.profile.integral() * self.panel.u_span
+
+
+@dataclass(frozen=True)
+class BoundArchProfile:
+    """An :class:`ArchProfile` bound to the extent of its supporting panel.
+
+    The Galerkin integrator only needs point evaluation, the varying axis
+    and the integral over the support, so this thin wrapper precomputes the
+    support interval and satisfies the
+    :class:`repro.greens.galerkin.ShapeProfile` protocol.
+    """
+
+    arch: ArchProfile
+    support: tuple[float, float]
+
+    @property
+    def axis(self) -> str:
+        """Axis ('u' or 'v') the profile varies along."""
+        return self.arch.axis
+
+    def __call__(self, coords: np.ndarray) -> np.ndarray:
+        """Evaluate the bound profile at absolute coordinates."""
+        return self.arch(coords)
+
+    def integral(self) -> float:
+        """Integral of the profile over the supporting panel's extent."""
+        return self.arch.integral_over(self.support[0], self.support[1])
+
+
+def make_flat_template(panel: Panel) -> TemplateInstance:
+    """Convenience constructor for a flat template."""
+    return TemplateInstance(panel=panel, profile=None)
+
+
+def make_arch_template(panel: Panel, arch: ArchProfile) -> TemplateInstance:
+    """Convenience constructor binding an arch profile to its panel extent."""
+    support = panel.u_range if arch.axis == "u" else panel.v_range
+    return TemplateInstance(panel=panel, profile=BoundArchProfile(arch, support))

@@ -1,0 +1,20 @@
+"""Top-level public API of the reproduction.
+
+:class:`~repro.core.engine.CapacitanceExtractor` ties the packages together:
+instantiable-basis construction, parallel system setup, direct solve and
+capacitance post-processing, configured through
+:class:`~repro.core.config.ExtractionConfig`.
+"""
+
+from repro.core.config import ExtractionConfig, ParallelMode
+from repro.core.engine import CapacitanceExtractor
+from repro.core.results import ExtractionResult
+from repro.core.reference import reference_capacitance
+
+__all__ = [
+    "ExtractionConfig",
+    "ParallelMode",
+    "CapacitanceExtractor",
+    "ExtractionResult",
+    "reference_capacitance",
+]

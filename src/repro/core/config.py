@@ -1,0 +1,83 @@
+"""Configuration of the capacitance extractor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.accel.engine import AccelerationTechnique
+from repro.basis.instantiate import InstantiationConfig
+from repro.greens.policy import ApproximationPolicy
+
+__all__ = ["ParallelMode", "ExtractionConfig"]
+
+
+class ParallelMode(Enum):
+    """How the system-setup step is executed."""
+
+    SERIAL = "serial"
+    SHARED_MEMORY = "shared_memory"
+    DISTRIBUTED = "distributed"
+
+
+@dataclass
+class ExtractionConfig:
+    """All knobs of the instantiable-basis extractor.
+
+    Attributes
+    ----------
+    tolerance:
+        Target relative accuracy of the integral approximations (drives the
+        approximation-distance policy of Section 4.1).
+    acceleration:
+        Which integration acceleration technique of Section 4.2 to use for
+        the collocation evaluations (``None`` or ``ANALYTICAL`` disables
+        acceleration -- the "w/o accel." column of Table 2).
+    parallel_mode, num_nodes, use_processes:
+        Parallel execution of the system setup (Section 5).  With
+        ``use_processes=False`` the partitions are executed sequentially and
+        timed individually, which is what the simulated parallel machine
+        consumes.
+    instantiation:
+        Basis-instantiation knobs (crossing cut-off, face refinement,
+        ablation switches).
+    order_near, order_far:
+        Gauss orders of the quadrature fallbacks.
+    batch_size:
+        Template pairs per vectorised batch.
+    acceleration_options:
+        Extra keyword arguments forwarded to the acceleration evaluator
+        constructor (table resolutions, fit degrees, ...).
+    """
+
+    tolerance: float = 0.01
+    acceleration: AccelerationTechnique | str | None = None
+    parallel_mode: ParallelMode | str = ParallelMode.SERIAL
+    num_nodes: int = 1
+    use_processes: bool = False
+    instantiation: InstantiationConfig = field(default_factory=InstantiationConfig)
+    order_near: int = 6
+    order_far: int = 3
+    batch_size: int = 200_000
+    acceleration_options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.parallel_mode, str):
+            self.parallel_mode = ParallelMode(self.parallel_mode)
+        if isinstance(self.acceleration, str):
+            self.acceleration = AccelerationTechnique(self.acceleration)
+        if not (0.0 < self.tolerance < 1.0):
+            raise ValueError(f"tolerance must be in (0, 1), got {self.tolerance}")
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+
+    # ------------------------------------------------------------------
+    def policy(self) -> ApproximationPolicy:
+        """The approximation-distance policy implied by the tolerance."""
+        return ApproximationPolicy(tolerance=self.tolerance)
+
+    def technique(self) -> AccelerationTechnique:
+        """The effective acceleration technique (ANALYTICAL when disabled)."""
+        if self.acceleration is None:
+            return AccelerationTechnique.ANALYTICAL
+        return self.acceleration

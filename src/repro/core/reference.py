@@ -1,0 +1,52 @@
+"""Reference capacitance solutions.
+
+The paper validates the instantiable-basis results against a finely
+discretised, iteratively refined FASTCAP solution (Section 6).  This module
+exposes that reference path behind one function so examples, tests and
+benchmarks all use the same definition of "reference".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.layout import Layout
+from repro.pwc.refine import ReferenceResult, refined_reference
+from repro.pwc.solver import PWCSolver
+
+__all__ = ["reference_capacitance", "reference_result"]
+
+
+def reference_result(
+    layout: Layout,
+    cells_per_edge: int = 4,
+    convergence: float = 0.001,
+    max_panels: int = 4000,
+    max_iterations: int = 8,
+) -> ReferenceResult:
+    """Run the refined-reference loop and return the full result object."""
+    solver = PWCSolver(cells_per_edge=cells_per_edge)
+    return refined_reference(
+        layout,
+        solver=solver,
+        convergence=convergence,
+        max_panels=max_panels,
+        max_iterations=max_iterations,
+    )
+
+
+def reference_capacitance(
+    layout: Layout,
+    cells_per_edge: int = 4,
+    convergence: float = 0.001,
+    max_panels: int = 4000,
+    max_iterations: int = 8,
+) -> np.ndarray:
+    """Refined reference capacitance matrix of a layout (farad)."""
+    return reference_result(
+        layout,
+        cells_per_edge=cells_per_edge,
+        convergence=convergence,
+        max_panels=max_panels,
+        max_iterations=max_iterations,
+    ).capacitance

@@ -1,0 +1,99 @@
+"""Extraction results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.assembly.shared_memory import ParallelSetupResult
+
+__all__ = ["ExtractionResult"]
+
+
+@dataclass
+class ExtractionResult:
+    """Outcome of one capacitance extraction.
+
+    Attributes
+    ----------
+    capacitance:
+        Short-circuit capacitance matrix in farad, ordered like
+        ``conductor_names``.
+    conductor_names:
+        Conductor names in matrix order.
+    num_basis_functions, num_templates:
+        The ``N`` and ``M`` of the instantiable basis.
+    setup_seconds, solve_seconds:
+        Wall-clock time of the system setup (matrix fill) and of the direct
+        solve plus capacitance post-processing.
+    memory_bytes:
+        Memory of the stored system matrix plus any acceleration tables.
+    parallel_setup:
+        Per-node workload/timing details when a parallel mode was used.
+    metadata:
+        Free-form extras (basis summary, category counts, configuration echo).
+    """
+
+    capacitance: np.ndarray
+    conductor_names: list[str]
+    num_basis_functions: int
+    num_templates: int
+    setup_seconds: float
+    solve_seconds: float
+    memory_bytes: int
+    parallel_setup: ParallelSetupResult | None = None
+    metadata: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        """Setup plus solve time (the paper's "Total time" row)."""
+        return self.setup_seconds + self.solve_seconds
+
+    @property
+    def setup_fraction(self) -> float:
+        """Fraction of the runtime spent in the system setup.
+
+        The paper reports >95 % for instantiable basis functions, which is
+        the property that makes the method embarrassingly parallel.
+        """
+        total = self.total_seconds
+        return self.setup_seconds / total if total > 0.0 else 0.0
+
+    # ------------------------------------------------------------------
+    def index_of(self, name: str) -> int:
+        """Index of a conductor by name."""
+        try:
+            return self.conductor_names.index(name)
+        except ValueError:
+            raise KeyError(f"no conductor named {name!r}; have {self.conductor_names}") from None
+
+    def self_capacitance(self, name: str) -> float:
+        """Diagonal (total) capacitance of a conductor, in farad."""
+        index = self.index_of(name)
+        return float(self.capacitance[index, index])
+
+    def coupling_capacitance(self, first: str, second: str) -> float:
+        """Coupling capacitance between two conductors, in farad (positive)."""
+        i, j = self.index_of(first), self.index_of(second)
+        if i == j:
+            raise ValueError("coupling capacitance requires two distinct conductors")
+        return float(-self.capacitance[i, j])
+
+    def capacitance_femtofarad(self) -> np.ndarray:
+        """The capacitance matrix scaled to femtofarad."""
+        return self.capacitance * 1e15
+
+    def as_dict(self) -> dict:
+        """Plain-dictionary summary for CSV/JSON reporting."""
+        return {
+            "conductors": list(self.conductor_names),
+            "num_basis_functions": self.num_basis_functions,
+            "num_templates": self.num_templates,
+            "setup_seconds": self.setup_seconds,
+            "solve_seconds": self.solve_seconds,
+            "total_seconds": self.total_seconds,
+            "memory_bytes": self.memory_bytes,
+            "capacitance_farad": self.capacitance.tolist(),
+        }

@@ -1,0 +1,194 @@
+"""Multipole-accelerated matrix-vector product.
+
+The collocation BEM matrix ``P`` has entries
+``P_ij = (1/4 pi eps) \\int_j ds' / |r_i - r'|`` (potential at the centroid of
+panel ``i`` due to a unit charge density on panel ``j``).  Storing ``P``
+densely costs ``O(N^2)`` memory; FASTCAP instead evaluates ``P x`` on the fly:
+
+* *near-field* interactions (clusters that fail the multipole acceptance
+  criterion) are computed exactly with the closed-form rectangle potential
+  and stored once as small dense blocks;
+* *far-field* interactions are approximated by evaluating the source
+  cluster's Cartesian multipole expansion (monopole + dipole + quadrupole)
+  at the target panel centroids.
+
+The acceptance criterion is the classic Barnes-Hut style ratio test
+``(r_source + r_target) / distance < theta``; ``theta`` trades accuracy for
+speed exactly like FASTCAP's expansion order does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fastcap.octree import ClusterNode, ClusterTree
+from repro.geometry.panel import Panel
+from repro.greens.collocation import collocation_potential
+
+__all__ = ["MultipoleOperator"]
+
+
+@dataclass
+class _NearBlock:
+    """One exactly-evaluated near-field interaction block."""
+
+    target_indices: np.ndarray
+    source_indices: np.ndarray
+    block: np.ndarray
+
+
+@dataclass
+class _FarInteraction:
+    """One far-field interaction: a source cluster seen by a target leaf."""
+
+    target_leaf: int
+    source_node: ClusterNode
+
+
+class MultipoleOperator:
+    """The multipole-accelerated collocation operator ``x -> P x``.
+
+    Parameters
+    ----------
+    panels:
+        Discretisation panels.
+    permittivity:
+        Absolute permittivity of the medium.
+    theta:
+        Multipole acceptance criterion; smaller is more accurate and slower.
+    max_leaf_size:
+        Leaf size of the cluster tree.
+    """
+
+    def __init__(
+        self,
+        panels: list[Panel],
+        permittivity: float,
+        theta: float = 0.5,
+        max_leaf_size: int = 32,
+    ):
+        if not (0.0 < theta < 1.0):
+            raise ValueError(f"theta must be in (0, 1), got {theta}")
+        if permittivity <= 0.0:
+            raise ValueError(f"permittivity must be positive, got {permittivity}")
+        self.panels = list(panels)
+        self.permittivity = float(permittivity)
+        self.theta = float(theta)
+        self.tree = ClusterTree(self.panels, max_leaf_size=max_leaf_size)
+        self.prefactor = 1.0 / (4.0 * math.pi * self.permittivity)
+        self.areas = self.tree.areas
+        self.centroids = self.tree.centroids
+        self.near_blocks: list[_NearBlock] = []
+        self.far_interactions: list[_FarInteraction] = []
+        self._build_interaction_lists()
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """System dimension (number of panels)."""
+        return len(self.panels)
+
+    @property
+    def near_memory_bytes(self) -> int:
+        """Memory of the stored near-field blocks (the dominant storage)."""
+        return int(sum(block.block.nbytes for block in self.near_blocks))
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total auxiliary memory: near blocks plus tree moments."""
+        moments = self.tree.num_nodes * (1 + 3 + 9) * 8
+        return self.near_memory_bytes + int(moments)
+
+    def diagonal(self) -> np.ndarray:
+        """Diagonal of ``P`` (used as the Jacobi preconditioner for GMRES)."""
+        diag = np.empty(self.size)
+        for target_index, panel in enumerate(self.panels):
+            diag[target_index] = self.prefactor * collocation_potential(
+                panel, panel.centroid[None, :]
+            )[0]
+        return diag
+
+    # ------------------------------------------------------------------
+    def _build_interaction_lists(self) -> None:
+        """Dual traversal: classify every (target leaf, source cluster) pair."""
+        for leaf_index, leaf in enumerate(self.tree.leaves):
+            near_sources: list[np.ndarray] = []
+            self._classify(leaf_index, leaf, self.tree.root, near_sources)
+            if near_sources:
+                source_indices = np.concatenate(near_sources)
+                self._add_near_block(leaf, source_indices)
+
+    def _classify(
+        self,
+        leaf_index: int,
+        leaf: ClusterNode,
+        source: ClusterNode,
+        near_sources: list[np.ndarray],
+    ) -> None:
+        distance = float(np.linalg.norm(source.center - leaf.center))
+        if distance > 0.0 and (source.radius + leaf.radius) / distance < self.theta:
+            self.far_interactions.append(_FarInteraction(target_leaf=leaf_index, source_node=source))
+            return
+        if source.is_leaf:
+            near_sources.append(source.indices)
+            return
+        for child in source.children:
+            self._classify(leaf_index, leaf, child, near_sources)
+
+    def _add_near_block(self, leaf: ClusterNode, source_indices: np.ndarray) -> None:
+        """Exact near-field block: closed-form potentials of source panels."""
+        targets = leaf.indices
+        block = np.empty((targets.size, source_indices.size))
+        target_points = self.centroids[targets]
+        for column, source_index in enumerate(source_indices):
+            block[:, column] = collocation_potential(self.panels[int(source_index)], target_points)
+        self.near_blocks.append(
+            _NearBlock(
+                target_indices=targets,
+                source_indices=source_indices,
+                block=self.prefactor * block,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def matvec(self, densities: np.ndarray) -> np.ndarray:
+        """Apply the operator to a charge-density vector."""
+        densities = np.asarray(densities, dtype=float).ravel()
+        if densities.size != self.size:
+            raise ValueError(f"expected vector of size {self.size}, got {densities.size}")
+        potentials = np.zeros(self.size)
+
+        # Near field: exact blocks.
+        for near in self.near_blocks:
+            potentials[near.target_indices] += near.block @ densities[near.source_indices]
+
+        # Far field: multipole expansions of total charges.
+        charges = densities * self.areas
+        self.tree.compute_moments(charges)
+        for interaction in self.far_interactions:
+            leaf = self.tree.leaves[interaction.target_leaf]
+            node = interaction.source_node
+            targets = leaf.indices
+            rel = self.centroids[targets] - node.center
+            dist2 = np.sum(rel * rel, axis=1)
+            dist = np.sqrt(dist2)
+            inv_dist = 1.0 / dist
+            value = node.monopole * inv_dist
+            value += (rel @ node.dipole) / (dist2 * dist)
+            # Quadrupole: 0.5 * S_ab (3 r_a r_b - r^2 delta_ab) / r^5.
+            quad = np.einsum("na,ab,nb->n", rel, node.quadrupole, rel)
+            trace = np.trace(node.quadrupole)
+            value += 0.5 * (3.0 * quad - dist2 * trace) / (dist2 * dist2 * dist)
+            potentials[targets] += self.prefactor * value
+        return potentials
+
+    # ------------------------------------------------------------------
+    def dense_reference(self) -> np.ndarray:
+        """Densely assembled collocation matrix (tests only; O(N^2) memory)."""
+        matrix = np.empty((self.size, self.size))
+        for column, panel in enumerate(self.panels):
+            matrix[:, column] = self.prefactor * collocation_potential(panel, self.centroids)
+        return matrix

@@ -1,0 +1,173 @@
+"""Hierarchical clustering (octree) of panels with Cartesian multipole moments.
+
+Panels are clustered by recursive bisection of their centroid bounding box
+into octants.  Each node stores the indices of its panels, its geometric
+centre and radius, and -- during the upward pass of the matrix-vector
+product -- the Cartesian multipole moments of the charge it contains:
+
+* monopole  ``Q     = sum_j q_j``
+* dipole    ``D_a   = sum_j q_j (r_j - c)_a``
+* quadrupole ``S_ab = sum_j q_j (r_j - c)_a (r_j - c)_b``
+
+where ``q_j`` is the panel charge and ``c`` the node centre.  The far-field
+potential of the node is evaluated from these moments in
+:mod:`repro.fastcap.fmm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.panel import Panel
+
+__all__ = ["ClusterNode", "ClusterTree"]
+
+
+@dataclass
+class ClusterNode:
+    """One node of the cluster tree."""
+
+    indices: np.ndarray
+    center: np.ndarray
+    radius: float
+    children: list["ClusterNode"] = field(default_factory=list)
+    # Multipole moments (filled by the upward pass).
+    monopole: float = 0.0
+    dipole: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    quadrupole: np.ndarray = field(default_factory=lambda: np.zeros((3, 3)))
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node has no children."""
+        return not self.children
+
+    @property
+    def size(self) -> int:
+        """Number of panels contained in the node."""
+        return int(self.indices.size)
+
+
+class ClusterTree:
+    """Octree over panel centroids.
+
+    Parameters
+    ----------
+    panels:
+        The discretisation panels.
+    max_leaf_size:
+        Nodes with at most this many panels are not subdivided further.
+    max_depth:
+        Hard cap on the recursion depth.
+    """
+
+    def __init__(self, panels: Sequence[Panel], max_leaf_size: int = 32, max_depth: int = 12):
+        if max_leaf_size < 1:
+            raise ValueError(f"max_leaf_size must be >= 1, got {max_leaf_size}")
+        self.panels = list(panels)
+        if not self.panels:
+            raise ValueError("cannot build a cluster tree without panels")
+        self.max_leaf_size = int(max_leaf_size)
+        self.max_depth = int(max_depth)
+        self.centroids = np.array([p.centroid for p in self.panels])
+        self.areas = np.array([p.area for p in self.panels])
+        # Panel radius: half diagonal, used to keep the acceptance criterion
+        # conservative for panels that stick out of their cluster.
+        self.panel_radii = 0.5 * np.array([p.diagonal for p in self.panels])
+        self.root = self._build(np.arange(len(self.panels), dtype=np.intp), depth=0)
+        self.leaves = [node for node in self.iter_nodes() if node.is_leaf]
+
+    # ------------------------------------------------------------------
+    def _build(self, indices: np.ndarray, depth: int) -> ClusterNode:
+        """Recursively build the tree."""
+        points = self.centroids[indices]
+        lo = points.min(axis=0)
+        hi = points.max(axis=0)
+        center = 0.5 * (lo + hi)
+        radius = float(
+            np.max(np.linalg.norm(points - center, axis=1) + self.panel_radii[indices])
+        )
+        node = ClusterNode(indices=indices, center=center, radius=radius)
+        if indices.size <= self.max_leaf_size or depth >= self.max_depth:
+            return node
+        # Split into octants around the centre; drop empty octants.
+        octant = (
+            (points[:, 0] > center[0]).astype(np.intp)
+            + 2 * (points[:, 1] > center[1]).astype(np.intp)
+            + 4 * (points[:, 2] > center[2]).astype(np.intp)
+        )
+        for code in range(8):
+            mask = octant == code
+            if not np.any(mask):
+                continue
+            child_indices = indices[mask]
+            if child_indices.size == indices.size:
+                # Degenerate split (all centroids coincide): stop here.
+                return node
+            node.children.append(self._build(child_indices, depth + 1))
+        return node
+
+    # ------------------------------------------------------------------
+    def iter_nodes(self):
+        """Yield every node of the tree (pre-order)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of tree nodes."""
+        return sum(1 for _ in self.iter_nodes())
+
+    @property
+    def depth(self) -> int:
+        """Maximum depth of the tree."""
+
+        def _depth(node: ClusterNode) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + max(_depth(child) for child in node.children)
+
+        return _depth(self.root)
+
+    # ------------------------------------------------------------------
+    def compute_moments(self, charges: np.ndarray) -> None:
+        """Upward pass: fill the multipole moments for given panel charges.
+
+        ``charges`` are total panel charges (charge density times area).
+        Moments are accumulated bottom-up so every node sums its children's
+        moments shifted to its own centre.
+        """
+        charges = np.asarray(charges, dtype=float)
+        if charges.shape != (len(self.panels),):
+            raise ValueError(
+                f"charges must have shape ({len(self.panels)},), got {charges.shape}"
+            )
+        self._moments_recursive(self.root, charges)
+
+    def _moments_recursive(self, node: ClusterNode, charges: np.ndarray) -> None:
+        if node.is_leaf:
+            q = charges[node.indices]
+            rel = self.centroids[node.indices] - node.center
+            node.monopole = float(q.sum())
+            node.dipole = rel.T @ q
+            node.quadrupole = (rel * q[:, None]).T @ rel
+            return
+        node.monopole = 0.0
+        node.dipole = np.zeros(3)
+        node.quadrupole = np.zeros((3, 3))
+        for child in node.children:
+            self._moments_recursive(child, charges)
+            shift = child.center - node.center
+            node.monopole += child.monopole
+            node.dipole += child.dipole + child.monopole * shift
+            node.quadrupole += (
+                child.quadrupole
+                + np.outer(child.dipole, shift)
+                + np.outer(shift, child.dipole)
+                + child.monopole * np.outer(shift, shift)
+            )

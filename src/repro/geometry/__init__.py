@@ -1,0 +1,30 @@
+"""Manhattan interconnect geometry substrate.
+
+All geometry in this package is axis aligned ("Manhattan"), matching the
+assumption under which instantiable basis functions are constructed
+(paper, Section 2.2).  The basic primitives are:
+
+* :class:`~repro.geometry.panel.Panel` -- an axis-aligned rectangle in 3-D,
+  the integration unit of the BEM.
+* :class:`~repro.geometry.conductor.Box` -- an axis-aligned rectangular box.
+* :class:`~repro.geometry.conductor.Conductor` -- a named union of boxes.
+* :class:`~repro.geometry.layout.Layout` -- a collection of conductors in a
+  uniform dielectric.
+
+:mod:`repro.geometry.generators` builds the structures used in the paper's
+evaluation (crossing wires, bus arrays, a transistor interconnect block).
+"""
+
+from repro.geometry.panel import Panel
+from repro.geometry.conductor import Box, Conductor
+from repro.geometry.layout import Layout
+from repro.geometry.crossings import Crossing, find_crossings
+
+__all__ = [
+    "Panel",
+    "Box",
+    "Conductor",
+    "Layout",
+    "Crossing",
+    "find_crossings",
+]

@@ -1,0 +1,221 @@
+"""Boxes and conductors.
+
+Interconnect conductors in Manhattan layouts are unions of axis-aligned
+rectangular boxes (wire segments, vias, contact plates).  A
+:class:`Conductor` owns one or more :class:`Box` primitives and exposes its
+bounding surface as a list of :class:`~repro.geometry.panel.Panel` objects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.panel import Panel, tangential_axes
+
+__all__ = ["Box", "Conductor"]
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned rectangular box defined by two opposite corners."""
+
+    lo: tuple[float, float, float]
+    hi: tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        lo = np.asarray(self.lo, dtype=float)
+        hi = np.asarray(self.hi, dtype=float)
+        if lo.shape != (3,) or hi.shape != (3,):
+            raise ValueError("Box corners must be 3-vectors")
+        if not np.all(hi > lo):
+            raise ValueError(f"Box must have positive extent in every axis: lo={self.lo}, hi={self.hi}")
+        object.__setattr__(self, "lo", tuple(float(x) for x in lo))
+        object.__setattr__(self, "hi", tuple(float(x) for x in hi))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_origin_size(origin: Sequence[float], size: Sequence[float]) -> "Box":
+        """Build a box from its minimum corner and edge lengths."""
+        origin = np.asarray(origin, dtype=float)
+        size = np.asarray(size, dtype=float)
+        return Box(tuple(origin), tuple(origin + size))
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> np.ndarray:
+        """Edge lengths along x, y, z."""
+        return np.asarray(self.hi) - np.asarray(self.lo)
+
+    @property
+    def center(self) -> np.ndarray:
+        """Centre point of the box."""
+        return 0.5 * (np.asarray(self.hi) + np.asarray(self.lo))
+
+    @property
+    def volume(self) -> float:
+        """Box volume."""
+        return float(np.prod(self.size))
+
+    @property
+    def surface_area(self) -> float:
+        """Total surface area of the box."""
+        sx, sy, sz = self.size
+        return 2.0 * (sx * sy + sy * sz + sz * sx)
+
+    def faces(self, conductor: int = -1) -> list[Panel]:
+        """Return the six faces of the box as panels with outward normals."""
+        panels: list[Panel] = []
+        lo = np.asarray(self.lo)
+        hi = np.asarray(self.hi)
+        for axis in range(3):
+            ua, va = tangential_axes(axis)
+            for offset, outward in ((lo[axis], -1), (hi[axis], +1)):
+                panels.append(
+                    Panel(
+                        normal_axis=axis,
+                        offset=float(offset),
+                        u_range=(float(lo[ua]), float(hi[ua])),
+                        v_range=(float(lo[va]), float(hi[va])),
+                        conductor=conductor,
+                        outward=outward,
+                    )
+                )
+        return panels
+
+    def contains_point(self, point: Sequence[float], tol: float = 0.0) -> bool:
+        """Whether ``point`` lies inside (or on the surface of) the box."""
+        p = np.asarray(point, dtype=float)
+        return bool(np.all(p >= np.asarray(self.lo) - tol) and np.all(p <= np.asarray(self.hi) + tol))
+
+    def overlaps(self, other: "Box", tol: float = 0.0) -> bool:
+        """Whether two boxes overlap (open-interval test with tolerance)."""
+        lo_a, hi_a = np.asarray(self.lo), np.asarray(self.hi)
+        lo_b, hi_b = np.asarray(other.lo), np.asarray(other.hi)
+        return bool(np.all(hi_a > lo_b + tol) and np.all(hi_b > lo_a + tol))
+
+    def distance_to(self, other: "Box") -> float:
+        """Minimum distance between two boxes (0 when they touch/overlap)."""
+        lo_a, hi_a = np.asarray(self.lo), np.asarray(self.hi)
+        lo_b, hi_b = np.asarray(other.lo), np.asarray(other.hi)
+        gap = np.maximum(0.0, np.maximum(lo_a - hi_b, lo_b - hi_a))
+        return float(np.linalg.norm(gap))
+
+    def translated(self, delta: Sequence[float]) -> "Box":
+        """Return a copy of the box translated by ``delta``."""
+        d = np.asarray(delta, dtype=float)
+        return Box(tuple(np.asarray(self.lo) + d), tuple(np.asarray(self.hi) + d))
+
+
+class Conductor:
+    """A named conductor made of one or more axis-aligned boxes.
+
+    Parameters
+    ----------
+    name:
+        Human-readable net name (e.g. ``"M1_bus_3"``).
+    boxes:
+        The boxes whose union forms the conductor.  Boxes of the same
+        conductor may touch or overlap; interior faces that are buried
+        inside another box of the same conductor are removed by
+        :meth:`surface_panels` because they carry no free charge.
+    """
+
+    def __init__(self, name: str, boxes: Iterable[Box]):
+        self.name = str(name)
+        self.boxes: list[Box] = list(boxes)
+        if not self.boxes:
+            raise ValueError(f"conductor {name!r} must contain at least one box")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def wire(name: str, start: Sequence[float], direction: int, length: float,
+             width: float, thickness: float) -> "Conductor":
+        """Build a straight wire segment.
+
+        Parameters
+        ----------
+        start:
+            Minimum corner of the wire.
+        direction:
+            Routing axis (0=x, 1=y); the wire extends ``length`` along it.
+        length, width, thickness:
+            Wire length (routing direction), width (the other horizontal
+            axis) and thickness (z).
+        """
+        if direction not in (0, 1):
+            raise ValueError(f"wire direction must be 0 (x) or 1 (y), got {direction}")
+        size = np.empty(3)
+        size[direction] = length
+        size[1 - direction] = width
+        size[2] = thickness
+        return Conductor(name, [Box.from_origin_size(start, size)])
+
+    # ------------------------------------------------------------------
+    @property
+    def bounding_box(self) -> Box:
+        """Axis-aligned bounding box of the whole conductor."""
+        lo = np.min([np.asarray(b.lo) for b in self.boxes], axis=0)
+        hi = np.max([np.asarray(b.hi) for b in self.boxes], axis=0)
+        return Box(tuple(lo), tuple(hi))
+
+    @property
+    def surface_area(self) -> float:
+        """Total exposed surface area (after removing buried faces)."""
+        return sum(p.area for p in self.surface_panels())
+
+    def surface_panels(self, conductor_index: int = -1) -> list[Panel]:
+        """Return the exposed surface of the conductor as panels.
+
+        Faces of a box whose entire area is buried inside another box of the
+        same conductor are dropped; partially covered faces are kept whole
+        (a conservative choice that only matters for overlapping boxes of
+        the same net, where the extra area carries negligible charge because
+        the face is at the conductor potential on both sides).
+        """
+        panels: list[Panel] = []
+        for i, box in enumerate(self.boxes):
+            for face in box.faces(conductor=conductor_index):
+                if not self._face_is_buried(face, skip=i):
+                    panels.append(face)
+        return panels
+
+    def _face_is_buried(self, face: Panel, skip: int) -> bool:
+        """Whether a face lies entirely inside another box of this conductor."""
+        centroid = face.centroid
+        eps = 1e-12 + 1e-9 * float(np.max(np.abs(centroid)))
+        inward = -face.normal * eps
+        lo, hi = face.bounds()
+        for j, other in enumerate(self.boxes):
+            if j == skip:
+                continue
+            o_lo, o_hi = np.asarray(other.lo), np.asarray(other.hi)
+            # The face is buried when its full rectangle is inside the other
+            # box and the other box extends past the face plane on the
+            # outward side (so the face is interior, not on the union surface).
+            if np.all(lo >= o_lo - eps) and np.all(hi <= o_hi + eps):
+                axis = face.normal_axis
+                if face.outward > 0 and o_hi[axis] > face.offset + eps:
+                    return True
+                if face.outward < 0 and o_lo[axis] < face.offset - eps:
+                    return True
+                # Exactly flush faces between touching boxes of the same
+                # conductor are also interior: check the point just inside.
+                probe = centroid + inward
+                if other.contains_point(probe):
+                    return True
+        return False
+
+    def contains_point(self, point: Sequence[float], tol: float = 0.0) -> bool:
+        """Whether ``point`` lies inside any box of this conductor."""
+        return any(box.contains_point(point, tol=tol) for box in self.boxes)
+
+    def translated(self, delta: Sequence[float]) -> "Conductor":
+        """Return a translated copy of the conductor."""
+        return Conductor(self.name, [b.translated(delta) for b in self.boxes])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Conductor({self.name!r}, boxes={len(self.boxes)})"

@@ -1,0 +1,249 @@
+"""Detection of wire crossings and lateral neighbours.
+
+Instantiable basis functions place *induced* basis functions "in the
+neighbourhood of wire intersections" (paper Section 2.2).  A crossing is the
+situation of Figure 1: two wires on different routing layers whose plan-view
+footprints overlap, separated by a vertical gap ``h``.  This module finds
+all such crossings in a layout, together with the overlap rectangle and the
+pair of facing faces, which is exactly the information the basis
+instantiation needs (the parameter vector ``p`` of the arch templates).
+
+Lateral (same-layer, side-by-side) neighbour pairs are also detected; they
+drive where additional induced shapes and refined face bases are worthwhile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.geometry.conductor import Box
+from repro.geometry.layout import Layout
+from repro.geometry.panel import Panel
+
+__all__ = ["Crossing", "LateralPair", "find_crossings", "find_lateral_pairs"]
+
+
+@dataclass(frozen=True)
+class Crossing:
+    """A vertical crossing between two conductors.
+
+    Attributes
+    ----------
+    lower, upper:
+        Conductor indices of the lower and upper wires.
+    lower_box, upper_box:
+        The specific boxes that overlap in plan view.
+    x_overlap, y_overlap:
+        Plan-view overlap intervals ``(lo, hi)`` along x and y.
+    separation:
+        Vertical gap ``h`` between the top face of the lower box and the
+        bottom face of the upper box (paper Figure 1).
+    """
+
+    lower: int
+    upper: int
+    lower_box: Box
+    upper_box: Box
+    x_overlap: tuple[float, float]
+    y_overlap: tuple[float, float]
+    separation: float
+
+    @property
+    def overlap_area(self) -> float:
+        """Area of the plan-view overlap rectangle."""
+        return (self.x_overlap[1] - self.x_overlap[0]) * (self.y_overlap[1] - self.y_overlap[0])
+
+    @property
+    def overlap_center(self) -> np.ndarray:
+        """Plan-view centre ``(x, y)`` of the overlap rectangle."""
+        return np.array(
+            [
+                0.5 * (self.x_overlap[0] + self.x_overlap[1]),
+                0.5 * (self.y_overlap[0] + self.y_overlap[1]),
+            ]
+        )
+
+    def lower_facing_panel(self) -> Panel:
+        """Top face of the lower box (the face carrying the induced charge)."""
+        lo = np.asarray(self.lower_box.lo)
+        hi = np.asarray(self.lower_box.hi)
+        return Panel(
+            normal_axis=2,
+            offset=float(hi[2]),
+            u_range=(float(lo[0]), float(hi[0])),
+            v_range=(float(lo[1]), float(hi[1])),
+            conductor=self.lower,
+            outward=+1,
+        )
+
+    def upper_facing_panel(self) -> Panel:
+        """Bottom face of the upper box."""
+        lo = np.asarray(self.upper_box.lo)
+        hi = np.asarray(self.upper_box.hi)
+        return Panel(
+            normal_axis=2,
+            offset=float(lo[2]),
+            u_range=(float(lo[0]), float(hi[0])),
+            v_range=(float(lo[1]), float(hi[1])),
+            conductor=self.upper,
+            outward=-1,
+        )
+
+
+@dataclass(frozen=True)
+class LateralPair:
+    """A pair of boxes on the same layer that run side by side.
+
+    Attributes
+    ----------
+    first, second:
+        Conductor indices.
+    gap:
+        Lateral spacing between the facing side walls.
+    overlap_length:
+        Length over which the two boxes run parallel.
+    axis:
+        The routing axis along which the boxes overlap (0=x or 1=y).
+    """
+
+    first: int
+    second: int
+    first_box: Box
+    second_box: Box
+    gap: float
+    overlap_length: float
+    axis: int
+
+
+def _interval_overlap(a: tuple[float, float], b: tuple[float, float]) -> tuple[float, float] | None:
+    """Return the overlap of two closed intervals, or None when disjoint."""
+    lo = max(a[0], b[0])
+    hi = min(a[1], b[1])
+    if hi <= lo:
+        return None
+    return (lo, hi)
+
+
+def find_crossings(
+    layout: Layout,
+    max_separation: float | None = None,
+    min_overlap_area: float = 0.0,
+) -> list[Crossing]:
+    """Find all vertical crossings between distinct conductors.
+
+    Parameters
+    ----------
+    layout:
+        The layout to analyse.
+    max_separation:
+        Ignore crossings whose vertical gap exceeds this value (the induced
+        charge, and hence the arch templates, become negligible at large
+        separations).  ``None`` keeps every crossing.
+    min_overlap_area:
+        Ignore crossings whose plan-view overlap is smaller than this area.
+    """
+    crossings: list[Crossing] = []
+    conductors = layout.conductors
+    for i in range(len(conductors)):
+        for j in range(len(conductors)):
+            if i == j:
+                continue
+            for box_a in conductors[i].boxes:
+                for box_b in conductors[j].boxes:
+                    # Require A strictly below B.
+                    if box_a.hi[2] > box_b.lo[2] + 1e-18:
+                        continue
+                    x_ov = _interval_overlap((box_a.lo[0], box_a.hi[0]), (box_b.lo[0], box_b.hi[0]))
+                    y_ov = _interval_overlap((box_a.lo[1], box_a.hi[1]), (box_b.lo[1], box_b.hi[1]))
+                    if x_ov is None or y_ov is None:
+                        continue
+                    separation = box_b.lo[2] - box_a.hi[2]
+                    if max_separation is not None and separation > max_separation:
+                        continue
+                    area = (x_ov[1] - x_ov[0]) * (y_ov[1] - y_ov[0])
+                    if area < min_overlap_area:
+                        continue
+                    crossings.append(
+                        Crossing(
+                            lower=i,
+                            upper=j,
+                            lower_box=box_a,
+                            upper_box=box_b,
+                            x_overlap=x_ov,
+                            y_overlap=y_ov,
+                            separation=float(separation),
+                        )
+                    )
+    return crossings
+
+
+def find_lateral_pairs(
+    layout: Layout,
+    max_gap: float | None = None,
+) -> list[LateralPair]:
+    """Find pairs of boxes on the same layer running side by side.
+
+    Two boxes are a lateral pair when their z extents overlap, their
+    footprints do not overlap, and they overlap along exactly one horizontal
+    axis (so they face each other across a gap along the other axis).
+    """
+    pairs: list[LateralPair] = []
+    conductors = layout.conductors
+    for i in range(len(conductors)):
+        for j in range(i + 1, len(conductors)):
+            for box_a in conductors[i].boxes:
+                for box_b in conductors[j].boxes:
+                    z_ov = _interval_overlap((box_a.lo[2], box_a.hi[2]), (box_b.lo[2], box_b.hi[2]))
+                    if z_ov is None:
+                        continue
+                    x_ov = _interval_overlap((box_a.lo[0], box_a.hi[0]), (box_b.lo[0], box_b.hi[0]))
+                    y_ov = _interval_overlap((box_a.lo[1], box_a.hi[1]), (box_b.lo[1], box_b.hi[1]))
+                    if (x_ov is None) == (y_ov is None):
+                        # Either fully overlapping footprints (a short / stacked
+                        # boxes) or diagonal neighbours: neither is a lateral pair.
+                        continue
+                    if x_ov is not None:
+                        axis = 0
+                        overlap_length = x_ov[1] - x_ov[0]
+                        gap = max(box_a.lo[1] - box_b.hi[1], box_b.lo[1] - box_a.hi[1])
+                    else:
+                        axis = 1
+                        overlap_length = y_ov[1] - y_ov[0]
+                        gap = max(box_a.lo[0] - box_b.hi[0], box_b.lo[0] - box_a.hi[0])
+                    gap = max(0.0, float(gap))
+                    if max_gap is not None and gap > max_gap:
+                        continue
+                    pairs.append(
+                        LateralPair(
+                            first=i,
+                            second=j,
+                            first_box=box_a,
+                            second_box=box_b,
+                            gap=gap,
+                            overlap_length=float(overlap_length),
+                            axis=axis,
+                        )
+                    )
+    return pairs
+
+
+def crossing_statistics(crossings: Iterable[Crossing]) -> dict[str, float]:
+    """Summarise a set of crossings (counts, separation range, overlap area).
+
+    Useful for sizing the template library before instantiation.
+    """
+    crossings = list(crossings)
+    if not crossings:
+        return {"count": 0, "min_separation": 0.0, "max_separation": 0.0, "total_overlap_area": 0.0}
+    separations = np.array([c.separation for c in crossings])
+    areas = np.array([c.overlap_area for c in crossings])
+    return {
+        "count": float(len(crossings)),
+        "min_separation": float(separations.min()),
+        "max_separation": float(separations.max()),
+        "mean_separation": float(separations.mean()),
+        "total_overlap_area": float(areas.sum()),
+    }

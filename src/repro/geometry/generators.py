@@ -1,0 +1,349 @@
+"""Generators for the structures used in the paper's evaluation.
+
+* :func:`crossing_wires` -- the elementary two-wire crossing of Figure 1,
+  also the canonical problem from which arch shapes are extracted.
+* :func:`bus_crossing` -- the n x m crossing-bus array of Figure 7 (right);
+  ``bus_crossing(24, 24)`` is the structure of Table 3 / Figure 8.
+* :func:`transistor_interconnect` -- a synthetic multi-layer transistor-cell
+  interconnect block standing in for the industry-provided structure of
+  Figure 7 (left) / Table 2 (see DESIGN.md, substitution table).
+* :func:`parallel_plates`, :func:`plate_over_ground`, :func:`single_plate`,
+  :func:`comb_capacitor` -- classic verification structures with known or
+  easily bounded capacitances, used by the test-suite.
+
+All dimensions are in metres; the defaults are micron-scale interconnect
+dimensions similar to those plotted in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.conductor import Box, Conductor
+from repro.geometry.layout import Layout
+
+__all__ = [
+    "crossing_wires",
+    "bus_crossing",
+    "transistor_interconnect",
+    "parallel_plates",
+    "plate_over_ground",
+    "single_plate",
+    "comb_capacitor",
+    "wire_array",
+]
+
+#: One micron, the natural length unit of the paper's examples.
+UM = 1e-6
+
+
+def crossing_wires(
+    separation: float = 1.0 * UM,
+    width: float = 1.0 * UM,
+    thickness: float = 1.0 * UM,
+    length: float = 10.0 * UM,
+    relative_permittivity: float = 1.0,
+) -> Layout:
+    """Build the elementary pair of crossing wires of Figure 1.
+
+    The *source* (bottom) wire runs along x; the *target* (top) wire runs
+    along y and passes over the centre of the bottom wire at a vertical gap
+    of ``separation``.
+    """
+    _require_positive(separation=separation, width=width, thickness=thickness, length=length)
+    half = length / 2.0
+    bottom = Conductor(
+        "source",
+        [Box((-half, -width / 2.0, 0.0), (half, width / 2.0, thickness))],
+    )
+    top = Conductor(
+        "target",
+        [
+            Box(
+                (-width / 2.0, -half, thickness + separation),
+                (width / 2.0, half, 2.0 * thickness + separation),
+            )
+        ],
+    )
+    return Layout([bottom, top], relative_permittivity=relative_permittivity)
+
+
+def bus_crossing(
+    n_lower: int = 24,
+    n_upper: int = 24,
+    width: float = 1.0 * UM,
+    spacing: float = 1.0 * UM,
+    thickness: float = 1.0 * UM,
+    separation: float = 1.0 * UM,
+    margin: float = 1.0 * UM,
+    relative_permittivity: float = 1.0,
+) -> Layout:
+    """Build an ``n_lower x n_upper`` crossing bus (Figure 7, right).
+
+    ``n_lower`` wires run along x on the lower layer and ``n_upper`` wires
+    run along y on the upper layer.  Wires are ``width`` wide on a
+    ``width + spacing`` pitch, and the two layers are separated vertically by
+    ``separation``.  Lower wires are named ``lower_<i>``; upper wires
+    ``upper_<j>``.
+    """
+    _require_positive(
+        width=width, spacing=spacing, thickness=thickness, separation=separation, margin=margin
+    )
+    if n_lower < 1 or n_upper < 1:
+        raise ValueError(f"bus sizes must be >= 1, got ({n_lower}, {n_upper})")
+    pitch = width + spacing
+    lower_span = n_upper * pitch - spacing + 2.0 * margin
+    upper_span = n_lower * pitch - spacing + 2.0 * margin
+
+    conductors: list[Conductor] = []
+    for i in range(n_lower):
+        y0 = i * pitch
+        conductors.append(
+            Conductor(
+                f"lower_{i}",
+                [Box((-margin, y0, 0.0), (lower_span - margin, y0 + width, thickness))],
+            )
+        )
+    z0 = thickness + separation
+    for j in range(n_upper):
+        x0 = j * pitch
+        conductors.append(
+            Conductor(
+                f"upper_{j}",
+                [Box((x0, -margin, z0), (x0 + width, upper_span - margin, z0 + thickness))],
+            )
+        )
+    return Layout(conductors, relative_permittivity=relative_permittivity)
+
+
+def transistor_interconnect(
+    n_fingers: int = 4,
+    n_m1_straps: int = 3,
+    n_m2_lines: int = 2,
+    gate_length: float = 0.18 * UM,
+    gate_pitch: float = 0.72 * UM,
+    finger_width: float = 2.0 * UM,
+    metal_width: float = 0.36 * UM,
+    metal_thickness: float = 0.35 * UM,
+    poly_thickness: float = 0.2 * UM,
+    ild_thickness: float = 0.45 * UM,
+    relative_permittivity: float = 1.0,
+) -> Layout:
+    """Build a synthetic transistor-cell interconnect block.
+
+    The structure stands in for the industry-provided transistor interconnect
+    of Figure 7 (left) used in Table 2.  It contains:
+
+    * ``n_fingers`` polysilicon gate fingers running along y (conductor
+      ``poly``, all fingers strapped together by a poly head),
+    * ``n_m1_straps`` metal-1 straps running along x above the fingers
+      (conductors ``m1_<i>``), representing source/drain and gate routing,
+    * ``n_m2_lines`` metal-2 lines running along y above metal-1
+      (conductors ``m2_<j>``), representing higher-level routing crossing the
+      cell.
+
+    The stack (poly -> ILD -> M1 -> ILD -> M2) produces the dense field of
+    orthogonal crossings at several separations that characterises the
+    paper's industrial example.
+    """
+    _require_positive(
+        gate_length=gate_length,
+        gate_pitch=gate_pitch,
+        finger_width=finger_width,
+        metal_width=metal_width,
+        metal_thickness=metal_thickness,
+        poly_thickness=poly_thickness,
+        ild_thickness=ild_thickness,
+    )
+    if n_fingers < 1 or n_m1_straps < 1 or n_m2_lines < 1:
+        raise ValueError("all element counts must be >= 1")
+
+    cell_width = n_fingers * gate_pitch
+    conductors: list[Conductor] = []
+
+    # --- Poly gate fingers, strapped by a head running along x. -----------
+    poly_boxes: list[Box] = []
+    head_height = metal_width
+    for k in range(n_fingers):
+        x0 = k * gate_pitch + (gate_pitch - gate_length) / 2.0
+        poly_boxes.append(
+            Box((x0, 0.0, 0.0), (x0 + gate_length, finger_width, poly_thickness))
+        )
+    poly_boxes.append(
+        Box(
+            (0.0, finger_width, 0.0),
+            (cell_width, finger_width + head_height, poly_thickness),
+        )
+    )
+    conductors.append(Conductor("poly", poly_boxes))
+
+    # --- Metal-1 straps running along x over the fingers. -----------------
+    m1_z0 = poly_thickness + ild_thickness
+    m1_pitch = (finger_width + head_height) / (n_m1_straps + 1)
+    for i in range(n_m1_straps):
+        y0 = (i + 1) * m1_pitch - metal_width / 2.0
+        conductors.append(
+            Conductor(
+                f"m1_{i}",
+                [
+                    Box(
+                        (-metal_width, y0, m1_z0),
+                        (cell_width + metal_width, y0 + metal_width, m1_z0 + metal_thickness),
+                    )
+                ],
+            )
+        )
+
+    # --- Metal-2 lines running along y over the straps. -------------------
+    m2_z0 = m1_z0 + metal_thickness + ild_thickness
+    m2_pitch = cell_width / (n_m2_lines + 1)
+    m2_length = finger_width + head_height + 2.0 * metal_width
+    for j in range(n_m2_lines):
+        x0 = (j + 1) * m2_pitch - metal_width / 2.0
+        conductors.append(
+            Conductor(
+                f"m2_{j}",
+                [
+                    Box(
+                        (x0, -metal_width, m2_z0),
+                        (x0 + metal_width, m2_length - metal_width, m2_z0 + metal_thickness),
+                    )
+                ],
+            )
+        )
+    return Layout(conductors, relative_permittivity=relative_permittivity)
+
+
+def parallel_plates(
+    side: float = 10.0 * UM,
+    gap: float = 1.0 * UM,
+    thickness: float = 0.5 * UM,
+    relative_permittivity: float = 1.0,
+) -> Layout:
+    """Two identical square plates facing each other across ``gap``.
+
+    The parallel-plate estimate ``eps * side^2 / gap`` is a lower bound on
+    the extracted coupling capacitance (fringing adds to it), which the test
+    suite uses as a physical sanity check.
+    """
+    _require_positive(side=side, gap=gap, thickness=thickness)
+    bottom = Conductor("bottom", [Box((0.0, 0.0, -thickness), (side, side, 0.0))])
+    top = Conductor("top", [Box((0.0, 0.0, gap), (side, side, gap + thickness))])
+    return Layout([bottom, top], relative_permittivity=relative_permittivity)
+
+
+def plate_over_ground(
+    side: float = 4.0 * UM,
+    gap: float = 1.0 * UM,
+    thickness: float = 0.5 * UM,
+    ground_margin: float = 4.0 * UM,
+    relative_permittivity: float = 1.0,
+) -> Layout:
+    """A small plate above a larger grounded plate."""
+    _require_positive(side=side, gap=gap, thickness=thickness, ground_margin=ground_margin)
+    ground = Conductor(
+        "ground",
+        [Box((-ground_margin, -ground_margin, -thickness), (side + ground_margin, side + ground_margin, 0.0))],
+    )
+    plate = Conductor("plate", [Box((0.0, 0.0, gap), (side, side, gap + thickness))])
+    return Layout([ground, plate], relative_permittivity=relative_permittivity)
+
+
+def single_plate(
+    side: float = 10.0 * UM,
+    thickness: float = 1.0 * UM,
+    relative_permittivity: float = 1.0,
+) -> Layout:
+    """A single isolated square conductor.
+
+    For a thin square plate of side ``a`` the self-capacitance is about
+    ``0.367 * 4 * pi * eps * a`` (Maxwell's classic result ~40.8 pF for a
+    1 m plate in vacuum), which brackets the extracted value in tests.
+    """
+    _require_positive(side=side, thickness=thickness)
+    plate = Conductor("plate", [Box((0.0, 0.0, 0.0), (side, side, thickness))])
+    return Layout([plate], relative_permittivity=relative_permittivity)
+
+
+def comb_capacitor(
+    n_fingers: int = 4,
+    finger_length: float = 8.0 * UM,
+    finger_width: float = 1.0 * UM,
+    finger_gap: float = 1.0 * UM,
+    thickness: float = 1.0 * UM,
+    relative_permittivity: float = 1.0,
+) -> Layout:
+    """Two interdigitated comb conductors on the same layer.
+
+    A common MOM-capacitor structure dominated by lateral coupling; used to
+    exercise the lateral-pair detection and the PWC baseline on a structure
+    without any vertical crossing.
+    """
+    _require_positive(
+        finger_length=finger_length,
+        finger_width=finger_width,
+        finger_gap=finger_gap,
+        thickness=thickness,
+    )
+    if n_fingers < 2:
+        raise ValueError(f"need at least 2 fingers, got {n_fingers}")
+    pitch = finger_width + finger_gap
+    spine_width = finger_width
+    total_height = n_fingers * pitch - finger_gap
+
+    a_boxes = [Box((0.0, 0.0, 0.0), (spine_width, total_height, thickness))]
+    b_boxes = [
+        Box(
+            (spine_width + finger_length + 2.0 * finger_gap, 0.0, 0.0),
+            (2.0 * spine_width + finger_length + 2.0 * finger_gap, total_height, thickness),
+        )
+    ]
+    for k in range(n_fingers):
+        y0 = k * pitch
+        if k % 2 == 0:
+            a_boxes.append(
+                Box(
+                    (spine_width, y0, 0.0),
+                    (spine_width + finger_length, y0 + finger_width, thickness),
+                )
+            )
+        else:
+            b_boxes.append(
+                Box(
+                    (spine_width + 2.0 * finger_gap, y0, 0.0),
+                    (spine_width + finger_length + 2.0 * finger_gap, y0 + finger_width, thickness),
+                )
+            )
+    comb_a = Conductor("comb_a", a_boxes)
+    comb_b = Conductor("comb_b", b_boxes)
+    return Layout([comb_a, comb_b], relative_permittivity=relative_permittivity)
+
+
+def wire_array(
+    n_wires: int = 3,
+    width: float = 1.0 * UM,
+    spacing: float = 1.0 * UM,
+    thickness: float = 1.0 * UM,
+    length: float = 10.0 * UM,
+    relative_permittivity: float = 1.0,
+) -> Layout:
+    """A single-layer array of parallel wires running along x."""
+    _require_positive(width=width, spacing=spacing, thickness=thickness, length=length)
+    if n_wires < 1:
+        raise ValueError(f"need at least one wire, got {n_wires}")
+    pitch = width + spacing
+    conductors = [
+        Conductor(
+            f"wire_{i}",
+            [Box((0.0, i * pitch, 0.0), (length, i * pitch + width, thickness))],
+        )
+        for i in range(n_wires)
+    ]
+    return Layout(conductors, relative_permittivity=relative_permittivity)
+
+
+def _require_positive(**values: float) -> None:
+    """Raise ValueError when any named value is not strictly positive."""
+    for name, value in values.items():
+        if not (value > 0.0) or not math.isfinite(value):
+            raise ValueError(f"{name} must be a positive finite number, got {value!r}")

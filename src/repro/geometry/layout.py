@@ -1,0 +1,151 @@
+"""Layouts: collections of conductors embedded in a uniform dielectric.
+
+A :class:`Layout` is the problem description consumed by every solver in the
+package (the instantiable-basis solver, the PWC baseline, the FASTCAP-like
+multipole solver and the pFFT baseline).  It matches the setting of the
+paper: *n* conductors in a uniform dielectric medium with permittivity
+``eps`` (paper eq. (1)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.conductor import Box, Conductor
+from repro.geometry.panel import Panel
+
+__all__ = ["Layout", "VACUUM_PERMITTIVITY"]
+
+#: Vacuum permittivity in F/m.
+VACUUM_PERMITTIVITY = 8.8541878128e-12
+
+
+class Layout:
+    """A set of conductors in a uniform dielectric.
+
+    Parameters
+    ----------
+    conductors:
+        The conductors of the problem.  Conductor names must be unique.
+    permittivity:
+        Absolute permittivity of the uniform medium in F/m.  Use
+        ``relative_permittivity`` to scale from vacuum instead.
+    relative_permittivity:
+        Relative permittivity; multiplied by the vacuum permittivity when
+        ``permittivity`` is not given explicitly.
+    """
+
+    def __init__(
+        self,
+        conductors: Iterable[Conductor],
+        permittivity: float | None = None,
+        relative_permittivity: float = 1.0,
+    ):
+        self.conductors: list[Conductor] = list(conductors)
+        if not self.conductors:
+            raise ValueError("a layout needs at least one conductor")
+        names = [c.name for c in self.conductors]
+        if len(set(names)) != len(names):
+            raise ValueError(f"conductor names must be unique, got {names}")
+        if permittivity is not None:
+            if permittivity <= 0:
+                raise ValueError(f"permittivity must be positive, got {permittivity}")
+            self.permittivity = float(permittivity)
+        else:
+            if relative_permittivity <= 0:
+                raise ValueError(
+                    f"relative_permittivity must be positive, got {relative_permittivity}"
+                )
+            self.permittivity = float(relative_permittivity) * VACUUM_PERMITTIVITY
+
+    # ------------------------------------------------------------------
+    @property
+    def num_conductors(self) -> int:
+        """Number of conductors (the size of the capacitance matrix)."""
+        return len(self.conductors)
+
+    @property
+    def names(self) -> list[str]:
+        """Conductor names in index order."""
+        return [c.name for c in self.conductors]
+
+    def conductor_index(self, name: str) -> int:
+        """Return the index of the conductor called ``name``."""
+        for i, c in enumerate(self.conductors):
+            if c.name == name:
+                return i
+        raise KeyError(f"no conductor named {name!r}; have {self.names}")
+
+    def __iter__(self) -> Iterator[Conductor]:
+        return iter(self.conductors)
+
+    def __len__(self) -> int:
+        return len(self.conductors)
+
+    # ------------------------------------------------------------------
+    def surface_panels(self) -> list[Panel]:
+        """Return all exposed surface panels, tagged with conductor indices."""
+        panels: list[Panel] = []
+        for idx, conductor in enumerate(self.conductors):
+            panels.extend(conductor.surface_panels(conductor_index=idx))
+        return panels
+
+    def bounding_box(self) -> Box:
+        """Bounding box of the whole layout."""
+        los = []
+        his = []
+        for conductor in self.conductors:
+            bb = conductor.bounding_box
+            los.append(np.asarray(bb.lo))
+            his.append(np.asarray(bb.hi))
+        return Box(tuple(np.min(los, axis=0)), tuple(np.max(his, axis=0)))
+
+    def total_surface_area(self) -> float:
+        """Sum of all exposed conductor surface areas."""
+        return sum(c.surface_area for c in self.conductors)
+
+    # ------------------------------------------------------------------
+    def validate(self, allow_touching: bool = True) -> None:
+        """Check that distinct conductors do not overlap.
+
+        Raises
+        ------
+        ValueError
+            If boxes belonging to different conductors overlap (a short).
+        """
+        for i in range(len(self.conductors)):
+            for j in range(i + 1, len(self.conductors)):
+                for box_a in self.conductors[i].boxes:
+                    for box_b in self.conductors[j].boxes:
+                        tol = 0.0 if allow_touching else -1e-15
+                        if box_a.overlaps(box_b, tol=tol):
+                            raise ValueError(
+                                f"conductors {self.conductors[i].name!r} and "
+                                f"{self.conductors[j].name!r} overlap: {box_a} vs {box_b}"
+                            )
+
+    def translated(self, delta: Sequence[float]) -> "Layout":
+        """Return a copy of the layout translated by ``delta``."""
+        return Layout(
+            [c.translated(delta) for c in self.conductors],
+            permittivity=self.permittivity,
+        )
+
+    def subset(self, names: Sequence[str]) -> "Layout":
+        """Return a new layout containing only the named conductors."""
+        keep = set(names)
+        missing = keep - set(self.names)
+        if missing:
+            raise KeyError(f"unknown conductors requested: {sorted(missing)}")
+        return Layout(
+            [c for c in self.conductors if c.name in keep],
+            permittivity=self.permittivity,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Layout(conductors={len(self.conductors)}, "
+            f"eps={self.permittivity:.4e} F/m)"
+        )

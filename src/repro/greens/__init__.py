@@ -1,0 +1,44 @@
+"""Integration of the electrostatic Green's function over rectangular panels.
+
+This package provides the numerical machinery of Sections 2 and 4 of the
+paper:
+
+* :mod:`repro.greens.kernels` -- the free-space kernel ``1/(4*pi*eps*r)`` and
+  slow reference integrators used for validation.
+* :mod:`repro.greens.collocation` -- closed-form potential of a uniformly
+  charged rectangle (the "2-D analytical expression" of eq. (13)).
+* :mod:`repro.greens.indefinite` -- the 4-fold indefinite integral of the
+  kernel (paper eq. (9)) and the exact 4-D Galerkin integral between parallel
+  panels obtained from its 16-corner signed sum.
+* :mod:`repro.greens.quadrature` -- Gauss-Legendre rules and tensor grids.
+* :mod:`repro.greens.policy` -- the approximation-distance policy of
+  Section 4.1 that decides which expression level to use per panel pair.
+* :mod:`repro.greens.galerkin` -- the panel-pair Galerkin integrator that the
+  system-setup step calls for every template pair.
+"""
+
+from repro.greens.kernels import FOUR_PI_EPS0, point_kernel
+from repro.greens.collocation import (
+    collocation_corner,
+    collocation_potential,
+    collocation_from_deltas,
+)
+from repro.greens.indefinite import indefinite_integral, galerkin_parallel_rectangles
+from repro.greens.quadrature import gauss_legendre, tensor_grid
+from repro.greens.policy import ApproximationPolicy, EvaluationLevel
+from repro.greens.galerkin import GalerkinIntegrator
+
+__all__ = [
+    "FOUR_PI_EPS0",
+    "point_kernel",
+    "collocation_corner",
+    "collocation_potential",
+    "collocation_from_deltas",
+    "indefinite_integral",
+    "galerkin_parallel_rectangles",
+    "gauss_legendre",
+    "tensor_grid",
+    "ApproximationPolicy",
+    "EvaluationLevel",
+    "GalerkinIntegrator",
+]

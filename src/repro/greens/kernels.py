@@ -1,0 +1,117 @@
+"""Electrostatic kernel and slow reference integrators.
+
+The boundary element method for capacitance extraction is built on the
+free-space Green's function of the Laplace operator,
+
+.. math::  G(r, r') = \\frac{1}{4 \\pi \\varepsilon \\, \\lVert r - r' \\rVert},
+
+see eq. (1) of the paper.  The closed-form panel integrals in
+:mod:`repro.greens.collocation` and :mod:`repro.greens.indefinite` integrate
+this kernel analytically; the quadrature-based functions here are slow,
+obviously-correct references used by the test-suite and by the adaptive
+error studies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.geometry.layout import VACUUM_PERMITTIVITY
+from repro.geometry.panel import Panel
+from repro.greens.quadrature import tensor_grid
+
+__all__ = [
+    "VACUUM_PERMITTIVITY",
+    "FOUR_PI_EPS0",
+    "point_kernel",
+    "panel_potential_quadrature",
+    "panel_pair_quadrature",
+]
+
+#: ``4 * pi * eps0`` -- the denominator of the vacuum kernel, in F/m.
+FOUR_PI_EPS0 = 4.0 * math.pi * VACUUM_PERMITTIVITY
+
+
+def point_kernel(r: np.ndarray, r_prime: np.ndarray, permittivity: float = VACUUM_PERMITTIVITY) -> np.ndarray:
+    """Evaluate the free-space kernel between two sets of points.
+
+    Parameters
+    ----------
+    r, r_prime:
+        Arrays of shape ``(..., 3)``; broadcast against each other.
+    permittivity:
+        Absolute permittivity of the medium.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``1 / (4 pi eps |r - r'|)`` with the same broadcast shape as the
+        inputs (without the trailing axis).
+    """
+    diff = np.asarray(r, dtype=float) - np.asarray(r_prime, dtype=float)
+    dist = np.sqrt(np.sum(diff * diff, axis=-1))
+    return 1.0 / (4.0 * math.pi * permittivity * dist)
+
+
+def panel_potential_quadrature(
+    panel: Panel,
+    point: np.ndarray,
+    order: int = 24,
+    weight: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+) -> float:
+    """Potential integral of a (possibly weighted) panel at a point by quadrature.
+
+    Computes ``\\int_panel w(u, v) / |r - r'| ds'`` with an ``order x order``
+    Gauss-Legendre rule.  This is a *reference* implementation: accurate for
+    well-separated points, slow, and not suitable for nearly singular cases.
+    """
+    u_nodes, v_nodes, weights = tensor_grid(panel.u_range, panel.v_range, order, order)
+    pts = np.empty((u_nodes.size, 3))
+    pts[:, panel.normal_axis] = panel.offset
+    pts[:, panel.u_axis] = u_nodes
+    pts[:, panel.v_axis] = v_nodes
+    diff = np.asarray(point, dtype=float)[None, :] - pts
+    dist = np.sqrt(np.sum(diff * diff, axis=-1))
+    values = 1.0 / dist
+    if weight is not None:
+        values = values * weight(u_nodes, v_nodes)
+    return float(np.sum(weights * values))
+
+
+def panel_pair_quadrature(
+    panel_i: Panel,
+    panel_j: Panel,
+    order: int = 16,
+    weight_i: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+    weight_j: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+) -> float:
+    """Reference Galerkin double-panel integral by brute-force quadrature.
+
+    Computes ``\\int_i \\int_j w_i(r) w_j(r') / |r - r'| ds' ds`` (without the
+    ``1/(4 pi eps)`` prefactor) with tensor Gauss-Legendre rules on both
+    panels.  Used only for validation; accuracy degrades for touching or
+    overlapping panels where the integrand is singular.
+    """
+    ui, vi, wi = tensor_grid(panel_i.u_range, panel_i.v_range, order, order)
+    uj, vj, wj = tensor_grid(panel_j.u_range, panel_j.v_range, order, order)
+
+    pts_i = np.empty((ui.size, 3))
+    pts_i[:, panel_i.normal_axis] = panel_i.offset
+    pts_i[:, panel_i.u_axis] = ui
+    pts_i[:, panel_i.v_axis] = vi
+
+    pts_j = np.empty((uj.size, 3))
+    pts_j[:, panel_j.normal_axis] = panel_j.offset
+    pts_j[:, panel_j.u_axis] = uj
+    pts_j[:, panel_j.v_axis] = vj
+
+    diff = pts_i[:, None, :] - pts_j[None, :, :]
+    dist = np.sqrt(np.sum(diff * diff, axis=-1))
+    kernel = 1.0 / dist
+
+    w_i = wi if weight_i is None else wi * weight_i(ui, vi)
+    w_j = wj if weight_j is None else wj * weight_j(uj, vj)
+    return float(w_i @ kernel @ w_j)

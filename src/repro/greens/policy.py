@@ -1,0 +1,101 @@
+"""Approximation-distance policy (paper Section 4.1).
+
+The paper observes that the Green's function decays with distance, so beyond
+an *approximation distance* the expensive high-dimensional closed forms are
+numerically indistinguishable from cheaper low-dimensional ones.  The policy
+implemented here classifies a panel pair into one of three evaluation
+levels based on the ratio of the pair separation to the panel size:
+
+* ``EXACT`` -- full 4-D treatment (closed form for parallel panels,
+  quadrature over the inner 2-D closed form otherwise).
+* ``COLLOCATION`` -- one integration collapsed to the panel centroid
+  (midpoint rule), the other kept as the exact 2-D closed form.
+* ``POINT`` -- both integrations collapsed to the centroids (monopole
+  approximation).
+
+The thresholds follow the leading-order error of the midpoint/monopole
+approximations, ``(rho / d)^2`` with ``rho`` half the panel diagonal, so a
+requested tolerance translates directly into a distance in units of the
+panel diagonal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.geometry.panel import Panel
+
+__all__ = ["EvaluationLevel", "ApproximationPolicy"]
+
+
+class EvaluationLevel(Enum):
+    """How accurately a template-pair integral is evaluated."""
+
+    EXACT = "exact"
+    COLLOCATION = "collocation"
+    POINT = "point"
+
+
+@dataclass(frozen=True)
+class ApproximationPolicy:
+    """Distance-based selection of the integral evaluation level.
+
+    Parameters
+    ----------
+    tolerance:
+        Target relative error contributed by the dimension-reduction
+        approximations (the paper uses 1 %).
+    safety_factor:
+        Multiplier on the error-derived distances; > 1 makes the policy more
+        conservative.
+    """
+
+    tolerance: float = 0.01
+    safety_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.tolerance < 1.0):
+            raise ValueError(f"tolerance must be in (0, 1), got {self.tolerance}")
+        if self.safety_factor < 1.0:
+            raise ValueError(f"safety_factor must be >= 1, got {self.safety_factor}")
+
+    # ------------------------------------------------------------------
+    @property
+    def collocation_distance_factor(self) -> float:
+        """Distance (in units of the collocated panel's half-diagonal) beyond
+        which the midpoint rule meets the tolerance."""
+        return self.safety_factor / math.sqrt(self.tolerance)
+
+    @property
+    def point_distance_factor(self) -> float:
+        """Distance (in units of the larger half-diagonal) beyond which the
+        monopole approximation meets the tolerance.
+
+        The monopole error sums the contributions of both panels, hence the
+        ``sqrt(2)`` relative to the collocation factor.
+        """
+        return self.safety_factor * math.sqrt(2.0 / self.tolerance)
+
+    # ------------------------------------------------------------------
+    def level(self, panel_i: Panel, panel_j: Panel) -> EvaluationLevel:
+        """Classify a panel pair."""
+        distance = panel_i.centroid_distance(panel_j)
+        rho_i = 0.5 * panel_i.diagonal
+        rho_j = 0.5 * panel_j.diagonal
+        rho_max = max(rho_i, rho_j)
+        if distance >= self.point_distance_factor * rho_max:
+            return EvaluationLevel.POINT
+        rho_min = min(rho_i, rho_j)
+        if distance >= self.collocation_distance_factor * rho_min:
+            return EvaluationLevel.COLLOCATION
+        return EvaluationLevel.EXACT
+
+    def collocation_threshold(self, panel: Panel) -> float:
+        """Absolute distance beyond which ``panel`` may be collocated."""
+        return self.collocation_distance_factor * 0.5 * panel.diagonal
+
+    def point_threshold(self, panel_i: Panel, panel_j: Panel) -> float:
+        """Absolute distance beyond which the pair may use the point level."""
+        return self.point_distance_factor * 0.5 * max(panel_i.diagonal, panel_j.diagonal)

@@ -1,0 +1,60 @@
+"""Gauss-Legendre quadrature rules and tensor-product grids.
+
+The instantiable-basis integrator follows the strategy of paper eq. (7):
+analytic closed forms for the inner integrations and Gauss-Legendre
+quadrature for the outer ones.  The rules are cached because the same small
+orders are requested millions of times during system setup.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["gauss_legendre", "gauss_legendre_interval", "tensor_grid"]
+
+
+@lru_cache(maxsize=64)
+def gauss_legendre(order: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return cached Gauss-Legendre nodes and weights on ``[-1, 1]``.
+
+    The returned arrays are read-only views; copy before modifying.
+    """
+    if order < 1:
+        raise ValueError(f"quadrature order must be >= 1, got {order}")
+    nodes, weights = np.polynomial.legendre.leggauss(order)
+    nodes.setflags(write=False)
+    weights.setflags(write=False)
+    return nodes, weights
+
+
+def gauss_legendre_interval(lo: float, hi: float, order: int) -> tuple[np.ndarray, np.ndarray]:
+    """Gauss-Legendre nodes and weights mapped onto ``[lo, hi]``."""
+    if hi <= lo:
+        raise ValueError(f"invalid interval [{lo}, {hi}]")
+    nodes, weights = gauss_legendre(order)
+    half = 0.5 * (hi - lo)
+    mid = 0.5 * (hi + lo)
+    return mid + half * nodes, half * weights
+
+
+def tensor_grid(
+    u_range: tuple[float, float],
+    v_range: tuple[float, float],
+    order_u: int,
+    order_v: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Tensor-product Gauss-Legendre rule over a rectangle.
+
+    Returns
+    -------
+    (u, v, w):
+        Flattened arrays of the u coordinates, v coordinates and combined
+        weights of the ``order_u x order_v`` tensor rule.
+    """
+    u_nodes, u_weights = gauss_legendre_interval(u_range[0], u_range[1], order_u)
+    v_nodes, v_weights = gauss_legendre_interval(v_range[0], v_range[1], order_v)
+    uu, vv = np.meshgrid(u_nodes, v_nodes, indexing="ij")
+    ww = np.outer(u_weights, v_weights)
+    return uu.ravel(), vv.ravel(), ww.ravel()

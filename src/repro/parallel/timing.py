@@ -1,0 +1,57 @@
+"""Small timing utilities shared by the solvers and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+__all__ = ["Stopwatch", "measure"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Example
+    -------
+    >>> watch = Stopwatch()
+    >>> with watch.lap("setup"):
+    ...     pass
+    >>> "setup" in watch.laps
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    class _Lap:
+        def __init__(self, watch: "Stopwatch", name: str):
+            self._watch = watch
+            self._name = name
+            self._start = 0.0
+
+        def __enter__(self) -> "Stopwatch._Lap":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc_info) -> None:
+            elapsed = time.perf_counter() - self._start
+            self._watch.laps[self._name] = self._watch.laps.get(self._name, 0.0) + elapsed
+
+    def lap(self, name: str) -> "Stopwatch._Lap":
+        """Context manager accumulating elapsed time under ``name``."""
+        return Stopwatch._Lap(self, name)
+
+    @property
+    def total(self) -> float:
+        """Sum of all laps."""
+        return sum(self.laps.values())
+
+
+def measure(function: Callable[[], T]) -> tuple[T, float]:
+    """Run ``function`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start

@@ -1,0 +1,114 @@
+"""Dense Galerkin assembly for piecewise-constant panels.
+
+A PWC discretisation is the degenerate instantiable basis with one flat
+template per panel (``M = N``), so the assembly reuses the batch Galerkin
+assembler.  The resulting dense matrix is what FASTCAP-style solvers avoid
+storing; here it is the reference path and is therefore kept simple and
+exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.assembly.batch import BatchGalerkinAssembler
+from repro.basis.functions import BasisSet
+from repro.geometry.panel import Panel
+from repro.greens.policy import ApproximationPolicy
+
+__all__ = ["PWCSystem"]
+
+
+@dataclass
+class PWCSystem:
+    """The dense PWC Galerkin system for a set of panels.
+
+    Attributes
+    ----------
+    panels:
+        The discretisation panels (each carries its conductor index).
+    matrix:
+        The dense ``n x n`` system matrix ``P``.
+    rhs:
+        The ``n x num_conductors`` right-hand side ``Phi`` (panel areas on
+        the panel's conductor column).
+    """
+
+    panels: list[Panel]
+    matrix: np.ndarray
+    rhs: np.ndarray
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def assemble(
+        cls,
+        panels: Sequence[Panel],
+        permittivity: float,
+        num_conductors: int | None = None,
+        policy: ApproximationPolicy | None = None,
+        order_near: int = 4,
+        batch_size: int = 200_000,
+    ) -> "PWCSystem":
+        """Assemble the dense PWC Galerkin system.
+
+        Parameters
+        ----------
+        panels:
+            Discretisation panels with valid ``conductor`` indices.
+        permittivity:
+            Absolute permittivity of the medium.
+        num_conductors:
+            Number of conductors; inferred from the panels when omitted.
+        policy:
+            Approximation-distance policy.  The default uses a tighter
+            tolerance than the instantiable solver because the PWC system is
+            the accuracy reference.
+        """
+        panels = list(panels)
+        if not panels:
+            raise ValueError("cannot assemble a PWC system without panels")
+        if any(p.conductor < 0 for p in panels):
+            raise ValueError("every panel must carry a non-negative conductor index")
+        if num_conductors is None:
+            num_conductors = max(p.conductor for p in panels) + 1
+        if policy is None:
+            policy = ApproximationPolicy(tolerance=0.002)
+
+        basis_set = BasisSet.from_panels(panels)
+        assembler = BatchGalerkinAssembler(
+            basis_set,
+            permittivity,
+            policy=policy,
+            order_near=order_near,
+            batch_size=batch_size,
+        )
+        matrix = assembler.assemble()
+        rhs = basis_set.incidence_matrix(num_conductors)
+        return cls(panels=panels, matrix=matrix, rhs=rhs)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_panels(self) -> int:
+        """Number of panels (system dimension)."""
+        return len(self.panels)
+
+    @property
+    def num_conductors(self) -> int:
+        """Number of conductors (columns of the right-hand side)."""
+        return int(self.rhs.shape[1])
+
+    @property
+    def memory_bytes(self) -> int:
+        """Memory of the dense system matrix (the dominant storage)."""
+        return int(self.matrix.nbytes)
+
+    def areas(self) -> np.ndarray:
+        """Panel areas (used for charge post-processing and preconditioning)."""
+        return np.asarray([p.area for p in self.panels])
+
+    def conductor_indices(self) -> np.ndarray:
+        """Conductor index per panel."""
+        return np.asarray([p.conductor for p in self.panels], dtype=np.intp)

@@ -1,0 +1,130 @@
+"""Dense PWC capacitance solver.
+
+Discretises a layout, assembles the dense Galerkin system, solves it
+directly and forms the capacitance matrix.  Used as the accuracy reference
+and as the substrate of the arch-shape extraction; the FASTCAP-like and pFFT
+baselines replace the dense solve with multipole / FFT-accelerated GMRES.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.discretize import discretize_layout_graded
+from repro.geometry.layout import Layout
+from repro.geometry.panel import Panel
+from repro.pwc.assembly import PWCSystem
+from repro.solver.capacitance import capacitance_from_solution
+from repro.solver.dense import solve_dense
+
+__all__ = ["PWCSolution", "PWCSolver"]
+
+
+@dataclass
+class PWCSolution:
+    """Result of a PWC extraction.
+
+    Attributes
+    ----------
+    capacitance:
+        The ``n x n`` short-circuit capacitance matrix in farad.
+    charges:
+        Panel charge densities, one column per conductor excitation.
+    panels:
+        The discretisation panels.
+    setup_seconds, solve_seconds:
+        Wall-clock time of the matrix assembly and of the direct solve.
+    memory_bytes:
+        Size of the dense system matrix.
+    """
+
+    capacitance: np.ndarray
+    charges: np.ndarray
+    panels: list[Panel]
+    setup_seconds: float
+    solve_seconds: float
+    memory_bytes: int
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_panels(self) -> int:
+        """Number of panels used."""
+        return len(self.panels)
+
+    @property
+    def total_seconds(self) -> float:
+        """Setup plus solve time."""
+        return self.setup_seconds + self.solve_seconds
+
+
+class PWCSolver:
+    """Piecewise-constant Galerkin BEM capacitance solver.
+
+    Parameters
+    ----------
+    cells_per_edge:
+        Baseline number of cells per face edge of the graded discretisation.
+    grading_ratio:
+        Edge-grading growth factor (charge peaks at face edges).
+    max_edge:
+        Optional cap on the cell edge length.
+    order_near:
+        Quadrature order for near orthogonal panel pairs.
+    """
+
+    def __init__(
+        self,
+        cells_per_edge: int = 3,
+        grading_ratio: float = 1.5,
+        max_edge: float | None = None,
+        order_near: int = 4,
+    ):
+        if cells_per_edge < 1:
+            raise ValueError(f"cells_per_edge must be >= 1, got {cells_per_edge}")
+        self.cells_per_edge = int(cells_per_edge)
+        self.grading_ratio = float(grading_ratio)
+        self.max_edge = max_edge
+        self.order_near = int(order_near)
+
+    # ------------------------------------------------------------------
+    def discretize(self, layout: Layout) -> list[Panel]:
+        """Produce the graded panel discretisation of a layout."""
+        return discretize_layout_graded(
+            layout,
+            cells_per_edge=self.cells_per_edge,
+            ratio=self.grading_ratio,
+            max_edge=self.max_edge,
+        )
+
+    def solve_panels(self, layout: Layout, panels: list[Panel]) -> PWCSolution:
+        """Assemble and solve the PWC system on an explicit panel set."""
+        start = time.perf_counter()
+        system = PWCSystem.assemble(
+            panels,
+            layout.permittivity,
+            num_conductors=layout.num_conductors,
+            order_near=self.order_near,
+        )
+        setup_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        charges = solve_dense(system.matrix, system.rhs)
+        capacitance = capacitance_from_solution(system.rhs, charges)
+        solve_seconds = time.perf_counter() - start
+
+        return PWCSolution(
+            capacitance=capacitance,
+            charges=charges,
+            panels=list(panels),
+            setup_seconds=setup_seconds,
+            solve_seconds=solve_seconds,
+            memory_bytes=system.memory_bytes,
+            metadata={"num_panels": len(panels)},
+        )
+
+    def solve(self, layout: Layout) -> PWCSolution:
+        """Discretise and solve a layout."""
+        return self.solve_panels(layout, self.discretize(layout))

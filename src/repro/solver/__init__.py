@@ -1,0 +1,27 @@
+"""System solving and capacitance post-processing.
+
+With instantiable basis functions the system is small and dense, so the
+solve is a direct factorisation (paper Section 3: "we will resort to the
+standard direct method implemented in multithreaded linear algebra
+libraries"); the PWC baselines additionally use Krylov iterative solvers.
+"""
+
+from repro.solver.dense import solve_dense, cholesky_solve
+from repro.solver.iterative import gmres_solve, IterativeStats
+from repro.solver.capacitance import (
+    capacitance_from_solution,
+    capacitance_matrix,
+    CapacitanceComparison,
+    compare_capacitance,
+)
+
+__all__ = [
+    "solve_dense",
+    "cholesky_solve",
+    "gmres_solve",
+    "IterativeStats",
+    "capacitance_from_solution",
+    "capacitance_matrix",
+    "CapacitanceComparison",
+    "compare_capacitance",
+]

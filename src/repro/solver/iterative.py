@@ -1,0 +1,113 @@
+"""Krylov iterative solves for the PWC baselines.
+
+The FASTCAP-like and pFFT baselines follow their originals and solve the
+(large) piecewise-constant system with GMRES, using a fast approximate
+matrix-vector product.  This module wraps scipy's GMRES with iteration
+counting and a simple diagonal (panel self-term) preconditioner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy.sparse.linalg import LinearOperator, gmres
+
+__all__ = ["IterativeStats", "gmres_solve"]
+
+
+@dataclass
+class IterativeStats:
+    """Iteration counts of a multi-right-hand-side GMRES solve."""
+
+    iterations_per_rhs: list[int]
+
+    @property
+    def total_iterations(self) -> int:
+        """Total matrix-vector products across all right-hand sides."""
+        return int(sum(self.iterations_per_rhs))
+
+    @property
+    def max_iterations(self) -> int:
+        """Largest iteration count over the right-hand sides."""
+        return int(max(self.iterations_per_rhs)) if self.iterations_per_rhs else 0
+
+
+def gmres_solve(
+    matvec: Callable[[np.ndarray], np.ndarray],
+    rhs: np.ndarray,
+    size: int,
+    tolerance: float = 1e-6,
+    max_iterations: int = 500,
+    diagonal: np.ndarray | None = None,
+) -> tuple[np.ndarray, IterativeStats]:
+    """Solve ``A x = b`` (column by column) with GMRES.
+
+    Parameters
+    ----------
+    matvec:
+        The (possibly approximate/fast) matrix-vector product.
+    rhs:
+        Right-hand side vector or matrix (one column per conductor).
+    size:
+        System dimension.
+    tolerance:
+        Relative residual tolerance.
+    max_iterations:
+        Iteration cap per right-hand side.
+    diagonal:
+        Optional diagonal of ``A`` used as a Jacobi preconditioner.
+
+    Returns
+    -------
+    (solution, stats):
+        The solution with the same shape as ``rhs`` and the per-column
+        iteration counts.
+    """
+    rhs = np.asarray(rhs, dtype=float)
+    single_column = rhs.ndim == 1
+    columns = rhs[:, None] if single_column else rhs
+    if columns.shape[0] != size:
+        raise ValueError(f"rhs has {columns.shape[0]} rows, expected {size}")
+
+    operator = LinearOperator((size, size), matvec=matvec)
+    preconditioner = None
+    if diagonal is not None:
+        inverse_diagonal = 1.0 / np.asarray(diagonal, dtype=float)
+        preconditioner = LinearOperator(
+            (size, size), matvec=lambda x: inverse_diagonal * x
+        )
+
+    solution = np.empty_like(columns)
+    iterations: list[int] = []
+    for column in range(columns.shape[1]):
+        counter = _IterationCounter()
+        x, info = gmres(
+            operator,
+            columns[:, column],
+            rtol=tolerance,
+            maxiter=max_iterations,
+            M=preconditioner,
+            callback=counter,
+            callback_type="pr_norm",
+        )
+        if info > 0:
+            raise RuntimeError(
+                f"GMRES did not converge within {max_iterations} iterations "
+                f"(right-hand side {column}, residual info {info})"
+            )
+        solution[:, column] = x
+        iterations.append(counter.count)
+    stats = IterativeStats(iterations_per_rhs=iterations)
+    return (solution[:, 0] if single_column else solution), stats
+
+
+class _IterationCounter:
+    """Callback object counting GMRES iterations."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def __call__(self, _residual_norm: float) -> None:
+        self.count += 1

@@ -1,0 +1,206 @@
+"""Tests for the four integration-acceleration techniques (paper Section 4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import (
+    AccelerationTechnique,
+    DirectTableEvaluator,
+    FastAsinh,
+    FastAtan,
+    FastLog,
+    IndefiniteTableEvaluator,
+    RationalFit,
+    RationalFitEvaluator,
+    RegularGridTable,
+    make_evaluator,
+)
+from repro.accel.engine import AnalyticalEvaluator, FastSubroutineEvaluator
+from repro.accel.rational import multi_indices, polynomial_design_matrix
+from repro.greens.collocation import collocation_from_deltas
+
+
+def _near_field_samples(rng, count=2000):
+    """Corner-offset samples from the near-field benchmark domain."""
+    width = rng.uniform(0.2, 2.0, count)
+    height = rng.uniform(0.2, 2.0, count)
+    x = rng.uniform(-2.0, 2.0, count)
+    y = rng.uniform(-2.0, 2.0, count)
+    z = rng.uniform(0.1, 2.0, count)
+    return x + width / 2, x - width / 2, y + height / 2, y - height / 2, z
+
+
+class TestFastMath:
+    def test_fast_log_accuracy(self, rng):
+        x = rng.uniform(1e-6, 1e6, 5000)
+        fast = FastLog(mantissa_bits=14)
+        assert np.max(np.abs(fast(x) - np.log(x))) < 1e-4
+
+    def test_fast_log_memory_scales_with_bits(self):
+        assert FastLog(mantissa_bits=10).memory_bytes == (1 << 10) * 8
+        assert FastLog(mantissa_bits=14).memory_bytes == (1 << 14) * 8
+
+    def test_fast_log_invalid_bits(self):
+        with pytest.raises(ValueError):
+            FastLog(mantissa_bits=0)
+
+    def test_fast_atan_accuracy_and_range(self, rng):
+        x = np.concatenate([rng.uniform(-100, 100, 3000), rng.uniform(-1, 1, 3000)])
+        fast = FastAtan()
+        assert np.max(np.abs(fast(x) - np.arctan(x))) < 1e-3
+
+    def test_fast_atan_odd_function(self, rng):
+        x = rng.uniform(0, 10, 100)
+        fast = FastAtan()
+        assert np.allclose(fast(-x), -fast(x))
+
+    def test_fast_asinh_accuracy(self, rng):
+        x = rng.uniform(-50, 50, 5000)
+        fast = FastAsinh()
+        assert np.max(np.abs(fast(x) - np.arcsinh(x))) < 2e-4
+
+    def test_fast_atan_invalid_size(self):
+        with pytest.raises(ValueError):
+            FastAtan(table_size=1)
+
+
+class TestRegularGridTable:
+    def test_exact_on_grid_nodes(self):
+        table = RegularGridTable.build(lambda a, b: a + 2 * b, [0.0, 0.0], [1.0, 1.0], [5, 5])
+        points = np.asarray([[0.25, 0.5], [0.0, 0.0], [1.0, 1.0]])
+        assert np.allclose(table(points), points[:, 0] + 2 * points[:, 1])
+
+    def test_linear_functions_interpolated_exactly(self, rng):
+        table = RegularGridTable.build(
+            lambda a, b, c: 2 * a - b + 3 * c, [0, 0, 0], [1, 1, 1], [4, 4, 4]
+        )
+        pts = rng.uniform(0, 1, size=(50, 3))
+        assert np.allclose(table(pts), 2 * pts[:, 0] - pts[:, 1] + 3 * pts[:, 2])
+
+    def test_memory_accounting(self):
+        table = RegularGridTable.build(lambda a, b: a * b, [0, 0], [1, 1], [10, 20])
+        assert table.memory_bytes == 10 * 20 * 8
+
+    def test_dimension_mismatch_rejected(self):
+        table = RegularGridTable.build(lambda a, b: a * b, [0, 0], [1, 1], [4, 4])
+        with pytest.raises(ValueError):
+            table(np.zeros((3, 3)))
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(ValueError):
+            RegularGridTable([0.0, 1.0], [1.0, 1.0], np.zeros((4, 4)))
+
+
+class TestEvaluatorAccuracy:
+    @pytest.mark.parametrize(
+        "technique, tolerance",
+        [
+            (AccelerationTechnique.FAST_SUBROUTINES, 0.02),
+            (AccelerationTechnique.INDEFINITE_TABULATION, 0.06),
+            (AccelerationTechnique.DIRECT_TABULATION, 0.25),
+            (AccelerationTechnique.RATIONAL_FIT, 0.30),
+        ],
+    )
+    def test_max_error_within_documented_bound(self, rng, technique, tolerance):
+        deltas = _near_field_samples(rng)
+        exact = collocation_from_deltas(*deltas)
+        evaluator = make_evaluator(technique)
+        values = evaluator.from_deltas(*deltas)
+        relative = np.abs(values - exact) / np.abs(exact)
+        assert float(relative.max()) < tolerance
+
+    @pytest.mark.parametrize(
+        "technique",
+        [
+            AccelerationTechnique.FAST_SUBROUTINES,
+            AccelerationTechnique.INDEFINITE_TABULATION,
+            AccelerationTechnique.DIRECT_TABULATION,
+            AccelerationTechnique.RATIONAL_FIT,
+        ],
+    )
+    def test_rms_error_below_two_percent(self, rng, technique):
+        deltas = _near_field_samples(rng)
+        exact = collocation_from_deltas(*deltas)
+        values = make_evaluator(technique).from_deltas(*deltas)
+        relative = (values - exact) / exact
+        assert float(np.sqrt(np.mean(relative**2))) < 0.02
+
+    def test_analytical_evaluator_is_exact(self, rng):
+        deltas = _near_field_samples(rng, count=200)
+        evaluator = AnalyticalEvaluator()
+        assert np.allclose(evaluator.from_deltas(*deltas), collocation_from_deltas(*deltas))
+        assert evaluator.memory_bytes == 0
+
+    def test_memory_ordering_matches_paper(self):
+        # Tables cost megabytes; rational fitting costs essentially nothing.
+        assert make_evaluator("direct_tabulation").memory_bytes > 1e5
+        assert make_evaluator("indefinite_tabulation").memory_bytes > 1e5
+        assert make_evaluator("fast_subroutines").memory_bytes > 1e4
+        assert make_evaluator("rational_fit").memory_bytes < 1e4
+
+    def test_make_evaluator_accepts_strings_and_rejects_unknown(self):
+        assert isinstance(make_evaluator("analytical"), AnalyticalEvaluator)
+        assert isinstance(make_evaluator("fast_subroutines"), FastSubroutineEvaluator)
+        with pytest.raises(ValueError):
+            make_evaluator("nope")
+
+    def test_scaling_invariance_of_tabulated_evaluators(self, rng):
+        # Homogeneity handling: evaluating the same geometry at micron scale
+        # must give 1e-6 times the metre-scale value.
+        deltas = _near_field_samples(rng, count=100)
+        for technique in ("direct_tabulation", "indefinite_tabulation"):
+            evaluator = make_evaluator(technique)
+            coarse = evaluator.from_deltas(*deltas)
+            scaled = evaluator.from_deltas(*[d * 1e-6 for d in deltas])
+            assert np.allclose(scaled, coarse * 1e-6, rtol=1e-9)
+
+
+class TestRationalFit:
+    def test_multi_indices_counts(self):
+        assert multi_indices(2, 2).shape[0] == 6  # 1, x, y, x2, xy, y2
+        assert multi_indices(3, 1).shape[0] == 4
+
+    def test_design_matrix_values(self):
+        indices = multi_indices(2, 2)
+        design = polynomial_design_matrix(np.asarray([[2.0, 3.0]]), indices)
+        assert design.shape == (1, 6)
+        assert set(np.round(design[0], 6)) == {1.0, 2.0, 3.0, 4.0, 6.0, 9.0}
+
+    def test_fits_exact_rational_function(self, rng):
+        # f = (1 + x) / (1 + 0.5 y) is representable exactly with degree (1, 1).
+        samples = rng.uniform(0.0, 1.0, size=(300, 2))
+        values = (1.0 + samples[:, 0]) / (1.0 + 0.5 * samples[:, 1])
+        fit = RationalFit(2, numerator_degree=1, denominator_degree=1)
+        fit.fit(samples, values, relative_weighting=False)
+        test = rng.uniform(0.0, 1.0, size=(100, 2))
+        expected = (1.0 + test[:, 0]) / (1.0 + 0.5 * test[:, 1])
+        assert np.allclose(fit(test), expected, rtol=1e-6)
+
+    def test_denominator_normalisation_constraint(self):
+        evaluator = RationalFitEvaluator(training_samples=500)
+        assert np.sum(evaluator.fit.denominator_coefficients) == pytest.approx(1.0)
+
+    def test_unfitted_evaluation_rejected(self):
+        with pytest.raises(RuntimeError):
+            RationalFit(2)(np.zeros((1, 2)))
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_parameter_count_property(self, n, m):
+        fit = RationalFit(2, n, m)
+        expected = multi_indices(2, n).shape[0] + multi_indices(2, m).shape[0] - 1
+        assert fit.num_parameters == expected
+
+
+class TestEvaluatorValidation:
+    def test_direct_table_minimum_resolution(self):
+        with pytest.raises(ValueError):
+            DirectTableEvaluator(points_per_dim=2)
+
+    def test_indefinite_table_minimum_resolution(self):
+        with pytest.raises(ValueError):
+            IndefiniteTableEvaluator(points_per_dim=3)

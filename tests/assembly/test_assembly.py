@@ -1,0 +1,234 @@
+"""Tests for index mapping, partitioning and the assembler backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assembly import (
+    BatchGalerkinAssembler,
+    DistributedAssembler,
+    SerialAssembler,
+    SharedMemoryAssembler,
+    TemplateArrays,
+    num_template_pairs,
+    pair_to_triangular_index,
+    partition_range,
+    triangular_index_to_pair,
+)
+from repro.assembly.batch import symmetrize_upper
+from repro.basis import build_basis_set
+from repro.basis.functions import BasisSet
+
+
+class TestTriangularMapping:
+    def test_first_indices(self):
+        i, j = triangular_index_to_pair(np.arange(6))
+        assert list(i) == [0, 0, 1, 0, 1, 2]
+        assert list(j) == [0, 1, 1, 2, 2, 2]
+
+    def test_num_pairs(self):
+        assert num_template_pairs(0) == 0
+        assert num_template_pairs(5) == 15
+
+    @given(st.integers(min_value=0, max_value=10_000_000))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_property(self, k):
+        i, j = triangular_index_to_pair(np.asarray([k]))
+        assert 0 <= i[0] <= j[0]
+        assert pair_to_triangular_index(i, j)[0] == k
+
+    def test_inverse_requires_upper_triangle(self):
+        with pytest.raises(ValueError):
+            pair_to_triangular_index(np.asarray([2]), np.asarray([1]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            triangular_index_to_pair(np.asarray([-1]))
+
+
+class TestPartition:
+    def test_sizes_differ_by_at_most_one(self):
+        parts = partition_range(103, 10)
+        sizes = [p.size for p in parts]
+        assert sum(sizes) == 103
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_covers_range_exactly(self):
+        parts = partition_range(57, 4)
+        covered = np.concatenate([p.indices() for p in parts])
+        assert np.array_equal(covered, np.arange(57))
+
+    def test_single_node(self):
+        parts = partition_range(10, 1)
+        assert len(parts) == 1 and parts[0].size == 10
+
+    def test_more_nodes_than_work(self):
+        parts = partition_range(3, 8)
+        assert sum(p.size for p in parts) == 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            partition_range(-1, 2)
+        with pytest.raises(ValueError):
+            partition_range(5, 0)
+
+    @given(
+        total=st.integers(min_value=0, max_value=100_000),
+        nodes=st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_partition_properties(self, total, nodes):
+        parts = partition_range(total, nodes)
+        assert len(parts) == nodes
+        assert parts[0].start == 0
+        assert parts[-1].stop == total
+        for before, after in zip(parts, parts[1:]):
+            assert before.stop == after.start
+        sizes = [p.size for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestTemplateArrays:
+    def test_arrays_match_basis_set(self, crossing_layout):
+        basis_set = build_basis_set(crossing_layout)
+        arrays = TemplateArrays.from_basis_set(basis_set)
+        assert arrays.num_templates == basis_set.num_templates
+        assert arrays.num_basis_functions == basis_set.num_basis_functions
+        assert arrays.num_pairs == num_template_pairs(basis_set.num_templates)
+        assert np.all(arrays.area > 0.0)
+        assert np.all(arrays.moment > 0.0)
+
+    def test_tangential_axes_consistent(self, crossing_layout):
+        arrays = TemplateArrays.from_basis_set(build_basis_set(crossing_layout))
+        u_axis, v_axis = arrays.tangential_axes()
+        assert np.all(u_axis != arrays.normal_axis)
+        assert np.all(v_axis != arrays.normal_axis)
+        assert np.all(u_axis < v_axis)
+
+
+class TestAssemblerEquivalence:
+    def test_batch_matches_serial(self, crossing_layout, permittivity):
+        basis_set = build_basis_set(crossing_layout)
+        serial = SerialAssembler(basis_set, permittivity).assemble()
+        batch = BatchGalerkinAssembler(basis_set, permittivity).assemble()
+        scale = np.max(np.abs(serial))
+        assert np.max(np.abs(serial - batch)) / scale < 1e-12
+
+    def test_matrix_is_symmetric_positive_definite(self, crossing_layout, permittivity):
+        basis_set = build_basis_set(crossing_layout)
+        matrix = BatchGalerkinAssembler(basis_set, permittivity).assemble()
+        assert np.allclose(matrix, matrix.T, rtol=1e-12)
+        eigenvalues = np.linalg.eigvalsh(matrix)
+        assert eigenvalues.min() > 0.0
+
+    def test_chunked_assembly_equals_full(self, crossing_layout, permittivity):
+        basis_set = build_basis_set(crossing_layout)
+        assembler = BatchGalerkinAssembler(basis_set, permittivity)
+        full = assembler.assemble()
+        n = assembler.num_basis_functions
+        accumulated = np.zeros((n, n))
+        boundaries = np.linspace(0, assembler.num_pairs, 5, dtype=int)
+        for start, stop in zip(boundaries, boundaries[1:]):
+            assembler.assemble_chunk(int(start), int(stop), out=accumulated)
+        assert np.allclose(accumulated, full, rtol=1e-12)
+
+    def test_upper_condensation_symmetrises_to_full(self, crossing_layout, permittivity):
+        basis_set = build_basis_set(crossing_layout)
+        assembler = BatchGalerkinAssembler(basis_set, permittivity)
+        full = assembler.assemble()
+        upper, _ = assembler.assemble_chunk(0, assembler.num_pairs, condense_mode="upper")
+        assert np.allclose(symmetrize_upper(upper), full, rtol=1e-12)
+
+    def test_invalid_chunk_rejected(self, crossing_layout, permittivity):
+        assembler = BatchGalerkinAssembler(build_basis_set(crossing_layout), permittivity)
+        with pytest.raises(ValueError):
+            assembler.assemble_chunk(0, assembler.num_pairs + 1)
+        with pytest.raises(ValueError):
+            assembler.assemble_chunk(0, 1, condense_mode="diagonal")
+
+    def test_chunk_result_counts_cover_all_pairs(self, crossing_layout, permittivity):
+        assembler = BatchGalerkinAssembler(build_basis_set(crossing_layout), permittivity)
+        _, result = assembler.assemble_chunk(0, assembler.num_pairs)
+        assert sum(result.category_counts.values()) == assembler.num_pairs
+        assert result.num_pairs == assembler.num_pairs
+
+    def test_small_batch_size_equivalent(self, crossing_layout, permittivity):
+        basis_set = build_basis_set(crossing_layout)
+        reference = BatchGalerkinAssembler(basis_set, permittivity).assemble()
+        small_batches = BatchGalerkinAssembler(basis_set, permittivity, batch_size=17).assemble()
+        assert np.allclose(reference, small_batches, rtol=1e-12)
+
+
+class TestParallelBackends:
+    @pytest.mark.parametrize("num_nodes", [1, 2, 3, 5])
+    def test_shared_memory_matches_single_node(self, crossing_layout, permittivity, num_nodes):
+        basis_set = build_basis_set(crossing_layout)
+        reference = BatchGalerkinAssembler(basis_set, permittivity).assemble()
+        result = SharedMemoryAssembler(
+            basis_set, permittivity, num_nodes=num_nodes
+        ).assemble()
+        assert np.allclose(result.matrix, reference, rtol=1e-12)
+        assert result.num_nodes == num_nodes
+        assert result.communication_bytes == [0] * num_nodes
+
+    @pytest.mark.parametrize("num_nodes", [1, 2, 4, 7])
+    def test_distributed_matches_single_node(self, crossing_layout, permittivity, num_nodes):
+        basis_set = build_basis_set(crossing_layout)
+        reference = BatchGalerkinAssembler(basis_set, permittivity).assemble()
+        result = DistributedAssembler(basis_set, permittivity, num_nodes=num_nodes).assemble()
+        assert np.allclose(result.matrix, reference, rtol=1e-12)
+        # The main node never communicates; the others send their partial matrices.
+        assert result.communication_bytes[0] == 0
+        if num_nodes > 1:
+            assert all(b > 0 for b in result.communication_bytes[1:])
+
+    def test_workload_partitions_are_balanced(self, small_bus_layout, permittivity):
+        basis_set = build_basis_set(small_bus_layout)
+        assembler = SharedMemoryAssembler(basis_set, permittivity, num_nodes=4)
+        sizes = [p.size for p in assembler.partitions()]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_setup_result_statistics(self, crossing_layout, permittivity):
+        basis_set = build_basis_set(crossing_layout)
+        result = SharedMemoryAssembler(basis_set, permittivity, num_nodes=3).assemble()
+        assert result.max_node_seconds <= result.total_node_seconds
+        assert result.load_imbalance >= 1.0
+
+    def test_invalid_node_count(self, crossing_layout, permittivity):
+        basis_set = build_basis_set(crossing_layout)
+        with pytest.raises(ValueError):
+            SharedMemoryAssembler(basis_set, permittivity, num_nodes=0)
+        with pytest.raises(ValueError):
+            DistributedAssembler(basis_set, permittivity, num_nodes=0)
+
+    def test_column_ranges_cover_matrix(self, crossing_layout, permittivity):
+        basis_set = build_basis_set(crossing_layout)
+        assembler = DistributedAssembler(basis_set, permittivity, num_nodes=3)
+        batch = assembler.assembler
+        last = -1
+        for part in assembler.partitions():
+            first, stop = batch.chunk_column_range(part.start, part.stop)
+            # Adjacent partitions may share a common column (paper Figure 5).
+            assert first <= stop
+            assert first <= last + 1
+            last = max(last, stop)
+        assert last == batch.num_basis_functions - 1
+
+
+class TestAcceleratedAssembly:
+    def test_fast_subroutine_assembly_close_to_exact(self, crossing_layout, permittivity):
+        from repro.accel import make_evaluator
+
+        basis_set = build_basis_set(crossing_layout)
+        exact = BatchGalerkinAssembler(basis_set, permittivity).assemble()
+        evaluator = make_evaluator("fast_subroutines")
+        accelerated = BatchGalerkinAssembler(
+            basis_set, permittivity, collocation_fn=evaluator.from_deltas
+        ).assemble()
+        # Only the quadrature/collocation categories go through the evaluator,
+        # so the matrices agree to well below the 1 % technique error.
+        scale = np.max(np.abs(exact))
+        assert np.max(np.abs(exact - accelerated)) / scale < 0.01

@@ -1,0 +1,218 @@
+"""Tests for templates, shapes, basis functions and instantiation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.basis import (
+    ArchParameterModel,
+    ArchParameters,
+    ArchProfile,
+    BasisSet,
+    InstantiationConfig,
+    TemplateLibrary,
+    build_basis_set,
+)
+from repro.basis.functions import BasisFunction, BasisKind
+from repro.basis.templates import TemplateInstance, make_arch_template, make_flat_template
+from repro.geometry import generators
+from repro.geometry.panel import Panel
+
+
+class TestArchProfile:
+    def test_peak_at_edge(self):
+        arch = ArchProfile(axis="u", edge=1.0, ingrowing_length=0.2, extension_length=0.5)
+        values = arch(np.asarray([0.5, 1.0, 1.5]))
+        assert values[1] == pytest.approx(1.0)
+        assert values[0] < 1.0 and values[2] < 1.0
+
+    def test_decay_directions(self):
+        arch = ArchProfile(axis="u", edge=0.0, ingrowing_length=0.1, extension_length=1.0, inward_sign=+1)
+        # inside (positive offset) decays with the short length, outside slowly
+        assert arch(0.3) < arch(-0.3)
+
+    def test_integral_matches_quadrature(self):
+        arch = ArchProfile(axis="v", edge=0.5, ingrowing_length=0.3, extension_length=0.7)
+        grid = np.linspace(-1.0, 2.0, 20001)
+        numeric = np.trapezoid(arch(grid), grid)
+        assert arch.integral_over(-1.0, 2.0) == pytest.approx(numeric, rel=1e-6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ArchProfile(axis="w", edge=0.0, ingrowing_length=0.1, extension_length=0.1)
+        with pytest.raises(ValueError):
+            ArchProfile(axis="u", edge=0.0, ingrowing_length=-0.1, extension_length=0.1)
+        with pytest.raises(ValueError):
+            ArchProfile(axis="u", edge=0.0, ingrowing_length=0.1, extension_length=0.1, inward_sign=0)
+
+    @given(
+        edge=st.floats(min_value=-1.0, max_value=1.0),
+        lin=st.floats(min_value=0.05, max_value=1.0),
+        lout=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_by_one_property(self, edge, lin, lout):
+        arch = ArchProfile(axis="u", edge=edge, ingrowing_length=lin, extension_length=lout)
+        values = arch(np.linspace(-3, 3, 101))
+        assert np.all(values > 0.0) and np.all(values <= 1.0 + 1e-12)
+
+
+class TestTemplates:
+    def _panel(self) -> Panel:
+        return Panel(normal_axis=2, offset=0.0, u_range=(0.0, 2.0), v_range=(0.0, 1.0))
+
+    def test_flat_template_moment_is_area(self):
+        template = make_flat_template(self._panel())
+        assert template.is_flat
+        assert template.moment() == pytest.approx(2.0)
+
+    def test_arch_template_moment(self):
+        arch = ArchProfile(axis="u", edge=1.0, ingrowing_length=0.3, extension_length=0.3)
+        template = make_arch_template(self._panel(), arch)
+        assert not template.is_flat
+        expected = arch.integral_over(0.0, 2.0) * 1.0
+        assert template.moment() == pytest.approx(expected)
+
+
+class TestArchParameterModel:
+    def test_default_model_scales_with_separation(self):
+        model = ArchParameterModel()
+        near = model.parameters(0.2e-6, 1.0e-6)
+        far = model.parameters(2.0e-6, 1.0e-6)
+        assert far.extension_length > near.extension_length
+        assert far.amplitude_hint < near.amplitude_hint
+
+    def test_calibration_interpolates(self):
+        model = ArchParameterModel()
+        model.calibrate(
+            np.asarray([1e-6, 2e-6]),
+            [
+                ArchParameters(0.4e-6, 0.8e-6, 1.0),
+                ArchParameters(0.8e-6, 1.6e-6, 0.5),
+            ],
+        )
+        assert model.is_calibrated
+        mid = model.parameters(1.5e-6, 1.0e-6)
+        assert mid.ingrowing_length == pytest.approx(0.6e-6)
+        assert mid.extension_length == pytest.approx(1.2e-6)
+        assert mid.amplitude_hint == pytest.approx(0.75)
+
+    def test_invalid_calibration_rejected(self):
+        model = ArchParameterModel()
+        with pytest.raises(ValueError):
+            model.calibrate(np.asarray([1e-6]), [ArchParameters(1e-7, 1e-7)])
+
+    def test_invalid_queries_rejected(self):
+        model = ArchParameterModel()
+        with pytest.raises(ValueError):
+            model.parameters(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            model.parameters(1.0, 0.0)
+
+
+class TestTemplateLibrary:
+    def test_cache_reuse(self):
+        library = TemplateLibrary()
+        first = library.parameters(1.0e-6, 1.0e-6)
+        second = library.parameters(1.0e-6 * (1 + 1e-5), 1.0e-6)
+        assert first == second
+        assert library.hits == 1 and library.misses == 1
+        assert library.reuse_ratio == pytest.approx(0.5)
+
+    def test_distinct_geometries_create_entries(self):
+        library = TemplateLibrary()
+        library.parameters(1.0e-6, 1.0e-6)
+        library.parameters(2.0e-6, 1.0e-6)
+        assert library.num_entries == 2
+
+    def test_clear(self):
+        library = TemplateLibrary()
+        library.parameters(1.0e-6, 1.0e-6)
+        library.clear()
+        assert library.num_entries == 0 and library.hits == 0
+
+
+class TestBasisSet:
+    def test_basis_function_validation(self):
+        panel = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0), conductor=0)
+        with pytest.raises(ValueError):
+            BasisFunction(conductor=1, kind=BasisKind.FACE, templates=(make_flat_template(panel),))
+        with pytest.raises(ValueError):
+            BasisFunction(conductor=0, kind=BasisKind.FACE, templates=())
+
+    def test_flattened_templates_and_owner(self, crossing_layout):
+        basis_set = build_basis_set(crossing_layout)
+        templates, owner = basis_set.flattened_templates()
+        assert len(templates) == basis_set.num_templates
+        assert owner.shape == (basis_set.num_templates,)
+        assert np.all(np.diff(owner) >= 0)
+        assert owner.max() == basis_set.num_basis_functions - 1
+
+    def test_incidence_matrix_structure(self, crossing_layout):
+        basis_set = build_basis_set(crossing_layout)
+        phi = basis_set.incidence_matrix(2)
+        assert phi.shape == (basis_set.num_basis_functions, 2)
+        assert np.count_nonzero(phi) == basis_set.num_basis_functions
+        assert np.all(phi.sum(axis=1) > 0.0)
+
+    def test_incidence_matrix_validation(self, crossing_layout):
+        basis_set = build_basis_set(crossing_layout)
+        with pytest.raises(ValueError):
+            basis_set.incidence_matrix(1)
+
+    def test_from_panels_is_pwc(self, crossing_layout):
+        panels = crossing_layout.surface_panels()
+        basis_set = BasisSet.from_panels(panels)
+        assert basis_set.num_templates == basis_set.num_basis_functions == len(panels)
+        assert basis_set.template_ratio == pytest.approx(1.0)
+
+
+class TestInstantiation:
+    def test_crossing_layout_counts(self, crossing_layout):
+        basis_set = build_basis_set(crossing_layout)
+        summary = basis_set.summary()
+        assert summary["num_face"] == 12
+        assert summary["num_induced"] == 2
+        # Template ratio must lie in the 1.2 - 3 range the paper quotes.
+        assert 1.2 <= summary["template_ratio"] <= 3.0
+
+    def test_bus_layout_counts(self, small_bus_layout):
+        basis_set = build_basis_set(small_bus_layout)
+        summary = basis_set.summary()
+        assert summary["num_face"] == 6 * small_bus_layout.num_conductors
+        assert summary["num_induced"] == 2 * 9
+        assert 1.2 <= summary["template_ratio"] <= 3.0
+
+    def test_face_refinement_increases_basis(self, crossing_layout):
+        coarse = build_basis_set(crossing_layout)
+        fine = build_basis_set(crossing_layout, InstantiationConfig(face_refinement=2))
+        assert fine.num_basis_functions > coarse.num_basis_functions
+
+    def test_disable_induced(self, crossing_layout):
+        basis_set = build_basis_set(crossing_layout, InstantiationConfig(include_induced=False))
+        assert basis_set.summary()["num_induced"] == 0
+
+    def test_disable_arches_keeps_flat_overlap(self, crossing_layout):
+        basis_set = build_basis_set(crossing_layout, InstantiationConfig(include_arches=False))
+        induced = [f for f in basis_set if f.kind is BasisKind.INDUCED]
+        assert induced and all(f.num_templates == 1 for f in induced)
+
+    def test_max_crossing_separation_filter(self, crossing_layout):
+        config = InstantiationConfig(max_crossing_separation=0.5e-6)
+        basis_set = build_basis_set(crossing_layout, config)
+        assert basis_set.summary()["num_induced"] == 0
+
+    def test_induced_templates_stay_on_host_conductor(self, crossing_layout):
+        basis_set = build_basis_set(crossing_layout)
+        for function in basis_set:
+            for template in function.templates:
+                assert template.panel.conductor == function.conductor
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            InstantiationConfig(face_refinement=0)
+        with pytest.raises(ValueError):
+            InstantiationConfig(min_arch_support=2.0)

@@ -1,0 +1,75 @@
+"""Tests of the arch-shape extraction from the elementary crossing problem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.basis.extraction import (
+    ChargeProfile,
+    calibrate_parameter_model,
+    extract_charge_profile,
+    fit_arch_parameters,
+)
+from repro.basis.shapes import ArchParameterModel
+
+
+@pytest.fixture(scope="module")
+def profile():
+    # Small separation relative to the wire width so the edge structure of
+    # Figure 2 is visible, at a coarse (fast) discretisation.
+    return extract_charge_profile(
+        separation=0.5e-6, axial_cells=32, lateral_cells=2, other_face_cells=3
+    )
+
+
+class TestChargeProfile:
+    def test_profile_is_induced_negative_charge(self, profile):
+        # Bottom wire grounded, top wire at 1 V: the facing charge is negative.
+        assert profile.flat_level < 0.0
+        assert np.all(profile.densities[np.abs(profile.positions) < 0.5e-6] < 0.0)
+
+    def test_charge_concentrated_under_the_crossing(self, profile):
+        inside = np.abs(profile.positions) <= 0.5e-6
+        outside = np.abs(profile.positions) >= 2.0e-6
+        assert np.abs(profile.densities[inside]).mean() > 3.0 * np.abs(
+            profile.densities[outside]
+        ).mean()
+
+    def test_profile_roughly_symmetric(self, profile):
+        densities = np.abs(profile.densities)
+        assert np.allclose(densities, densities[::-1], rtol=0.2, atol=np.max(densities) * 0.05)
+
+    def test_overlap_matches_wire_width(self, profile):
+        assert profile.overlap == (-0.5e-6, 0.5e-6)
+
+
+class TestArchFit:
+    def test_fitted_lengths_scale_with_separation(self, profile):
+        params = fit_arch_parameters(profile)
+        h = profile.separation
+        assert 0.05 * h < params.ingrowing_length < 5.0 * h
+        assert 0.05 * h < params.extension_length < 5.0 * h
+
+    def test_degenerate_profile_rejected(self):
+        degenerate = ChargeProfile(
+            positions=np.linspace(-1, 1, 11),
+            densities=np.zeros(11),
+            overlap=(-0.5, 0.5),
+            separation=1.0,
+        )
+        with pytest.raises(ValueError):
+            fit_arch_parameters(degenerate)
+
+    def test_calibration_updates_model(self):
+        model = ArchParameterModel()
+        assert not model.is_calibrated
+        calibrate_parameter_model(
+            model,
+            separations=np.asarray([0.5e-6, 1.0e-6]),
+            axial_cells=24,
+        )
+        assert model.is_calibrated
+        params = model.parameters(0.75e-6, 1.0e-6)
+        assert params.ingrowing_length > 0.0
+        assert params.extension_length > 0.0

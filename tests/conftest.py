@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import generators
+from repro.geometry.layout import VACUUM_PERMITTIVITY
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Deterministic random generator shared by the whole session."""
+    return np.random.default_rng(20110605)
+
+
+@pytest.fixture(scope="session")
+def crossing_layout():
+    """The elementary two-wire crossing (Figure 1)."""
+    return generators.crossing_wires()
+
+@pytest.fixture(scope="session")
+def small_bus_layout():
+    """A small 3x3 crossing bus."""
+    return generators.bus_crossing(3, 3)
+
+
+@pytest.fixture(scope="session")
+def permittivity() -> float:
+    """Vacuum permittivity."""
+    return VACUUM_PERMITTIVITY

@@ -1,0 +1,136 @@
+"""Tests for the FASTCAP-like multipole-accelerated baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fastcap import ClusterTree, FastCapSolver, MultipoleOperator
+from repro.geometry import generators
+from repro.pwc import PWCSolver
+from repro.solver import compare_capacitance
+
+UM = generators.UM
+
+
+@pytest.fixture(scope="module")
+def crossing_panels():
+    layout = generators.crossing_wires()
+    return layout, PWCSolver(cells_per_edge=3).discretize(layout)
+
+
+class TestClusterTree:
+    def test_tree_partitions_all_panels(self, crossing_panels):
+        _, panels = crossing_panels
+        tree = ClusterTree(panels, max_leaf_size=16)
+        leaf_indices = np.concatenate([leaf.indices for leaf in tree.leaves])
+        assert sorted(leaf_indices.tolist()) == list(range(len(panels)))
+        assert all(leaf.size <= 16 for leaf in tree.leaves)
+
+    def test_tree_depth_bounded(self, crossing_panels):
+        _, panels = crossing_panels
+        tree = ClusterTree(panels, max_leaf_size=4, max_depth=3)
+        assert tree.depth <= 4
+
+    def test_moments_conserve_total_charge(self, crossing_panels, rng):
+        _, panels = crossing_panels
+        tree = ClusterTree(panels, max_leaf_size=8)
+        charges = rng.normal(size=len(panels))
+        tree.compute_moments(charges)
+        assert tree.root.monopole == pytest.approx(charges.sum())
+
+    def test_moment_shift_consistency(self, crossing_panels, rng):
+        # The root dipole computed via child shifts must equal the direct sum.
+        _, panels = crossing_panels
+        tree = ClusterTree(panels, max_leaf_size=8)
+        charges = rng.normal(size=len(panels))
+        tree.compute_moments(charges)
+        rel = tree.centroids - tree.root.center
+        direct_dipole = rel.T @ charges
+        assert np.allclose(tree.root.dipole, direct_dipole)
+
+    def test_empty_panel_list_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterTree([])
+
+    def test_invalid_leaf_size(self, crossing_panels):
+        _, panels = crossing_panels
+        with pytest.raises(ValueError):
+            ClusterTree(panels, max_leaf_size=0)
+
+
+class TestMultipoleOperator:
+    def test_matvec_matches_dense_reference(self, crossing_panels, permittivity, rng):
+        layout, panels = crossing_panels
+        operator = MultipoleOperator(panels, layout.permittivity, theta=0.4)
+        dense = operator.dense_reference()
+        x = rng.normal(size=len(panels))
+        fast = operator.matvec(x)
+        exact = dense @ x
+        assert np.linalg.norm(fast - exact) / np.linalg.norm(exact) < 0.01
+
+    def test_diagonal_positive(self, crossing_panels):
+        layout, panels = crossing_panels
+        operator = MultipoleOperator(panels, layout.permittivity)
+        assert np.all(operator.diagonal() > 0.0)
+
+    def test_memory_well_below_dense_for_larger_problems(self):
+        # The multipole representation only pays off beyond a few hundred
+        # panels (below that the near-field blocks cover everything), so the
+        # memory comparison uses a moderately sized bus.
+        layout = generators.bus_crossing(3, 3)
+        panels = PWCSolver(cells_per_edge=3).discretize(layout)
+        operator = MultipoleOperator(panels, layout.permittivity, theta=0.6)
+        dense_bytes = len(panels) ** 2 * 8
+        # At a few hundred panels the multipole representation is already
+        # cheaper than the dense matrix, and a sizeable share of the
+        # interactions goes through the far-field expansion; the advantage
+        # grows with the panel count.
+        assert operator.memory_bytes < dense_bytes
+        assert len(operator.far_interactions) > 50
+
+    def test_tighter_theta_is_more_accurate(self, crossing_panels, rng):
+        layout, panels = crossing_panels
+        x = rng.normal(size=len(panels))
+        errors = []
+        for theta in (0.8, 0.3):
+            operator = MultipoleOperator(panels, layout.permittivity, theta=theta)
+            dense = operator.dense_reference()
+            error = np.linalg.norm(operator.matvec(x) - dense @ x) / np.linalg.norm(dense @ x)
+            errors.append(error)
+        assert errors[1] <= errors[0]
+
+    def test_invalid_parameters(self, crossing_panels):
+        layout, panels = crossing_panels
+        with pytest.raises(ValueError):
+            MultipoleOperator(panels, layout.permittivity, theta=1.5)
+        with pytest.raises(ValueError):
+            MultipoleOperator(panels, -1.0)
+
+    def test_matvec_size_validation(self, crossing_panels):
+        layout, panels = crossing_panels
+        operator = MultipoleOperator(panels, layout.permittivity)
+        with pytest.raises(ValueError):
+            operator.matvec(np.zeros(len(panels) + 1))
+
+
+class TestFastCapSolver:
+    def test_capacitance_close_to_dense_pwc(self, crossing_layout):
+        fastcap = FastCapSolver(cells_per_edge=3).solve(crossing_layout)
+        dense = PWCSolver(cells_per_edge=3).solve(crossing_layout)
+        comparison = compare_capacitance(fastcap.capacitance, dense.capacitance)
+        # Collocation vs Galerkin testing plus the multipole approximation.
+        assert comparison.max_relative_error < 0.06
+
+    def test_solution_bookkeeping(self, crossing_layout):
+        solution = FastCapSolver(cells_per_edge=2).solve(crossing_layout)
+        assert solution.num_panels > 0
+        assert solution.total_seconds >= solution.setup_seconds
+        assert solution.iterations.total_iterations > 0
+        assert solution.capacitance.shape == (2, 2)
+        assert np.allclose(solution.capacitance, solution.capacitance.T)
+
+    def test_physical_signs(self, crossing_layout):
+        solution = FastCapSolver(cells_per_edge=2).solve(crossing_layout)
+        assert solution.capacitance[0, 0] > 0.0
+        assert solution.capacitance[0, 1] < 0.0

@@ -1,0 +1,150 @@
+"""Tests for boxes, conductors and layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.conductor import Box, Conductor
+from repro.geometry.layout import Layout, VACUUM_PERMITTIVITY
+
+
+class TestBox:
+    def test_size_center_volume(self):
+        box = Box((0.0, 0.0, 0.0), (1.0, 2.0, 3.0))
+        assert np.allclose(box.size, [1.0, 2.0, 3.0])
+        assert np.allclose(box.center, [0.5, 1.0, 1.5])
+        assert box.volume == pytest.approx(6.0)
+        assert box.surface_area == pytest.approx(2 * (2 + 6 + 3))
+
+    def test_invalid_box_rejected(self):
+        with pytest.raises(ValueError):
+            Box((0.0, 0.0, 0.0), (1.0, 0.0, 1.0))
+
+    def test_from_origin_size(self):
+        box = Box.from_origin_size([1.0, 1.0, 1.0], [2.0, 2.0, 2.0])
+        assert box.hi == (3.0, 3.0, 3.0)
+
+    def test_faces_have_outward_normals(self):
+        box = Box((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        faces = box.faces(conductor=3)
+        assert len(faces) == 6
+        assert all(f.conductor == 3 for f in faces)
+        total_area = sum(f.area for f in faces)
+        assert total_area == pytest.approx(box.surface_area)
+
+    def test_contains_point(self):
+        box = Box((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        assert box.contains_point([0.5, 0.5, 0.5])
+        assert not box.contains_point([1.5, 0.5, 0.5])
+
+    def test_overlaps_and_distance(self):
+        a = Box((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        b = Box((0.5, 0.5, 0.5), (2.0, 2.0, 2.0))
+        c = Box((3.0, 0.0, 0.0), (4.0, 1.0, 1.0))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+        assert a.distance_to(c) == pytest.approx(2.0)
+        assert a.distance_to(b) == pytest.approx(0.0)
+
+    def test_translated(self):
+        box = Box((0.0, 0.0, 0.0), (1.0, 1.0, 1.0)).translated([1.0, 2.0, 3.0])
+        assert box.lo == (1.0, 2.0, 3.0)
+
+
+class TestConductor:
+    def test_single_box_exposes_six_faces(self):
+        conductor = Conductor("wire", [Box((0.0, 0.0, 0.0), (4.0, 1.0, 1.0))])
+        assert len(conductor.surface_panels()) == 6
+        assert conductor.surface_area == pytest.approx(2 * (4 + 4 + 1))
+
+    def test_wire_constructor(self):
+        wire = Conductor.wire("w", start=(0, 0, 0), direction=0, length=5.0, width=1.0, thickness=0.5)
+        bb = wire.bounding_box
+        assert np.allclose(bb.size, [5.0, 1.0, 0.5])
+
+    def test_wire_invalid_direction(self):
+        with pytest.raises(ValueError):
+            Conductor.wire("w", start=(0, 0, 0), direction=2, length=1, width=1, thickness=1)
+
+    def test_empty_conductor_rejected(self):
+        with pytest.raises(ValueError):
+            Conductor("empty", [])
+
+    def test_buried_faces_removed_for_stacked_boxes(self):
+        # Two boxes stacked along z forming one 1x1x2 column: the touching
+        # faces are interior and must not appear on the surface.
+        lower = Box((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        upper = Box((0.0, 0.0, 1.0), (1.0, 1.0, 2.0))
+        conductor = Conductor("column", [lower, upper])
+        panels = conductor.surface_panels()
+        assert len(panels) == 10
+        assert conductor.surface_area == pytest.approx(2 * 1 + 4 * 2)
+
+    def test_contains_point_across_boxes(self):
+        conductor = Conductor(
+            "l_shape",
+            [Box((0, 0, 0), (2, 1, 1)), Box((0, 1, 0), (1, 2, 1))],
+        )
+        assert conductor.contains_point([1.5, 0.5, 0.5])
+        assert conductor.contains_point([0.5, 1.5, 0.5])
+        assert not conductor.contains_point([1.5, 1.5, 0.5])
+
+
+class TestLayout:
+    def _two_wire_layout(self) -> Layout:
+        a = Conductor("a", [Box((0, 0, 0), (4, 1, 1))])
+        b = Conductor("b", [Box((0, 2, 0), (4, 3, 1))])
+        return Layout([a, b])
+
+    def test_default_permittivity_is_vacuum(self):
+        layout = self._two_wire_layout()
+        assert layout.permittivity == pytest.approx(VACUUM_PERMITTIVITY)
+
+    def test_relative_permittivity_scaling(self):
+        a = Conductor("a", [Box((0, 0, 0), (1, 1, 1))])
+        layout = Layout([a], relative_permittivity=3.9)
+        assert layout.permittivity == pytest.approx(3.9 * VACUUM_PERMITTIVITY)
+
+    def test_duplicate_names_rejected(self):
+        a = Conductor("x", [Box((0, 0, 0), (1, 1, 1))])
+        b = Conductor("x", [Box((2, 0, 0), (3, 1, 1))])
+        with pytest.raises(ValueError):
+            Layout([a, b])
+
+    def test_conductor_index_lookup(self):
+        layout = self._two_wire_layout()
+        assert layout.conductor_index("b") == 1
+        with pytest.raises(KeyError):
+            layout.conductor_index("missing")
+
+    def test_surface_panels_tagged_with_conductor(self):
+        layout = self._two_wire_layout()
+        panels = layout.surface_panels()
+        assert len(panels) == 12
+        assert {p.conductor for p in panels} == {0, 1}
+
+    def test_validate_detects_shorts(self):
+        a = Conductor("a", [Box((0, 0, 0), (2, 2, 2))])
+        b = Conductor("b", [Box((1, 1, 1), (3, 3, 3))])
+        layout = Layout([a, b])
+        with pytest.raises(ValueError):
+            layout.validate()
+
+    def test_validate_passes_for_disjoint(self):
+        self._two_wire_layout().validate()
+
+    def test_subset(self):
+        layout = self._two_wire_layout()
+        sub = layout.subset(["a"])
+        assert sub.names == ["a"]
+        with pytest.raises(KeyError):
+            layout.subset(["nope"])
+
+    def test_bounding_box_and_translation(self):
+        layout = self._two_wire_layout()
+        bb = layout.bounding_box()
+        assert np.allclose(bb.lo, [0, 0, 0])
+        assert np.allclose(bb.hi, [4, 3, 1])
+        moved = layout.translated([1, 1, 1])
+        assert np.allclose(moved.bounding_box().lo, [1, 1, 1])

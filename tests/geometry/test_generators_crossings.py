@@ -1,0 +1,145 @@
+"""Tests for the structure generators, crossing detection and discretisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import generators, find_crossings
+from repro.geometry.crossings import crossing_statistics, find_lateral_pairs
+from repro.geometry.discretize import (
+    discretize_layout,
+    discretize_layout_graded,
+    discretize_panel_graded,
+    refine_discretization,
+    total_area,
+)
+
+UM = generators.UM
+
+
+class TestCrossingWires:
+    def test_two_conductors(self, crossing_layout):
+        assert crossing_layout.num_conductors == 2
+        assert crossing_layout.names == ["source", "target"]
+
+    def test_single_crossing_detected(self, crossing_layout):
+        crossings = find_crossings(crossing_layout)
+        assert len(crossings) == 1
+        crossing = crossings[0]
+        assert crossing.separation == pytest.approx(1.0 * UM)
+        assert crossing.overlap_area == pytest.approx(1.0 * UM * UM)
+        assert crossing.lower == 0 and crossing.upper == 1
+
+    def test_facing_panels(self, crossing_layout):
+        crossing = find_crossings(crossing_layout)[0]
+        lower_face = crossing.lower_facing_panel()
+        upper_face = crossing.upper_facing_panel()
+        assert lower_face.normal_axis == 2 and lower_face.outward == +1
+        assert upper_face.normal_axis == 2 and upper_face.outward == -1
+        assert upper_face.offset - lower_face.offset == pytest.approx(crossing.separation)
+
+    def test_separation_parameter(self):
+        layout = generators.crossing_wires(separation=0.5 * UM)
+        assert find_crossings(layout)[0].separation == pytest.approx(0.5 * UM)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            generators.crossing_wires(separation=-1.0)
+
+
+class TestBusCrossing:
+    def test_conductor_count(self):
+        layout = generators.bus_crossing(3, 4)
+        assert layout.num_conductors == 7
+
+    def test_crossing_count(self):
+        layout = generators.bus_crossing(3, 4)
+        crossings = find_crossings(layout)
+        assert len(crossings) == 12
+
+    def test_no_shorts(self):
+        generators.bus_crossing(4, 4).validate()
+
+    def test_statistics(self):
+        layout = generators.bus_crossing(2, 2)
+        stats = crossing_statistics(find_crossings(layout))
+        assert stats["count"] == 4
+        assert stats["min_separation"] == pytest.approx(1.0 * UM)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            generators.bus_crossing(0, 3)
+
+
+class TestOtherGenerators:
+    def test_transistor_interconnect_structure(self):
+        layout = generators.transistor_interconnect()
+        assert layout.num_conductors == 1 + 3 + 2
+        layout.validate()
+        assert len(find_crossings(layout)) > 0
+
+    def test_parallel_plates(self):
+        layout = generators.parallel_plates()
+        assert layout.num_conductors == 2
+        assert len(find_crossings(layout)) == 1
+
+    def test_plate_over_ground(self):
+        layout = generators.plate_over_ground()
+        layout.validate()
+        assert len(find_crossings(layout)) == 1
+
+    def test_single_plate(self):
+        layout = generators.single_plate()
+        assert layout.num_conductors == 1
+        assert len(layout.surface_panels()) == 6
+
+    def test_comb_capacitor_lateral_pairs(self):
+        layout = generators.comb_capacitor(n_fingers=4)
+        layout.validate()
+        assert len(find_crossings(layout)) == 0
+        assert len(find_lateral_pairs(layout)) > 0
+
+    def test_wire_array(self):
+        layout = generators.wire_array(n_wires=3)
+        assert layout.num_conductors == 3
+        pairs = find_lateral_pairs(layout, max_gap=2.0 * UM)
+        assert len(pairs) >= 2
+
+
+class TestDiscretization:
+    def test_uniform_discretization_preserves_area(self, crossing_layout):
+        panels = discretize_layout(crossing_layout, max_edge=0.5 * UM)
+        assert total_area(panels) == pytest.approx(crossing_layout.total_surface_area())
+
+    def test_graded_discretization_preserves_area(self, crossing_layout):
+        panels = discretize_layout_graded(crossing_layout, cells_per_edge=3, ratio=1.6)
+        assert total_area(panels) == pytest.approx(crossing_layout.total_surface_area())
+
+    def test_graded_panel_refines_towards_edges(self):
+        from repro.geometry.panel import Panel
+
+        panel = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        parts = discretize_panel_graded(panel, 5, 1, ratio=2.0)
+        spans = sorted(p.u_span for p in parts)
+        # Edge cells are smaller than the central cell.
+        assert spans[0] < spans[-1]
+        assert sum(p.area for p in parts) == pytest.approx(panel.area)
+
+    def test_grading_ratio_one_is_uniform(self):
+        from repro.geometry.panel import Panel
+
+        panel = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        parts = discretize_panel_graded(panel, 4, 1, ratio=1.0)
+        spans = [p.u_span for p in parts]
+        assert np.allclose(spans, 0.25)
+
+    def test_refine_discretization_grows_panel_count(self, crossing_layout):
+        panels = discretize_layout(crossing_layout, max_edge=1.0 * UM)
+        refined = refine_discretization(panels, factor=1.1)
+        assert len(refined) > len(panels)
+        assert total_area(refined) == pytest.approx(total_area(panels))
+
+    def test_refine_with_unity_factor_is_identity(self, crossing_layout):
+        panels = discretize_layout(crossing_layout, max_edge=1.0 * UM)
+        assert len(refine_discretization(panels, factor=1.0)) == len(panels)

@@ -1,0 +1,143 @@
+"""Tests for the Panel primitive."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.panel import Panel, tangential_axes
+
+
+class TestTangentialAxes:
+    def test_axes_for_each_normal(self):
+        assert tangential_axes(0) == (1, 2)
+        assert tangential_axes(1) == (0, 2)
+        assert tangential_axes(2) == (0, 1)
+
+    def test_invalid_axis_rejected(self):
+        with pytest.raises(ValueError):
+            tangential_axes(3)
+
+
+class TestPanelBasics:
+    def test_area_and_spans(self):
+        panel = Panel(normal_axis=2, offset=1.0, u_range=(0.0, 2.0), v_range=(0.0, 3.0))
+        assert panel.u_span == 2.0
+        assert panel.v_span == 3.0
+        assert panel.area == 6.0
+        assert panel.diagonal == pytest.approx(math.hypot(2.0, 3.0))
+
+    def test_centroid_and_normal(self):
+        panel = Panel(normal_axis=1, offset=5.0, u_range=(0.0, 2.0), v_range=(-1.0, 1.0), outward=-1)
+        assert np.allclose(panel.centroid, [1.0, 5.0, 0.0])
+        assert np.allclose(panel.normal, [0.0, -1.0, 0.0])
+
+    def test_corners_lie_in_plane(self):
+        panel = Panel(normal_axis=0, offset=2.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        corners = panel.corners()
+        assert corners.shape == (4, 3)
+        assert np.allclose(corners[:, 0], 2.0)
+
+    def test_degenerate_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Panel(normal_axis=2, offset=0.0, u_range=(1.0, 1.0), v_range=(0.0, 1.0))
+
+    def test_invalid_normal_axis_rejected(self):
+        with pytest.raises(ValueError):
+            Panel(normal_axis=5, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+
+    def test_invalid_outward_rejected(self):
+        with pytest.raises(ValueError):
+            Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0), outward=2)
+
+    def test_point_at(self):
+        panel = Panel(normal_axis=2, offset=0.5, u_range=(0.0, 1.0), v_range=(0.0, 2.0))
+        point = panel.point_at(0.25, 1.5)
+        assert np.allclose(point, [0.25, 1.5, 0.5])
+
+    def test_from_corners(self):
+        panel = Panel.from_corners([0.0, 0.0, 1.0], [2.0, 3.0, 1.0], conductor=4)
+        assert panel.normal_axis == 2
+        assert panel.conductor == 4
+        assert panel.area == pytest.approx(6.0)
+
+    def test_from_corners_requires_one_degenerate_axis(self):
+        with pytest.raises(ValueError):
+            Panel.from_corners([0.0, 0.0, 0.0], [1.0, 1.0, 1.0])
+
+    def test_with_conductor(self):
+        panel = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        assert panel.with_conductor(7).conductor == 7
+
+
+class TestPanelRelations:
+    def test_parallel_and_coplanar(self):
+        a = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        b = Panel(normal_axis=2, offset=1.0, u_range=(2.0, 3.0), v_range=(0.0, 1.0))
+        c = Panel(normal_axis=0, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        assert a.is_parallel_to(b)
+        assert not a.is_coplanar_with(b)
+        assert not a.is_parallel_to(c)
+
+    def test_separation_of_disjoint_panels(self):
+        a = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        b = Panel(normal_axis=2, offset=2.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        assert a.separation(b) == pytest.approx(2.0)
+
+    def test_separation_of_touching_panels_is_zero(self):
+        a = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        b = Panel(normal_axis=2, offset=0.0, u_range=(1.0, 2.0), v_range=(0.0, 1.0))
+        assert a.separation(b) == pytest.approx(0.0)
+
+    def test_centroid_distance_symmetry(self):
+        a = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        b = Panel(normal_axis=1, offset=3.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        assert a.centroid_distance(b) == pytest.approx(b.centroid_distance(a))
+
+
+class TestSubdivision:
+    def test_subdivide_counts(self):
+        panel = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        parts = list(panel.subdivide(3, 2))
+        assert len(parts) == 6
+
+    def test_subdivide_preserves_area(self):
+        panel = Panel(normal_axis=1, offset=0.0, u_range=(0.0, 2.0), v_range=(0.0, 3.0))
+        parts = list(panel.subdivide(4, 5))
+        assert sum(p.area for p in parts) == pytest.approx(panel.area)
+
+    def test_subdivide_to_size_respects_bound(self):
+        panel = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 2.0))
+        parts = list(panel.subdivide_to_size(0.3))
+        assert all(p.u_span <= 0.3 + 1e-12 and p.v_span <= 0.3 + 1e-12 for p in parts)
+
+    def test_invalid_subdivision_rejected(self):
+        panel = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            list(panel.subdivide(0, 1))
+        with pytest.raises(ValueError):
+            list(panel.subdivide_to_size(0.0))
+
+    @given(
+        n_u=st.integers(min_value=1, max_value=6),
+        n_v=st.integers(min_value=1, max_value=6),
+        u_lo=st.floats(min_value=-5, max_value=5),
+        u_len=st.floats(min_value=0.1, max_value=10),
+        v_lo=st.floats(min_value=-5, max_value=5),
+        v_len=st.floats(min_value=0.1, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_subdivision_area_conservation_property(self, n_u, n_v, u_lo, u_len, v_lo, v_len):
+        panel = Panel(
+            normal_axis=2,
+            offset=0.0,
+            u_range=(u_lo, u_lo + u_len),
+            v_range=(v_lo, v_lo + v_len),
+        )
+        parts = list(panel.subdivide(n_u, n_v))
+        assert len(parts) == n_u * n_v
+        assert sum(p.area for p in parts) == pytest.approx(panel.area, rel=1e-9)

@@ -1,0 +1,136 @@
+"""Validation of the closed-form collocation integrals against quadrature."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.panel import Panel
+from repro.greens.collocation import (
+    collocation_corner,
+    collocation_from_deltas,
+    collocation_potential,
+    strip_integral,
+)
+from repro.greens.kernels import panel_potential_quadrature
+from repro.greens.quadrature import gauss_legendre, gauss_legendre_interval, tensor_grid
+
+
+class TestCornerFunction:
+    def test_symmetry_in_a_and_b(self, rng):
+        a, b, c = rng.uniform(-2, 2, 50), rng.uniform(-2, 2, 50), rng.uniform(-2, 2, 50)
+        assert np.allclose(collocation_corner(a, b, c), collocation_corner(b, a, c))
+
+    def test_even_in_c(self, rng):
+        a, b, c = rng.uniform(-2, 2, 50), rng.uniform(-2, 2, 50), rng.uniform(0.01, 2, 50)
+        assert np.allclose(collocation_corner(a, b, c), collocation_corner(a, b, -c))
+
+    def test_zero_at_origin(self):
+        assert collocation_corner(0.0, 0.0, 0.0) == 0.0
+
+    def test_mixed_derivative_is_kernel(self):
+        # d^2 g / (da db) == 1 / r, checked by central finite differences.
+        a, b, c = 0.7, -0.4, 0.3
+        h = 1e-5
+        stencil = (
+            collocation_corner(a + h, b + h, c)
+            - collocation_corner(a + h, b - h, c)
+            - collocation_corner(a - h, b + h, c)
+            + collocation_corner(a - h, b - h, c)
+        ) / (4.0 * h * h)
+        assert stencil == pytest.approx(1.0 / np.sqrt(a * a + b * b + c * c), rel=1e-5)
+
+
+class TestCollocationPotential:
+    @pytest.mark.parametrize(
+        "point",
+        [
+            (0.3, 0.2, 0.5),
+            (2.0, -1.0, 0.1),
+            (-3.0, 4.0, 2.0),
+            (0.5, 0.35, -0.7),
+        ],
+    )
+    def test_matches_quadrature_for_separated_points(self, point):
+        panel = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 0.7))
+        exact = collocation_potential(panel, np.asarray([point], dtype=float))[0]
+        reference = panel_potential_quadrature(panel, np.asarray(point, dtype=float), order=32)
+        assert exact == pytest.approx(reference, rel=1e-6)
+
+    def test_point_on_panel_is_finite(self):
+        panel = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        value = collocation_potential(panel, panel.centroid[None, :])[0]
+        assert np.isfinite(value)
+        assert value > 0.0
+
+    def test_far_field_approaches_monopole(self):
+        panel = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        point = np.asarray([[50.0, 40.0, 30.0]])
+        distance = np.linalg.norm(point[0] - panel.centroid)
+        assert collocation_potential(panel, point)[0] == pytest.approx(
+            panel.area / distance, rel=1e-3
+        )
+
+    def test_vectorised_matches_scalar(self, rng):
+        panel = Panel(normal_axis=1, offset=0.5, u_range=(-1.0, 1.0), v_range=(0.0, 2.0))
+        points = rng.uniform(-3, 3, size=(20, 3))
+        batch = collocation_potential(panel, points)
+        single = [collocation_potential(panel, points[i : i + 1])[0] for i in range(20)]
+        assert np.allclose(batch, single)
+
+    def test_bad_point_shape_rejected(self):
+        panel = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            collocation_potential(panel, np.zeros((3, 2)))
+
+    @given(
+        z=st.floats(min_value=0.05, max_value=3.0),
+        x=st.floats(min_value=-3.0, max_value=3.0),
+        y=st.floats(min_value=-3.0, max_value=3.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_positive_everywhere_property(self, z, x, y):
+        panel = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        assert collocation_potential(panel, np.asarray([[x, y, z]]))[0] > 0.0
+
+
+class TestStripIntegral:
+    def test_matches_numeric_integration(self):
+        y, a, c = 0.3, 0.4, 0.6
+        v1, v2 = -0.5, 0.8
+        nodes, weights = gauss_legendre_interval(v1, v2, 40)
+        numeric = float(np.sum(weights / np.sqrt(a * a + c * c + (y - nodes) ** 2)))
+        analytic = float(strip_integral(y - v1, y - v2, a, c))
+        assert analytic == pytest.approx(numeric, rel=1e-10)
+
+
+class TestQuadratureRules:
+    def test_gauss_weights_sum_to_interval_length(self):
+        nodes, weights = gauss_legendre_interval(-2.0, 3.0, 8)
+        assert weights.sum() == pytest.approx(5.0)
+        assert nodes.min() > -2.0 and nodes.max() < 3.0
+
+    def test_gauss_exact_for_polynomials(self):
+        nodes, weights = gauss_legendre_interval(0.0, 1.0, 4)
+        # order-4 Gauss integrates x^7 exactly on [0, 1] -> 1/8.
+        assert float(np.sum(weights * nodes**7)) == pytest.approx(1.0 / 8.0)
+
+    def test_tensor_grid_weights(self):
+        u, v, w = tensor_grid((0.0, 2.0), (0.0, 3.0), 4, 5)
+        assert u.size == 20
+        assert w.sum() == pytest.approx(6.0)
+
+    def test_cached_rules_are_reused(self):
+        first = gauss_legendre(6)[0]
+        second = gauss_legendre(6)[0]
+        assert first is second
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            gauss_legendre(0)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            gauss_legendre_interval(1.0, 1.0, 4)

@@ -1,0 +1,168 @@
+"""Validation of the 4-D closed forms and the Galerkin integrator."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import generators
+from repro.geometry.panel import Panel
+from repro.greens.galerkin import GalerkinIntegrator
+from repro.greens.indefinite import (
+    definite_from_corners,
+    galerkin_parallel_panels,
+    galerkin_parallel_rectangles,
+    indefinite_integral,
+)
+from repro.greens.kernels import FOUR_PI_EPS0, panel_pair_quadrature, point_kernel
+from repro.greens.policy import ApproximationPolicy, EvaluationLevel
+from repro.geometry.layout import VACUUM_PERMITTIVITY
+
+
+class TestIndefiniteIntegral:
+    def test_even_in_separation(self, rng):
+        a = rng.uniform(-2, 2, 30)
+        b = rng.uniform(-2, 2, 30)
+        c = rng.uniform(0.1, 2, 30)
+        assert np.allclose(indefinite_integral(a, b, c), indefinite_integral(a, b, -c))
+
+    def test_symmetric_in_a_b(self, rng):
+        a = rng.uniform(-2, 2, 30)
+        b = rng.uniform(-2, 2, 30)
+        c = rng.uniform(0.0, 2, 30)
+        assert np.allclose(indefinite_integral(a, b, c), indefinite_integral(b, a, c))
+
+    def test_finite_at_origin(self):
+        assert np.isfinite(indefinite_integral(0.0, 0.0, 0.0))
+
+
+class TestParallelGalerkinClosedForm:
+    CASES = [
+        # (u_i, v_i, u_j, v_j, separation)
+        ((0.0, 1.0), (0.0, 1.0), (2.0, 3.0), (0.5, 1.5), 0.7),
+        ((0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 1.0), 0.3),
+        ((0.0, 1.0), (0.0, 1.0), (1.5, 2.5), (0.0, 1.0), 0.0),
+        ((0.0, 2.0), (0.0, 0.5), (-1.0, 0.5), (0.25, 1.5), 1.2),
+        ((0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 1.0), -0.4),
+    ]
+
+    @pytest.mark.parametrize("u_i, v_i, u_j, v_j, sep", CASES)
+    def test_matches_brute_force_quadrature(self, u_i, v_i, u_j, v_j, sep):
+        panel_i = Panel(normal_axis=2, offset=sep, u_range=u_i, v_range=v_i)
+        panel_j = Panel(normal_axis=2, offset=0.0, u_range=u_j, v_range=v_j)
+        exact = galerkin_parallel_rectangles(u_i, v_i, u_j, v_j, sep)
+        if panel_i.separation(panel_j) > 0.0:
+            reference = panel_pair_quadrature(panel_i, panel_j, order=20)
+            assert exact == pytest.approx(reference, rel=1e-6)
+        assert exact > 0.0
+
+    def test_coplanar_overlapping_panels_finite_and_positive(self):
+        # Overlapping coplanar supports are allowed for instantiable basis
+        # functions (the paper emphasises this); the integral must stay
+        # finite and positive.
+        value = galerkin_parallel_rectangles((0.0, 1.0), (0.0, 1.0), (0.2, 0.8), (0.1, 0.9), 0.0)
+        assert np.isfinite(value) and value > 0.0
+
+    def test_self_integral_positive(self):
+        value = galerkin_parallel_rectangles((0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 1.0), 0.0)
+        assert np.isfinite(value) and value > 0.0
+
+    def test_symmetry_under_panel_swap(self):
+        a = galerkin_parallel_rectangles((0.0, 1.0), (0.0, 2.0), (3.0, 4.0), (1.0, 2.0), 0.5)
+        b = galerkin_parallel_rectangles((3.0, 4.0), (1.0, 2.0), (0.0, 1.0), (0.0, 2.0), -0.5)
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_panel_interface_requires_parallel(self):
+        panel_i = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        panel_j = Panel(normal_axis=0, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            galerkin_parallel_panels(panel_i, panel_j)
+
+    def test_far_field_monopole_limit(self):
+        value = definite_from_corners((0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 1.0), 60.0)
+        assert value == pytest.approx(1.0 / 60.0, rel=1e-3)
+
+    @given(
+        sep=st.floats(min_value=0.2, max_value=5.0),
+        shift=st.floats(min_value=-3.0, max_value=3.0),
+        width=st.floats(min_value=0.2, max_value=2.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_positive_for_any_geometry_property(self, sep, shift, width):
+        value = galerkin_parallel_rectangles(
+            (0.0, 1.0), (0.0, 1.0), (shift, shift + width), (shift, shift + width), sep
+        )
+        assert value > 0.0
+
+
+class TestApproximationPolicy:
+    def test_levels_by_distance(self):
+        policy = ApproximationPolicy(tolerance=0.01)
+        base = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        near = Panel(normal_axis=2, offset=0.5, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        medium = Panel(normal_axis=2, offset=12.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        far = Panel(normal_axis=2, offset=100.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        assert policy.level(base, near) is EvaluationLevel.EXACT
+        assert policy.level(base, medium) is EvaluationLevel.COLLOCATION
+        assert policy.level(base, far) is EvaluationLevel.POINT
+
+    def test_tighter_tolerance_pushes_thresholds_out(self):
+        loose = ApproximationPolicy(tolerance=0.05)
+        tight = ApproximationPolicy(tolerance=0.001)
+        assert tight.point_distance_factor > loose.point_distance_factor
+        assert tight.collocation_distance_factor > loose.collocation_distance_factor
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ApproximationPolicy(tolerance=0.0)
+        with pytest.raises(ValueError):
+            ApproximationPolicy(safety_factor=0.5)
+
+
+class TestGalerkinIntegrator:
+    def test_all_separated_pairs_match_quadrature(self, crossing_layout):
+        integrator = GalerkinIntegrator(VACUUM_PERMITTIVITY)
+        panels = crossing_layout.surface_panels()
+        prefactor = 1.0 / FOUR_PI_EPS0
+        checked = 0
+        for i, j in itertools.combinations(range(len(panels)), 2):
+            if panels[i].separation(panels[j]) < 0.3e-6:
+                continue
+            value = integrator.template_pair(panels[i], panels[j])
+            reference = prefactor * panel_pair_quadrature(panels[i], panels[j], order=20)
+            assert value == pytest.approx(reference, rel=1.2e-2)
+            checked += 1
+        assert checked > 20
+
+    def test_collocation_and_point_levels_are_accurate(self):
+        integrator = GalerkinIntegrator(VACUUM_PERMITTIVITY)
+        base = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1e-6), v_range=(0.0, 1e-6))
+        medium = Panel(normal_axis=2, offset=1.2e-5, u_range=(0.0, 1e-6), v_range=(0.0, 1e-6))
+        far = Panel(normal_axis=2, offset=1.0e-4, u_range=(0.0, 1e-6), v_range=(0.0, 1e-6))
+        for other, tol in ((medium, 0.01), (far, 0.01)):
+            value = integrator.template_pair(base, other)
+            exact = galerkin_parallel_rectangles(
+                base.u_range, base.v_range, other.u_range, other.v_range, base.offset - other.offset
+            ) / FOUR_PI_EPS0
+            assert value == pytest.approx(exact, rel=tol)
+
+    def test_counters_increment(self, crossing_layout):
+        integrator = GalerkinIntegrator(VACUUM_PERMITTIVITY)
+        panels = crossing_layout.surface_panels()
+        integrator.template_pair(panels[0], panels[7])
+        assert integrator.counters.total() == 1
+
+    def test_point_kernel_matches_coulomb(self):
+        r = np.asarray([[0.0, 0.0, 0.0]])
+        r_prime = np.asarray([[1.0, 0.0, 0.0]])
+        assert point_kernel(r, r_prime)[0] == pytest.approx(1.0 / FOUR_PI_EPS0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            GalerkinIntegrator(permittivity=0.0)
+        with pytest.raises(ValueError):
+            GalerkinIntegrator(VACUUM_PERMITTIVITY, order_near=0)

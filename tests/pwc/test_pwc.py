@@ -1,0 +1,118 @@
+"""Tests for the piecewise-constant BEM substrate and the reference loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import generators
+from repro.pwc import PWCSolver, PWCSystem, refined_reference
+from repro.pwc.refine import ReferenceResult
+from repro.solver import compare_capacitance
+
+UM = generators.UM
+
+
+class TestPWCSystem:
+    def test_matrix_properties(self, crossing_layout, permittivity):
+        panels = PWCSolver(cells_per_edge=2).discretize(crossing_layout)
+        system = PWCSystem.assemble(panels, permittivity, num_conductors=2)
+        assert system.num_panels == len(panels)
+        assert system.matrix.shape == (len(panels), len(panels))
+        assert np.allclose(system.matrix, system.matrix.T, rtol=1e-10)
+        assert np.all(np.diag(system.matrix) > 0.0)
+        assert system.memory_bytes == system.matrix.nbytes
+
+    def test_rhs_uses_panel_areas(self, crossing_layout, permittivity):
+        panels = PWCSolver(cells_per_edge=2).discretize(crossing_layout)
+        system = PWCSystem.assemble(panels, permittivity, num_conductors=2)
+        assert np.allclose(system.rhs.sum(axis=1), system.areas())
+
+    def test_requires_conductor_tags(self, permittivity):
+        from repro.geometry.panel import Panel
+
+        orphan = Panel(normal_axis=2, offset=0.0, u_range=(0.0, 1.0), v_range=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            PWCSystem.assemble([orphan], permittivity)
+
+    def test_empty_panel_list_rejected(self, permittivity):
+        with pytest.raises(ValueError):
+            PWCSystem.assemble([], permittivity)
+
+
+class TestPWCSolver:
+    def test_parallel_plate_capacitance_bounds(self):
+        # C must exceed the ideal parallel-plate value (fringing adds to it)
+        # but stay within a small multiple of it for a 10:1 aspect ratio.
+        layout = generators.parallel_plates(side=10 * UM, gap=1 * UM, thickness=0.5 * UM)
+        solution = PWCSolver(cells_per_edge=4, grading_ratio=1.5).solve(layout)
+        ideal = layout.permittivity * (10 * UM) ** 2 / (1 * UM)
+        coupling = -solution.capacitance[0, 1]
+        assert coupling > ideal
+        assert coupling < 2.5 * ideal
+
+    def test_isolated_plate_self_capacitance(self):
+        # Maxwell's classical value for a thin square plate of side a is
+        # ~0.367 * 4*pi*eps0*a; a cube-ish plate with thickness is larger but
+        # of the same order.
+        layout = generators.single_plate(side=10 * UM, thickness=1 * UM)
+        solution = PWCSolver(cells_per_edge=3).solve(layout)
+        import math
+
+        scale = 4 * math.pi * layout.permittivity * 10 * UM
+        ratio = solution.capacitance[0, 0] / scale
+        assert 0.3 < ratio < 0.8
+
+    def test_reciprocity_of_couplings(self, small_bus_layout):
+        solution = PWCSolver(cells_per_edge=2).solve(small_bus_layout)
+        assert np.allclose(solution.capacitance, solution.capacitance.T, rtol=1e-8)
+
+    def test_row_sums_non_negative(self, crossing_layout):
+        # Sum of each row equals the capacitance to infinity, which is >= 0.
+        solution = PWCSolver(cells_per_edge=3).solve(crossing_layout)
+        assert np.all(solution.capacitance.sum(axis=1) > 0.0)
+
+    def test_solution_bookkeeping(self, crossing_layout):
+        solution = PWCSolver(cells_per_edge=2).solve(crossing_layout)
+        assert solution.num_panels == len(solution.panels)
+        assert solution.total_seconds >= solution.setup_seconds
+        assert solution.memory_bytes > 0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            PWCSolver(cells_per_edge=0)
+
+
+class TestRefinedReference:
+    def test_reference_converges_or_reports_progress(self, crossing_layout):
+        result = refined_reference(
+            crossing_layout,
+            solver=PWCSolver(cells_per_edge=2),
+            convergence=0.01,
+            max_iterations=3,
+            max_panels=800,
+        )
+        assert isinstance(result, ReferenceResult)
+        assert result.capacitance.shape == (2, 2)
+        assert result.iterations >= 1
+        assert len(result.panel_counts) == result.iterations
+        # Panel counts must be non-decreasing under refinement.
+        assert all(b >= a for a, b in zip(result.panel_counts, result.panel_counts[1:]))
+
+    def test_reference_close_to_direct_pwc(self, crossing_layout):
+        reference = refined_reference(
+            crossing_layout,
+            solver=PWCSolver(cells_per_edge=2),
+            convergence=0.01,
+            max_iterations=2,
+            max_panels=600,
+        )
+        direct = PWCSolver(cells_per_edge=3).solve(crossing_layout)
+        comparison = compare_capacitance(direct.capacitance, reference.capacitance)
+        assert comparison.max_relative_error < 0.08
+
+    def test_invalid_parameters(self, crossing_layout):
+        with pytest.raises(ValueError):
+            refined_reference(crossing_layout, refine_factor=1.0)
+        with pytest.raises(ValueError):
+            refined_reference(crossing_layout, convergence=0.0)

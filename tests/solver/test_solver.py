@@ -1,0 +1,133 @@
+"""Tests for the dense/iterative solvers and capacitance post-processing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solver import (
+    CapacitanceComparison,
+    capacitance_from_solution,
+    capacitance_matrix,
+    cholesky_solve,
+    compare_capacitance,
+    gmres_solve,
+    solve_dense,
+)
+
+
+def _spd_system(rng, size=12):
+    """A random symmetric positive definite system."""
+    a = rng.normal(size=(size, size))
+    matrix = a @ a.T + size * np.eye(size)
+    rhs = rng.normal(size=(size, 3))
+    return matrix, rhs
+
+
+class TestDenseSolvers:
+    def test_cholesky_solves_spd(self, rng):
+        matrix, rhs = _spd_system(rng)
+        x = cholesky_solve(matrix, rhs)
+        assert np.allclose(matrix @ x, rhs)
+
+    def test_cholesky_rejects_indefinite(self, rng):
+        matrix = np.diag([1.0, -1.0, 2.0])
+        with pytest.raises(np.linalg.LinAlgError):
+            cholesky_solve(matrix, np.ones(3))
+
+    def test_solve_dense_falls_back_to_lu(self):
+        matrix = np.asarray([[0.0, 1.0], [1.0, 0.0]])
+        rhs = np.asarray([1.0, 2.0])
+        assert np.allclose(solve_dense(matrix, rhs), [2.0, 1.0])
+
+    def test_shape_validation(self, rng):
+        matrix, rhs = _spd_system(rng)
+        with pytest.raises(ValueError):
+            solve_dense(matrix[:, :-1], rhs)
+        with pytest.raises(ValueError):
+            solve_dense(matrix, rhs[:-1])
+
+
+class TestGMRES:
+    def test_matches_direct_solve(self, rng):
+        matrix, rhs = _spd_system(rng)
+        direct = np.linalg.solve(matrix, rhs)
+        iterative, stats = gmres_solve(
+            lambda x: matrix @ x, rhs, size=matrix.shape[0], tolerance=1e-10,
+            diagonal=np.diag(matrix),
+        )
+        assert np.allclose(iterative, direct, rtol=1e-6)
+        assert stats.total_iterations > 0
+        assert stats.max_iterations <= matrix.shape[0]
+
+    def test_single_vector_rhs(self, rng):
+        matrix, rhs = _spd_system(rng)
+        solution, _ = gmres_solve(lambda x: matrix @ x, rhs[:, 0], size=matrix.shape[0])
+        assert solution.shape == (matrix.shape[0],)
+
+    def test_size_mismatch_rejected(self, rng):
+        matrix, rhs = _spd_system(rng)
+        with pytest.raises(ValueError):
+            gmres_solve(lambda x: matrix @ x, rhs, size=matrix.shape[0] + 1)
+
+
+class TestCapacitance:
+    def test_capacitance_matrix_is_symmetric(self, rng):
+        matrix, _ = _spd_system(rng, size=8)
+        phi = np.zeros((8, 2))
+        phi[:4, 0] = 1.0
+        phi[4:, 1] = 1.0
+        capacitance = capacitance_matrix(matrix, phi)
+        assert capacitance.shape == (2, 2)
+        assert np.allclose(capacitance, capacitance.T)
+
+    def test_capacitance_from_solution_validates_shapes(self):
+        with pytest.raises(ValueError):
+            capacitance_from_solution(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_physical_signs_for_two_conductor_problem(self, crossing_layout, permittivity):
+        from repro.assembly import BatchGalerkinAssembler
+        from repro.basis import build_basis_set
+
+        basis_set = build_basis_set(crossing_layout)
+        system = BatchGalerkinAssembler(basis_set, permittivity).assemble()
+        phi = basis_set.incidence_matrix(2)
+        capacitance = capacitance_matrix(system, phi)
+        # Maxwell capacitance matrix: positive diagonal, negative couplings,
+        # diagonally dominant.
+        assert capacitance[0, 0] > 0.0 and capacitance[1, 1] > 0.0
+        assert capacitance[0, 1] < 0.0
+        assert capacitance[0, 0] >= -capacitance[0, 1]
+
+
+class TestComparison:
+    def test_identical_matrices_have_zero_error(self):
+        reference = np.asarray([[2.0, -1.0], [-1.0, 2.0]])
+        comparison = compare_capacitance(reference.copy(), reference)
+        assert comparison.max_relative_error == 0.0
+        assert comparison.within(0.01)
+
+    def test_detects_diagonal_error(self):
+        reference = np.asarray([[2.0, -1.0], [-1.0, 2.0]])
+        computed = reference.copy()
+        computed[0, 0] *= 1.05
+        comparison = compare_capacitance(computed, reference)
+        assert comparison.max_relative_error == pytest.approx(0.05)
+        assert comparison.self_capacitance_error == pytest.approx(0.05)
+
+    def test_insignificant_couplings_ignored(self):
+        reference = np.asarray([[2.0, -1e-6], [-1e-6, 2.0]])
+        computed = reference.copy()
+        computed[0, 1] *= 10.0
+        comparison = compare_capacitance(computed, reference)
+        assert comparison.max_relative_error == pytest.approx(0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compare_capacitance(np.eye(2), np.eye(3))
+
+    def test_comparison_is_dataclass_with_fields(self):
+        reference = np.asarray([[2.0, -1.0], [-1.0, 2.0]])
+        comparison = compare_capacitance(reference, reference)
+        assert isinstance(comparison, CapacitanceComparison)
+        assert comparison.reference_norm == pytest.approx(2.0)
