@@ -1,0 +1,40 @@
+"""Benchmark of the unified engine: per-backend timings and service throughput.
+
+Unlike the paper-table benchmarks, this one tracks the repo's own serving
+layer.  Besides the pytest-benchmark record it writes ``BENCH_engine.json``
+at the repository root -- per-backend setup/solve seconds and the throughput
+of a small mixed-backend service batch -- so successive PRs can compare the
+performance trajectory of the engine.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.engine.bench import run_engine_bench, write_bench_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_engine_service_benchmark(benchmark, quick_mode):
+    """Stock-backend timings plus a cached, mixed-backend service batch."""
+    report = run_once(benchmark, run_engine_bench, quick=quick_mode)
+    print("\n" + report.text)
+    target = write_bench_json(report, REPO_ROOT / "BENCH_engine.json")
+    print(f"\nwrote {target}")
+    benchmark.extra_info["engine"] = {
+        "throughput_per_second": report.data["throughput_per_second"],
+        "backends": report.data["backends"],
+    }
+
+    data = report.data
+    assert set(data["backends"]) == {"instantiable", "pwc-dense", "fastcap"}
+    for entry in data["backends"].values():
+        assert entry["num_unknowns"] > 0
+        assert entry["total_seconds"] > 0.0
+    batch = data["service_batch"]
+    assert batch["num_failed"] == 0
+    assert batch["cache_hits"] >= 1
+    assert data["throughput_per_second"] > 0.0

@@ -1,14 +1,14 @@
 """Quickstart: extract the capacitance of a pair of crossing wires.
 
 Run with ``python examples/quickstart.py``.  This is the smallest complete
-use of the public API: build a layout, run the extractor, inspect the
-capacitance matrix and compare against the slow-but-exact piecewise-constant
-reference.
+use of the unified engine API: build a layout, pick a backend from the
+registry, run the extraction and compare against the slow-but-exact
+piecewise-constant reference served by another backend of the same engine.
 """
 
 from __future__ import annotations
 
-from repro import CapacitanceExtractor, ExtractionConfig, generators
+from repro import generators, get_backend
 from repro.core.reference import reference_capacitance
 from repro.solver import compare_capacitance
 
@@ -18,9 +18,9 @@ def main() -> None:
     # at a vertical separation of 1 um.
     layout = generators.crossing_wires(separation=1.0e-6)
 
-    extractor = CapacitanceExtractor(ExtractionConfig(tolerance=0.01))
-    result = extractor.extract(layout)
+    result = get_backend("instantiable").extract(layout, tolerance=0.01)
 
+    print(f"Backend: {result.backend}")
     print("Conductors:", ", ".join(result.conductor_names))
     print(f"Basis functions (N): {result.num_basis_functions}")
     print(f"Templates       (M): {result.num_templates}")

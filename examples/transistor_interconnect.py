@@ -2,20 +2,21 @@
 
 Reproduces the comparison of paper Table 2 on the synthetic transistor-cell
 interconnect block (see DESIGN.md for the substitution of the industry
-structure): the FASTCAP-like multipole solver, the instantiable-basis
-extractor without acceleration, and with the tabulated-subroutine
-acceleration, all checked against the refined PWC reference.
+structure) through the unified engine: the FASTCAP-like multipole backend,
+the instantiable-basis backend without acceleration, and with the
+tabulated-subroutine acceleration, all checked against the refined PWC
+reference.  Every backend returns the same unified result type, so one loop
+formats the whole comparison.
 
 Run with ``python examples/transistor_interconnect.py``.
 """
 
 from __future__ import annotations
 
-from repro import CapacitanceExtractor, ExtractionConfig, generators
+from repro import ExtractionConfig, generators, get_backend
 from repro.accel import AccelerationTechnique
-from repro.core.reference import reference_capacitance
-from repro.fastcap import FastCapSolver
 from repro.analysis import format_table
+from repro.core.reference import reference_capacitance
 from repro.solver import compare_capacitance
 
 
@@ -26,28 +27,25 @@ def main() -> None:
 
     reference = reference_capacitance(layout, cells_per_edge=3, max_panels=2000, max_iterations=3)
 
-    fastcap = FastCapSolver(cells_per_edge=3).solve(layout)
-    plain = CapacitanceExtractor(ExtractionConfig()).extract(layout)
-    accelerated = CapacitanceExtractor(
-        ExtractionConfig(acceleration=AccelerationTechnique.FAST_SUBROUTINES)
-    ).extract(layout)
+    instantiable = get_backend("instantiable")
+    results = {
+        "FASTCAP-like": get_backend("fastcap").extract(layout, cells_per_edge=3),
+        "instantiable w/o accel": instantiable.extract(layout),
+        "instantiable w/ accel": instantiable.extract(
+            layout,
+            config=ExtractionConfig(acceleration=AccelerationTechnique.FAST_SUBROUTINES),
+        ),
+    }
 
     rows = []
-    for label, unknowns, setup, total, memory, capacitance in [
-        ("FASTCAP-like", fastcap.num_panels, fastcap.setup_seconds, fastcap.total_seconds,
-         fastcap.memory_bytes, fastcap.capacitance),
-        ("instantiable w/o accel", plain.num_basis_functions, plain.setup_seconds,
-         plain.total_seconds, plain.memory_bytes, plain.capacitance),
-        ("instantiable w/ accel", accelerated.num_basis_functions, accelerated.setup_seconds,
-         accelerated.total_seconds, accelerated.memory_bytes, accelerated.capacitance),
-    ]:
-        error = compare_capacitance(capacitance, reference).max_relative_error
+    for label, result in results.items():
+        error = compare_capacitance(result.capacitance, reference).max_relative_error
         rows.append([
             label,
-            str(unknowns),
-            f"{setup:.3f} s",
-            f"{total:.3f} s",
-            f"{memory / 1e6:.2f} MB",
+            str(result.num_unknowns),
+            f"{result.setup_seconds:.3f} s",
+            f"{result.total_seconds:.3f} s",
+            f"{result.memory_bytes / 1e6:.2f} MB",
             f"{100 * error:.2f}%",
         ])
     print()
@@ -57,6 +55,7 @@ def main() -> None:
         title="Transistor interconnect comparison (paper Table 2)",
     ))
     print()
+    plain = results["instantiable w/o accel"]
     gate_coupling = plain.coupling_capacitance("poly", "m1_0")
     print(f"Example coupling, poly gate to first M1 strap: {gate_coupling * 1e15:.4f} fF")
 

@@ -1,7 +1,8 @@
 """Setup shim.
 
-The project metadata lives in ``pyproject.toml``; this file exists so the
-package can be installed in editable mode (``pip install -e .``) on
+The project metadata lives in ``pyproject.toml``; ``pip install -e .`` uses
+the PEP 660 path on any normal environment.  This file exists so the package
+can still be installed in editable mode (``python setup.py develop``) on
 environments whose setuptools/pip combination lacks the ``wheel`` backend
 needed for PEP 660 editable installs (as is the case in the offline
 evaluation container).

@@ -15,16 +15,20 @@ The package implements the full system described in the paper:
 * ``repro.parallel`` -- real and simulated parallel execution backends.
 * ``repro.solver`` -- dense/iterative solves and capacitance post-processing.
 * ``repro.core`` -- the top-level :class:`~repro.core.engine.CapacitanceExtractor` API.
+* ``repro.engine`` -- the unified extraction engine: backend registry and
+  the batched :class:`~repro.engine.service.ExtractionService`.
 * ``repro.analysis`` -- efficiency/error analysis and report generation.
 
 Quickstart::
 
-    from repro import CapacitanceExtractor, generators
+    from repro import ExtractionService, generators
 
     layout = generators.crossing_wires(separation=1e-6)
-    extractor = CapacitanceExtractor()
-    result = extractor.extract(layout)
-    print(result.capacitance_matrix)
+    service = ExtractionService()
+    result = service.extract(layout, backend="instantiable")
+    print(result.capacitance_femtofarad())
+
+Or drive it from the command line: ``python -m repro extract``.
 """
 
 from typing import Any
@@ -32,7 +36,12 @@ from typing import Any
 __all__ = [
     "CapacitanceExtractor",
     "ExtractionConfig",
+    "ExtractionRequest",
     "ExtractionResult",
+    "ExtractionService",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "generators",
     "__version__",
 ]
@@ -45,8 +54,13 @@ __version__ = "1.0.0"
 _LAZY_ATTRIBUTES = {
     "CapacitanceExtractor": ("repro.core.engine", "CapacitanceExtractor"),
     "ExtractionConfig": ("repro.core.config", "ExtractionConfig"),
+    "ExtractionRequest": ("repro.engine.request", "ExtractionRequest"),
     "ExtractionResult": ("repro.core.results", "ExtractionResult"),
-    "generators": ("repro.geometry", "generators"),
+    "ExtractionService": ("repro.engine", "ExtractionService"),
+    "available_backends": ("repro.engine", "available_backends"),
+    "get_backend": ("repro.engine", "get_backend"),
+    "register_backend": ("repro.engine", "register_backend"),
+    "generators": ("repro.geometry.generators", None),
 }
 
 
@@ -59,7 +73,7 @@ def __getattr__(name: str) -> Any:
     import importlib
 
     module = importlib.import_module(module_name)
-    value = getattr(module, attribute)
+    value = module if attribute is None else getattr(module, attribute)
     globals()[name] = value
     return value
 

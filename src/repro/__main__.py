@@ -1,0 +1,8 @@
+"""``python -m repro`` -- the unified extraction engine CLI."""
+
+import sys
+
+from repro.engine.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,12 +4,13 @@
 instantiable-basis construction, parallel system setup, direct solve and
 capacitance post-processing, configured through
 :class:`~repro.core.config.ExtractionConfig`.
+
+The attributes are resolved lazily (PEP 562): the solver packages import the
+unified :class:`~repro.core.results.ExtractionResult` from here, while the
+reference path imports the solver packages, so eager imports would cycle.
 """
 
-from repro.core.config import ExtractionConfig, ParallelMode
-from repro.core.engine import CapacitanceExtractor
-from repro.core.results import ExtractionResult
-from repro.core.reference import reference_capacitance
+from typing import Any
 
 __all__ = [
     "ExtractionConfig",
@@ -18,3 +19,29 @@ __all__ = [
     "ExtractionResult",
     "reference_capacitance",
 ]
+
+_LAZY_ATTRIBUTES = {
+    "ExtractionConfig": ("repro.core.config", "ExtractionConfig"),
+    "ParallelMode": ("repro.core.config", "ParallelMode"),
+    "CapacitanceExtractor": ("repro.core.engine", "CapacitanceExtractor"),
+    "ExtractionResult": ("repro.core.results", "ExtractionResult"),
+    "reference_capacitance": ("repro.core.reference", "reference_capacitance"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    """Resolve the lazily exported public attributes."""
+    try:
+        module_name, attribute = _LAZY_ATTRIBUTES[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_ATTRIBUTES))

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -62,14 +63,63 @@ class ExtractionConfig:
     acceleration_options: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "ExtractionConfig":
+        """Check the configuration and normalise string-valued enums.
+
+        The extraction engine calls this before running a backend, so both
+        freshly constructed and subsequently mutated configurations are
+        rejected with a clear message instead of failing deep inside the
+        solver.  Returns ``self`` so it can be chained.
+
+        Raises
+        ------
+        ValueError
+            On an unknown parallel mode or acceleration name, a tolerance
+            outside ``(0, 1)`` (negative in particular), ``num_nodes < 1``,
+            or non-positive quadrature orders / batch size.
+        """
         if isinstance(self.parallel_mode, str):
-            self.parallel_mode = ParallelMode(self.parallel_mode)
+            try:
+                self.parallel_mode = ParallelMode(self.parallel_mode)
+            except ValueError:
+                valid = ", ".join(sorted(m.value for m in ParallelMode))
+                raise ValueError(
+                    f"unknown parallel mode {self.parallel_mode!r}; valid modes: {valid}"
+                ) from None
+        elif not isinstance(self.parallel_mode, ParallelMode):
+            raise ValueError(
+                f"parallel_mode must be a ParallelMode or its string value, "
+                f"got {self.parallel_mode!r}"
+            )
         if isinstance(self.acceleration, str):
-            self.acceleration = AccelerationTechnique(self.acceleration)
+            try:
+                self.acceleration = AccelerationTechnique(self.acceleration)
+            except ValueError:
+                valid = ", ".join(sorted(t.value for t in AccelerationTechnique))
+                raise ValueError(
+                    f"unknown acceleration technique {self.acceleration!r}; "
+                    f"valid techniques: {valid}"
+                ) from None
         if not (0.0 < self.tolerance < 1.0):
             raise ValueError(f"tolerance must be in (0, 1), got {self.tolerance}")
-        if self.num_nodes < 1:
-            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        try:
+            num_nodes = operator.index(self.num_nodes)
+        except TypeError:
+            num_nodes = None
+        if num_nodes is None or isinstance(self.num_nodes, bool) or num_nodes < 1:
+            raise ValueError(f"num_nodes must be an integer >= 1, got {self.num_nodes!r}")
+        self.num_nodes = num_nodes
+        if self.order_near < 1 or self.order_far < 1:
+            raise ValueError(
+                f"quadrature orders must be >= 1, got "
+                f"order_near={self.order_near}, order_far={self.order_far}"
+            )
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        return self
 
     # ------------------------------------------------------------------
     def policy(self) -> ApproximationPolicy:

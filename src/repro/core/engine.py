@@ -9,8 +9,6 @@ matrix (Section 2.1).
 
 from __future__ import annotations
 
-import time
-
 from repro.accel.engine import AccelerationTechnique, make_evaluator
 from repro.assembly.distributed import DistributedAssembler
 from repro.assembly.shared_memory import ParallelSetupResult, SharedMemoryAssembler
@@ -18,6 +16,7 @@ from repro.basis.instantiate import build_basis_set
 from repro.core.config import ExtractionConfig, ParallelMode
 from repro.core.results import ExtractionResult
 from repro.geometry.layout import Layout
+from repro.parallel.timing import SolverTimer
 from repro.solver.capacitance import capacitance_from_solution
 from repro.solver.dense import solve_dense
 
@@ -40,7 +39,7 @@ class CapacitanceExtractor:
     # ------------------------------------------------------------------
     def extract(self, layout: Layout) -> ExtractionResult:
         """Extract the capacitance matrix of a layout."""
-        config = self.config
+        config = self.config.validate()
         technique = config.technique()
 
         # --- basis instantiation -------------------------------------------
@@ -56,28 +55,30 @@ class CapacitanceExtractor:
             collocation_fn = evaluator.from_deltas
             accel_memory = evaluator.memory_bytes
 
+        timer = SolverTimer()
+
         # --- system setup (parallel matrix fill) ---------------------------
-        setup_start = time.perf_counter()
-        parallel_setup = self._assemble(layout, basis_set, collocation_fn)
-        matrix = parallel_setup.matrix
-        setup_seconds = time.perf_counter() - setup_start
+        with timer.setup():
+            parallel_setup = self._assemble(layout, basis_set, collocation_fn)
+            matrix = parallel_setup.matrix
 
         # --- solve and capacitance -----------------------------------------
-        solve_start = time.perf_counter()
-        phi = basis_set.incidence_matrix(layout.num_conductors)
-        rho = solve_dense(matrix, phi)
-        capacitance = capacitance_from_solution(phi, rho)
-        solve_seconds = time.perf_counter() - solve_start
+        with timer.solve():
+            phi = basis_set.incidence_matrix(layout.num_conductors)
+            rho = solve_dense(matrix, phi)
+            capacitance = capacitance_from_solution(phi, rho)
 
         return ExtractionResult(
             capacitance=capacitance,
             conductor_names=list(layout.names),
             num_basis_functions=basis_set.num_basis_functions,
             num_templates=basis_set.num_templates,
-            setup_seconds=setup_seconds,
-            solve_seconds=solve_seconds,
+            setup_seconds=timer.setup_seconds,
+            solve_seconds=timer.solve_seconds,
             memory_bytes=int(matrix.nbytes) + int(phi.nbytes) + int(accel_memory),
             parallel_setup=parallel_setup,
+            backend="instantiable",
+            num_unknowns=basis_set.num_basis_functions,
             metadata={
                 "basis_summary": basis_set.summary(),
                 "acceleration": technique.value,

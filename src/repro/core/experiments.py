@@ -35,10 +35,9 @@ from repro.assembly.distributed import DistributedAssembler
 from repro.assembly.shared_memory import ParallelSetupResult, SharedMemoryAssembler
 from repro.basis.extraction import extract_charge_profile, fit_arch_parameters
 from repro.basis.instantiate import build_basis_set
-from repro.core.config import ExtractionConfig, ParallelMode
-from repro.core.engine import CapacitanceExtractor
+from repro.core.config import ExtractionConfig
 from repro.core.reference import reference_capacitance
-from repro.fastcap.solver import FastCapSolver
+from repro.engine import get_backend
 from repro.geometry import generators
 from repro.greens.collocation import collocation_from_deltas
 from repro.parallel.machine import SimulatedParallelMachine
@@ -153,12 +152,13 @@ def run_table2(quick: bool = True) -> ExperimentReport:
         max_iterations=3 if quick else 5,
     )
 
-    fastcap = FastCapSolver(cells_per_edge=3 if quick else 4).solve(layout)
+    fastcap = get_backend("fastcap").extract(layout, cells_per_edge=3 if quick else 4)
 
-    plain = CapacitanceExtractor(ExtractionConfig(acceleration=None)).extract(layout)
-    accelerated = CapacitanceExtractor(
-        ExtractionConfig(acceleration=AccelerationTechnique.FAST_SUBROUTINES)
-    ).extract(layout)
+    instantiable = get_backend("instantiable")
+    plain = instantiable.extract(layout, config=ExtractionConfig(acceleration=None))
+    accelerated = instantiable.extract(
+        layout, config=ExtractionConfig(acceleration=AccelerationTechnique.FAST_SUBROUTINES)
+    )
 
     def error(capacitance: np.ndarray) -> float:
         return compare_capacitance(capacitance, reference).max_relative_error

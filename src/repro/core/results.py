@@ -1,4 +1,13 @@
-"""Extraction results."""
+"""The unified extraction result shared by every backend.
+
+All extraction backends — the instantiable-basis extractor, the dense PWC
+solver and the FASTCAP-like multipole solver — return the same
+:class:`ExtractionResult`.  Backend-specific quantities (basis counts,
+panel discretisations, iteration statistics) live in optional fields that
+stay at their defaults for backends that do not produce them, so downstream
+code (reports, the extraction service, the benchmarks) can treat every
+result uniformly.
+"""
 
 from __future__ import annotations
 
@@ -7,13 +16,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.assembly.shared_memory import ParallelSetupResult
+from repro.geometry.panel import Panel
+from repro.solver.iterative import IterativeStats
 
 __all__ = ["ExtractionResult"]
 
 
 @dataclass
 class ExtractionResult:
-    """Outcome of one capacitance extraction.
+    """Outcome of one capacitance extraction, whichever backend produced it.
 
     Attributes
     ----------
@@ -23,27 +34,54 @@ class ExtractionResult:
     conductor_names:
         Conductor names in matrix order.
     num_basis_functions, num_templates:
-        The ``N`` and ``M`` of the instantiable basis.
+        The ``N`` and ``M`` of the instantiable basis (zero for the
+        panel-based backends).
     setup_seconds, solve_seconds:
-        Wall-clock time of the system setup (matrix fill) and of the direct
-        solve plus capacitance post-processing.
+        Wall-clock time of the system setup (discretisation / operator
+        construction / matrix fill) and of the solve plus capacitance
+        post-processing.
     memory_bytes:
-        Memory of the stored system matrix plus any acceleration tables.
+        Memory of the stored system operator plus any acceleration tables.
     parallel_setup:
         Per-node workload/timing details when a parallel mode was used.
     metadata:
         Free-form extras (basis summary, category counts, configuration echo).
+    backend:
+        Registry name of the backend that produced the result
+        (``"instantiable"``, ``"pwc-dense"``, ``"fastcap"``, ...).
+    num_unknowns:
+        Size of the linear system the backend solved: basis functions for
+        the instantiable backend, panels for the PWC-based backends.
+    iterations:
+        Krylov iteration statistics when an iterative solve was used.
+    charges:
+        Panel charge densities (one column per conductor excitation) when
+        the backend exposes them.
+    panels:
+        The discretisation panels when the backend exposes them.
     """
 
     capacitance: np.ndarray
     conductor_names: list[str]
-    num_basis_functions: int
-    num_templates: int
-    setup_seconds: float
-    solve_seconds: float
-    memory_bytes: int
+    num_basis_functions: int = 0
+    num_templates: int = 0
+    setup_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    memory_bytes: int = 0
     parallel_setup: ParallelSetupResult | None = None
     metadata: dict = field(default_factory=dict)
+    backend: str = "instantiable"
+    num_unknowns: int = 0
+    iterations: IterativeStats | None = None
+    charges: np.ndarray | None = None
+    panels: list[Panel] | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_unknowns == 0:
+            if self.num_basis_functions:
+                self.num_unknowns = int(self.num_basis_functions)
+            elif self.panels is not None:
+                self.num_unknowns = len(self.panels)
 
     # ------------------------------------------------------------------
     @property
@@ -60,6 +98,13 @@ class ExtractionResult:
         """
         total = self.total_seconds
         return self.setup_seconds / total if total > 0.0 else 0.0
+
+    @property
+    def num_panels(self) -> int:
+        """Number of discretisation panels (zero for the condensed basis)."""
+        if self.panels is not None:
+            return len(self.panels)
+        return int(self.metadata.get("num_panels", 0))
 
     # ------------------------------------------------------------------
     def index_of(self, name: str) -> int:
@@ -87,8 +132,10 @@ class ExtractionResult:
 
     def as_dict(self) -> dict:
         """Plain-dictionary summary for CSV/JSON reporting."""
-        return {
+        summary = {
+            "backend": self.backend,
             "conductors": list(self.conductor_names),
+            "num_unknowns": self.num_unknowns,
             "num_basis_functions": self.num_basis_functions,
             "num_templates": self.num_templates,
             "setup_seconds": self.setup_seconds,
@@ -97,3 +144,6 @@ class ExtractionResult:
             "memory_bytes": self.memory_bytes,
             "capacitance_farad": self.capacitance.tolist(),
         }
+        if self.iterations is not None:
+            summary["total_iterations"] = self.iterations.total_iterations
+        return summary

@@ -1,0 +1,103 @@
+"""Stock backends of the unified extraction engine.
+
+Each adapter wraps one existing solver pipeline behind the
+:class:`~repro.engine.registry.Backend` protocol, translating keyword
+options into the solver's native configuration and returning the unified
+:class:`~repro.core.results.ExtractionResult`:
+
+=============  ==================================================  =============
+name           pipeline                                            unknowns
+=============  ==================================================  =============
+instantiable   instantiable-basis condensed system, direct solve   basis functions
+pwc-dense      dense piecewise-constant Galerkin BEM               panels
+fastcap        multipole-accelerated PWC collocation + GMRES       panels
+=============  ==================================================  =============
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ExtractionConfig
+from repro.core.engine import CapacitanceExtractor
+from repro.core.results import ExtractionResult
+from repro.engine.registry import available_backends, register_backend
+from repro.fastcap.solver import FastCapSolver
+from repro.geometry.layout import Layout
+from repro.pwc.solver import PWCSolver
+
+__all__ = [
+    "InstantiableBackend",
+    "PWCDenseBackend",
+    "FastCapBackend",
+    "register_default_backends",
+]
+
+
+class InstantiableBackend:
+    """The paper's instantiable-basis extractor behind the engine API.
+
+    Options are either a prebuilt ``config=ExtractionConfig(...)`` or the
+    keyword fields of :class:`~repro.core.config.ExtractionConfig`
+    (``tolerance``, ``acceleration``, ``parallel_mode``, ``num_nodes``, ...).
+    """
+
+    name = "instantiable"
+    description = (
+        "Instantiable-basis extractor of the paper: compact condensed system, "
+        "parallel matrix fill, direct solve"
+    )
+
+    def extract(self, layout: Layout, *, config: ExtractionConfig | None = None, **options) -> ExtractionResult:
+        if config is not None:
+            if options:
+                raise TypeError(
+                    "pass either a prebuilt config or keyword options, not both; "
+                    f"got config and {sorted(options)}"
+                )
+        else:
+            config = ExtractionConfig(**options)
+        config.validate()
+        return CapacitanceExtractor(config).extract(layout)
+
+
+class PWCDenseBackend:
+    """The dense piecewise-constant Galerkin reference solver.
+
+    Options are the :class:`~repro.pwc.solver.PWCSolver` constructor
+    arguments (``cells_per_edge``, ``grading_ratio``, ``max_edge``,
+    ``order_near``).
+    """
+
+    name = "pwc-dense"
+    description = (
+        "Dense piecewise-constant Galerkin BEM: one unknown per panel, "
+        "direct solve (accuracy reference)"
+    )
+
+    def extract(self, layout: Layout, **options) -> ExtractionResult:
+        return PWCSolver(**options).solve(layout)
+
+
+class FastCapBackend:
+    """The FASTCAP-like multipole-accelerated baseline.
+
+    Options are the :class:`~repro.fastcap.solver.FastCapSolver`
+    constructor arguments (``cells_per_edge``, ``theta``, ``max_leaf_size``,
+    ``tolerance``, ``max_iterations``, ...).
+    """
+
+    name = "fastcap"
+    description = (
+        "FASTCAP-like baseline: multipole-accelerated PWC collocation, "
+        "GMRES solve per conductor"
+    )
+
+    def extract(self, layout: Layout, **options) -> ExtractionResult:
+        return FastCapSolver(**options).solve(layout)
+
+
+def register_default_backends() -> None:
+    """Register the stock backends (idempotent)."""
+    registered = set(available_backends())
+    for backend_type in (InstantiableBackend, PWCDenseBackend, FastCapBackend):
+        if backend_type.name not in registered:
+            register_backend(backend_type())

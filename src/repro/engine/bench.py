@@ -1,0 +1,125 @@
+"""Engine benchmark: per-backend timings and service batch throughput.
+
+``run_engine_bench`` extracts a small crossing-wires workload through every
+registered stock backend, then pushes a mixed-backend batch (with a repeated
+request) through the :class:`~repro.engine.service.ExtractionService`.  The
+report's ``data`` is the machine-readable payload written to
+``BENCH_engine.json`` by the benchmark suite and by ``python -m repro bench``,
+so successive PRs can track the performance trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.core.experiments import ExperimentReport
+from repro.engine.request import ExtractionRequest
+from repro.engine.service import ExtractionService
+from repro.geometry import generators
+
+__all__ = ["run_engine_bench", "write_bench_json", "BENCH_FILENAME"]
+
+#: Default name of the machine-readable benchmark artifact.
+BENCH_FILENAME = "BENCH_engine.json"
+
+#: The benchmarked backends and the options keeping the workload small.
+_BACKEND_OPTIONS: dict[str, dict] = {
+    "instantiable": {},
+    "pwc-dense": {"cells_per_edge": 2},
+    "fastcap": {"cells_per_edge": 2},
+}
+
+
+def run_engine_bench(
+    quick: bool = True,
+    executor: str = "thread",
+    max_workers: int | None = 2,
+) -> ExperimentReport:
+    """Benchmark the stock backends and a small service batch.
+
+    Parameters
+    ----------
+    quick:
+        Use the reduced workload (a short crossing-wires pair); ``False``
+        scales the wire length and panel counts up.
+    executor, max_workers:
+        Service fan-out configuration (see
+        :class:`~repro.engine.service.ExtractionService`).
+    """
+    separations = (0.5e-6, 1.0e-6) if quick else (0.25e-6, 0.5e-6, 1.0e-6, 2.0e-6)
+    layouts = [generators.crossing_wires(separation=s) for s in separations]
+
+    # --- per-backend single-request timings ---------------------------
+    service = ExtractionService(executor=executor, max_workers=max_workers)
+    backends_data: dict[str, dict] = {}
+    rows = []
+    for backend, options in _BACKEND_OPTIONS.items():
+        result = service.extract(layouts[0], backend=backend, **options)
+        backends_data[backend] = {
+            "num_unknowns": result.num_unknowns,
+            "setup_seconds": result.setup_seconds,
+            "solve_seconds": result.solve_seconds,
+            "total_seconds": result.total_seconds,
+            "memory_bytes": result.memory_bytes,
+        }
+        rows.append(
+            [
+                backend,
+                str(result.num_unknowns),
+                f"{result.setup_seconds * 1e3:.1f} ms",
+                f"{result.solve_seconds * 1e3:.1f} ms",
+                f"{result.memory_bytes / 1e6:.2f} MB",
+            ]
+        )
+
+    # --- mixed-backend service batch (with one repeated request) ------
+    service.clear_cache()
+    requests = [
+        ExtractionRequest(layout, backend=backend, options=dict(options), label=f"{backend}@{i}")
+        for i, layout in enumerate(layouts)
+        for backend, options in _BACKEND_OPTIONS.items()
+    ]
+    requests.append(
+        ExtractionRequest(
+            layouts[0],
+            backend="instantiable",
+            options=dict(_BACKEND_OPTIONS["instantiable"]),
+            label="repeat",
+        )
+    )
+    report = service.extract_batch(requests)
+    batch_data = report.as_dict()
+
+    text = "\n\n".join(
+        [
+            format_table(
+                ["backend", "unknowns", "setup", "solve", "memory"],
+                rows,
+                title="Engine benchmark -- stock backends on the crossing-wires pair",
+            ),
+            (
+                f"Service batch: {report.num_requests} requests "
+                f"({report.cache_hits} cache hits, {report.num_failed} failed) "
+                f"in {report.wall_seconds:.2f} s -> "
+                f"{report.throughput:.1f} requests/s [{executor} executor]"
+            ),
+        ]
+    )
+    data = {
+        "quick": quick,
+        "executor": executor,
+        "max_workers": max_workers,
+        "backends": backends_data,
+        "service_batch": batch_data,
+        "throughput_per_second": report.throughput,
+    }
+    return ExperimentReport(name="engine_bench", text=text, data=data)
+
+
+def write_bench_json(report: ExperimentReport, path: str | Path | None = None) -> Path:
+    """Write a benchmark report's data to ``BENCH_engine.json``."""
+    target = Path(path) if path is not None else Path.cwd() / BENCH_FILENAME
+    target.write_text(json.dumps(report.data, indent=2, sort_keys=True) + "\n")
+    return target

@@ -1,0 +1,185 @@
+"""Command-line front end of the unified extraction engine.
+
+Run as ``python -m repro``:
+
+* ``python -m repro backends`` -- list the registered backends.
+* ``python -m repro extract --generator crossing_wires --backend pwc-dense
+  --option cells_per_edge=2`` -- extract a generated structure.
+* ``python -m repro bench --output BENCH_engine.json`` -- run the engine
+  benchmark and write the machine-readable artifact.
+
+(The paper-experiment driver remains available as
+``python -m repro.core.experiments``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+
+from repro.engine.registry import available_backends, get_backend
+from repro.engine.request import DEFAULT_BACKEND
+from repro.geometry import generators
+
+__all__ = ["main"]
+
+
+def _parse_assignment(text: str) -> tuple[str, object]:
+    """Parse a ``key=value`` option, literal-evaluating the value when possible."""
+    key, separator, raw = text.partition("=")
+    if not separator or not key:
+        raise argparse.ArgumentTypeError(f"expected key=value, got {text!r}")
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return key, value
+
+
+def _build_layout(generator: str, arguments: list[tuple[str, object]]):
+    names = sorted(generators.__all__)
+    if generator not in names:
+        raise SystemExit(
+            f"unknown generator {generator!r}; available: {', '.join(names)}"
+        )
+    return getattr(generators, generator)(**dict(arguments))
+
+
+def _command_backends(args: argparse.Namespace) -> int:
+    entries = [
+        {"name": name, "description": get_backend(name).description}
+        for name in available_backends()
+    ]
+    if args.json:
+        print(json.dumps(entries, indent=2))
+        return 0
+    from repro.analysis.report import format_table
+
+    print(
+        format_table(
+            ["backend", "description"],
+            [[e["name"], e["description"]] for e in entries],
+            title="Registered extraction backends",
+        )
+    )
+    return 0
+
+
+def _command_extract(args: argparse.Namespace) -> int:
+    from repro.engine.service import ExtractionService
+
+    try:
+        layout = _build_layout(args.generator, args.generator_arg)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"error building layout: {exc}") from None
+    service = ExtractionService(executor=args.executor, max_workers=args.workers)
+    try:
+        result = service.extract(layout, backend=args.backend, **dict(args.option))
+    except RuntimeError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+        return 0
+    print(f"Backend:    {result.backend}")
+    print(f"Conductors: {', '.join(result.conductor_names)}")
+    print(f"Unknowns:   {result.num_unknowns}")
+    print(f"Setup:      {result.setup_seconds * 1e3:.1f} ms")
+    print(f"Solve:      {result.solve_seconds * 1e3:.1f} ms")
+    print(f"Memory:     {result.memory_bytes / 1e6:.2f} MB")
+    print()
+    print("Capacitance matrix (fF):")
+    print(result.capacitance_femtofarad().round(4))
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.engine.bench import run_engine_bench, write_bench_json
+
+    report = run_engine_bench(
+        quick=not args.full, executor=args.executor, max_workers=args.workers
+    )
+    print(report.text)
+    if args.output is not None:
+        target = write_bench_json(report, args.output)
+        print(f"\nwrote {target}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Unified capacitance-extraction engine (registry, backends, batched service).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    backends_parser = subparsers.add_parser(
+        "backends", help="list the registered extraction backends"
+    )
+    backends_parser.add_argument("--json", action="store_true", help="emit JSON")
+    backends_parser.set_defaults(handler=_command_backends)
+
+    extract_parser = subparsers.add_parser(
+        "extract", help="extract a generated structure through one backend"
+    )
+    extract_parser.add_argument(
+        "--generator",
+        default="crossing_wires",
+        help="structure generator from repro.geometry.generators (default: crossing_wires)",
+    )
+    extract_parser.add_argument(
+        "--generator-arg",
+        action="append",
+        default=[],
+        type=_parse_assignment,
+        metavar="KEY=VALUE",
+        help="generator keyword argument (repeatable)",
+    )
+    extract_parser.add_argument(
+        "--backend",
+        default=DEFAULT_BACKEND,
+        help=f"backend name (default: {DEFAULT_BACKEND}); see the backends subcommand",
+    )
+    extract_parser.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        type=_parse_assignment,
+        metavar="KEY=VALUE",
+        help="backend option (repeatable), e.g. cells_per_edge=2",
+    )
+    extract_parser.add_argument("--json", action="store_true", help="emit JSON")
+    extract_parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default="serial"
+    )
+    extract_parser.add_argument("--workers", type=int, default=None)
+    extract_parser.set_defaults(handler=_command_extract)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="benchmark the backends and the batched service"
+    )
+    bench_parser.add_argument(
+        "--full", action="store_true", help="use the larger workload sizes"
+    )
+    bench_parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default="thread"
+    )
+    bench_parser.add_argument("--workers", type=int, default=2)
+    bench_parser.add_argument(
+        "--output",
+        nargs="?",
+        const="BENCH_engine.json",
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable report (default path: BENCH_engine.json)",
+    )
+    bench_parser.set_defaults(handler=_command_bench)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    sys.exit(main())

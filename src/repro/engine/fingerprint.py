@@ -1,0 +1,96 @@
+"""Deterministic fingerprints of layouts and extraction requests.
+
+The extraction service caches results keyed by a content fingerprint of the
+(layout, backend, options) triple, so identical requests -- whether repeated
+within one batch or across batches -- are solved once.  The fingerprint is a
+SHA-256 digest of a canonical JSON serialisation: geometry coordinates are
+serialised through ``repr``-exact floats, dictionaries are key-sorted, and
+enums/dataclasses are reduced to stable primitives, so two independently
+constructed but identical requests always collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import fields, is_dataclass
+from enum import Enum
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.geometry.layout import Layout
+
+__all__ = ["canonicalize", "layout_fingerprint", "request_fingerprint"]
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce a value to JSON-serialisable primitives, deterministically.
+
+    Handles the option types that appear in extraction requests: enums,
+    (nested) dataclasses such as :class:`~repro.core.config.ExtractionConfig`,
+    numpy scalars/arrays, mappings and sequences.  Unknown objects fall back
+    to ``repr``, which keeps the fingerprint total at the cost of treating
+    distinct-but-equal exotic objects as different.
+    """
+    if isinstance(value, Enum):
+        return {"__enum__": type(value).__name__, "value": value.value}
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            "fields": {f.name: canonicalize(getattr(value, f.name)) for f in fields(value)},
+        }
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, Mapping):
+        return {str(k): canonicalize(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return [canonicalize(v) for v in items]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    # Default ``object.__repr__`` embeds the memory address, which would make
+    # equal objects fingerprint differently; strip it so the type identity
+    # (not the instance identity) enters the digest.
+    stable_repr = re.sub(r" at 0x[0-9a-fA-F]+", "", repr(value))
+    return {"__type__": type(value).__qualname__, "repr": stable_repr}
+
+
+def _digest(payload: Any) -> str:
+    serialised = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(serialised.encode("utf-8")).hexdigest()
+
+
+def layout_fingerprint(layout: Layout) -> str:
+    """Content fingerprint of a layout's geometry and medium."""
+    payload = {
+        "permittivity": layout.permittivity,
+        "conductors": [
+            {
+                "name": conductor.name,
+                "boxes": [[list(box.lo), list(box.hi)] for box in conductor.boxes],
+            }
+            for conductor in layout.conductors
+        ],
+    }
+    return _digest(payload)
+
+
+def request_fingerprint(layout: Layout, backend: str, options: Mapping[str, Any] | None = None) -> str:
+    """Content fingerprint of one extraction request.
+
+    Two requests share a fingerprint exactly when they name the same
+    backend, pass equal options, and describe geometrically identical
+    layouts -- the cache key of the extraction service.
+    """
+    payload = {
+        "layout": layout_fingerprint(layout),
+        "backend": backend,
+        "options": canonicalize(dict(options or {})),
+    }
+    return _digest(payload)

@@ -1,0 +1,116 @@
+"""Backend protocol and registry of the unified extraction engine.
+
+A *backend* is one complete discretise-and-solve pipeline that turns a
+:class:`~repro.geometry.layout.Layout` into the unified
+:class:`~repro.core.results.ExtractionResult`.  Backends register under a
+short name (``"instantiable"``, ``"pwc-dense"``, ``"fastcap"``) so requests,
+the extraction service and the CLI can select them by string.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.results import ExtractionResult
+from repro.geometry.layout import Layout
+
+__all__ = [
+    "Backend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "unregister_backend",
+    "backend_generation",
+]
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """One complete extraction pipeline behind the unified engine API.
+
+    Implementations expose a registry ``name``, a one-line human-readable
+    ``description``, and an ``extract`` method mapping a layout plus
+    backend-specific keyword options to the unified result.
+    """
+
+    name: str
+    description: str
+
+    def extract(self, layout: Layout, **options) -> ExtractionResult:
+        """Extract the capacitance matrix of ``layout``."""
+        ...
+
+
+_REGISTRY: dict[str, Backend] = {}
+
+#: Bumped every time a name is (re)bound or removed, so caches keyed by
+#: backend name can detect that the implementation behind it changed.
+_GENERATIONS: dict[str, int] = {}
+
+
+def register_backend(backend: Backend, *, replace: bool = False) -> Backend:
+    """Register a backend under its ``name``.
+
+    Parameters
+    ----------
+    backend:
+        Any object satisfying the :class:`Backend` protocol.
+    replace:
+        Allow overwriting an already registered name (used by tests and by
+        callers shipping tuned variants of the stock backends).
+
+    Returns
+    -------
+    The backend, so the function can be used as a decorator on classes that
+    are instantiated at registration time.
+    """
+    name = getattr(backend, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"backend must expose a non-empty string name, got {name!r}")
+    if not callable(getattr(backend, "extract", None)):
+        raise ValueError(f"backend {name!r} must expose an extract(layout, **options) method")
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"backend {name!r} is already registered; pass replace=True to overwrite"
+        )
+    _REGISTRY[name] = backend
+    _GENERATIONS[name] = _GENERATIONS.get(name, 0) + 1
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (no-op when absent)."""
+    if _REGISTRY.pop(name, None) is not None:
+        _GENERATIONS[name] = _GENERATIONS.get(name, 0) + 1
+
+
+def backend_generation(name: str) -> int:
+    """Monotonic counter of (re)registrations of ``name`` (0 when never bound).
+
+    The extraction service folds this into its cache key, so replacing a
+    backend with :func:`register_backend(..., replace=True)` invalidates
+    results cached for the previous implementation."""
+    return _GENERATIONS.get(name, 0)
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a registered backend by name.
+
+    Raises
+    ------
+    KeyError
+        When no backend of that name is registered; the message lists the
+        available names.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        available = ", ".join(available_backends()) or "<none>"
+        raise KeyError(
+            f"no backend named {name!r}; available backends: {available}"
+        ) from None
+
+
+def available_backends() -> list[str]:
+    """Sorted names of all registered backends."""
+    return sorted(_REGISTRY)

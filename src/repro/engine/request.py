@@ -1,0 +1,142 @@
+"""Request and status types of the unified extraction engine.
+
+An :class:`ExtractionRequest` names a layout, a registered backend and the
+backend options; the :class:`~repro.engine.service.ExtractionService`
+executes batches of them and reports one :class:`RequestStatus` per request
+plus a :class:`BatchReport` aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.results import ExtractionResult
+from repro.engine.fingerprint import request_fingerprint
+from repro.geometry.layout import Layout
+
+__all__ = ["DEFAULT_BACKEND", "ExtractionRequest", "RequestStatus", "BatchReport"]
+
+#: Backend used when a request does not name one.
+DEFAULT_BACKEND = "instantiable"
+
+
+@dataclass
+class ExtractionRequest:
+    """One extraction job: a layout, a backend name and per-backend options.
+
+    Attributes
+    ----------
+    layout:
+        The structure to extract.
+    backend:
+        Registry name of the backend to run (``"instantiable"``,
+        ``"pwc-dense"``, ``"fastcap"``, or any custom registration).
+    options:
+        Keyword options forwarded to the backend's ``extract`` method.
+    label:
+        Optional human-readable identifier echoed in the status report.
+    """
+
+    layout: Layout
+    backend: str = DEFAULT_BACKEND
+    options: dict = field(default_factory=dict)
+    label: str | None = None
+
+    def fingerprint(self) -> str:
+        """Deterministic cache key of this request (layout + backend + options)."""
+        return request_fingerprint(self.layout, self.backend, self.options)
+
+
+@dataclass
+class RequestStatus:
+    """Outcome of one request within a service batch.
+
+    ``status`` is ``"completed"`` (solved in this batch), ``"cached"``
+    (served from the result cache or deduplicated against an identical
+    request earlier in the batch) or ``"failed"`` (the backend raised;
+    ``error`` holds the message).
+    """
+
+    index: int
+    backend: str
+    fingerprint: str
+    status: str
+    seconds: float = 0.0
+    label: str | None = None
+    error: str | None = None
+    result: ExtractionResult | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request produced a result."""
+        return self.result is not None
+
+    def as_dict(self) -> dict:
+        """Plain-dictionary summary (without the full result payload)."""
+        return {
+            "index": self.index,
+            "label": self.label,
+            "backend": self.backend,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "seconds": self.seconds,
+            "error": self.error,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of one service batch.
+
+    Attributes
+    ----------
+    statuses:
+        Per-request statuses, in request order.
+    wall_seconds:
+        Wall-clock time of the whole batch (fan-out included).
+    cache_hits:
+        Requests served without running a backend.
+    """
+
+    statuses: list[RequestStatus]
+    wall_seconds: float
+    cache_hits: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_requests(self) -> int:
+        """Number of requests in the batch."""
+        return len(self.statuses)
+
+    @property
+    def num_failed(self) -> int:
+        """Number of requests whose backend raised."""
+        return sum(1 for s in self.statuses if s.status == "failed")
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether every request produced a result."""
+        return self.num_failed == 0
+
+    @property
+    def results(self) -> list[ExtractionResult | None]:
+        """Results in request order (``None`` for failed requests)."""
+        return [s.result for s in self.statuses]
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per wall-clock second."""
+        completed = self.num_requests - self.num_failed
+        return completed / self.wall_seconds if self.wall_seconds > 0.0 else 0.0
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """Machine-readable summary of the batch."""
+        return {
+            "num_requests": self.num_requests,
+            "num_failed": self.num_failed,
+            "cache_hits": self.cache_hits,
+            "wall_seconds": self.wall_seconds,
+            "throughput_per_second": self.throughput,
+            "requests": [s.as_dict() for s in self.statuses],
+        }

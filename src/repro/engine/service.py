@@ -1,0 +1,249 @@
+"""Batched extraction service with bounded fan-out and result caching.
+
+:class:`ExtractionService` is the serving layer of the engine: it accepts a
+batch of :class:`~repro.engine.request.ExtractionRequest` objects, fans the
+distinct jobs out over a bounded thread/process pool, deduplicates identical
+requests (within the batch and against previous batches via a fingerprint-
+keyed LRU cache), and reports per-request status plus aggregate throughput.
+
+Failures are contained: a backend raising on one request marks that request
+``"failed"`` in the report instead of aborting the batch.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.core.results import ExtractionResult
+from repro.engine.registry import backend_generation, get_backend
+from repro.engine.request import DEFAULT_BACKEND, BatchReport, ExtractionRequest, RequestStatus
+from repro.geometry.layout import Layout
+
+__all__ = ["ExtractionService"]
+
+_EXECUTORS = ("serial", "thread", "process")
+
+
+def _execute_request(backend_name: str, layout: Layout, options: dict) -> tuple[ExtractionResult, float]:
+    """Run one request and time it (module-level so process pools can pickle it).
+
+    In a process pool the child imports :mod:`repro.engine` afresh, which
+    registers the stock backends; custom backends registered only in the
+    parent are available in ``"thread"`` and ``"serial"`` modes.
+    """
+    import repro.engine  # noqa: F401  (registers the default backends in workers)
+
+    start = time.perf_counter()
+    result = get_backend(backend_name).extract(layout, **options)
+    return result, time.perf_counter() - start
+
+
+class ExtractionService:
+    """Serve batches of extraction requests through the backend registry.
+
+    Parameters
+    ----------
+    max_workers:
+        Concurrency bound of the fan-out.  Defaults to ``os.cpu_count()``
+        (capped at 8) for the pooled executors and is ignored in ``"serial"``
+        mode.
+    executor:
+        ``"thread"`` (default) runs requests on a thread pool -- the numpy
+        kernels release the GIL for the heavy parts; ``"process"`` uses a
+        process pool for full parallelism at pickling cost; ``"serial"``
+        runs inline, which is deterministic and simplest to debug.
+    cache_capacity:
+        Maximum number of results kept in the fingerprint-keyed LRU cache;
+        ``0`` disables caching.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        executor: str = "thread",
+        cache_capacity: int = 256,
+    ):
+        if executor not in _EXECUTORS:
+            raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if cache_capacity < 0:
+            raise ValueError(f"cache_capacity must be >= 0, got {cache_capacity}")
+        self.executor = executor
+        self.max_workers = max_workers
+        self.cache_capacity = int(cache_capacity)
+        self._cache: OrderedDict[str, ExtractionResult] = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+    def cache_info(self) -> dict:
+        """Hit/miss counters and current cache occupancy."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._cache),
+            "capacity": self.cache_capacity,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop all cached results and reset the counters."""
+        self._cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    def _cache_get(self, fingerprint: str) -> ExtractionResult | None:
+        result = self._cache.get(fingerprint)
+        if result is not None:
+            self._cache.move_to_end(fingerprint)
+        return result
+
+    def _cache_put(self, fingerprint: str, result: ExtractionResult) -> None:
+        if self.cache_capacity == 0:
+            return
+        self._cache[fingerprint] = result
+        self._cache.move_to_end(fingerprint)
+        while len(self._cache) > self.cache_capacity:
+            self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def extract(
+        self,
+        layout: Layout,
+        backend: str = DEFAULT_BACKEND,
+        label: str | None = None,
+        **options,
+    ) -> ExtractionResult:
+        """Serve a single request, re-raising any backend failure."""
+        request = ExtractionRequest(layout=layout, backend=backend, options=options, label=label)
+        status = self.extract_batch([request]).statuses[0]
+        if status.result is None:
+            raise RuntimeError(
+                f"extraction failed for backend {backend!r}: {status.error}"
+            )
+        return status.result
+
+    def extract_batch(self, requests: Iterable[ExtractionRequest]) -> BatchReport:
+        """Serve a batch of requests and report per-request status.
+
+        Identical requests (same fingerprint) are solved once: repeats are
+        served from the cache when seen in an earlier batch, or
+        deduplicated against the first occurrence within this batch.
+        """
+        batch: Sequence[ExtractionRequest] = list(requests)
+        wall_start = time.perf_counter()
+        fingerprints = [request.fingerprint() for request in batch]
+        # The cache key folds in the registry generation of the backend name,
+        # so replacing a backend (register_backend(..., replace=True))
+        # invalidates results computed by the previous implementation.
+        keys = [
+            f"{fingerprint}:{backend_generation(request.backend)}"
+            for fingerprint, request in zip(fingerprints, batch)
+        ]
+
+        # Partition into cached, first-occurrence (to run) and duplicates.
+        outcomes: dict[str, tuple[ExtractionResult | None, float, str | None]] = {}
+        to_run: list[tuple[str, ExtractionRequest]] = []
+        pending: set[str] = set()
+        cached_keys: set[str] = set()
+        for key, request in zip(keys, batch):
+            if key in outcomes or key in pending:
+                continue
+            cached = self._cache_get(key)
+            if cached is not None:
+                outcomes[key] = (cached, 0.0, None)
+                cached_keys.add(key)
+                self._cache_hits += 1
+            else:
+                to_run.append((key, request))
+                pending.add(key)
+                self._cache_misses += 1
+
+        for key, outcome in self._run(to_run):
+            outcomes[key] = outcome
+            result = outcome[0]
+            if result is not None:
+                self._cache_put(key, result)
+
+        # Assemble per-request statuses in request order.
+        statuses: list[RequestStatus] = []
+        first_seen: set[str] = set()
+        cache_hits = 0
+        for index, (key, fingerprint, request) in enumerate(zip(keys, fingerprints, batch)):
+            result, seconds, error = outcomes[key]
+            duplicate = key in first_seen
+            first_seen.add(key)
+            if error is not None:
+                status = "failed"
+            elif key in cached_keys or duplicate:
+                status = "cached"
+                cache_hits += 1
+            else:
+                status = "completed"
+            statuses.append(
+                RequestStatus(
+                    index=index,
+                    label=request.label,
+                    backend=request.backend,
+                    fingerprint=fingerprint,
+                    status=status,
+                    seconds=seconds if status == "completed" else 0.0,
+                    error=error,
+                    result=result,
+                )
+            )
+        return BatchReport(
+            statuses=statuses,
+            wall_seconds=time.perf_counter() - wall_start,
+            cache_hits=cache_hits,
+        )
+
+    # ------------------------------------------------------------------
+    def _run(
+        self, jobs: Sequence[tuple[str, ExtractionRequest]]
+    ) -> list[tuple[str, tuple[ExtractionResult | None, float, str | None]]]:
+        """Execute the deduplicated jobs under the configured executor."""
+        if not jobs:
+            return []
+        # Only "serial" (and a single job on the thread executor) runs
+        # inline: a process pool is always honoured so its isolation and
+        # fresh-import semantics do not depend on the batch size.
+        if self.executor == "serial" or (self.executor == "thread" and len(jobs) == 1):
+            return [(fp, self._run_one(request)) for fp, request in jobs]
+
+        workers = self.max_workers or min(os.cpu_count() or 1, 8)
+        workers = min(workers, len(jobs))
+        pool: Executor
+        if self.executor == "process":
+            pool = ProcessPoolExecutor(max_workers=workers)
+        else:
+            pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="extract")
+        with pool:
+            futures = [
+                (fp, pool.submit(_execute_request, request.backend, request.layout, request.options))
+                for fp, request in jobs
+            ]
+            outcomes = []
+            for fp, future in futures:
+                try:
+                    result, seconds = future.result()
+                    outcomes.append((fp, (result, seconds, None)))
+                except Exception as exc:  # contain per-request failures
+                    outcomes.append((fp, (None, 0.0, f"{type(exc).__name__}: {exc}")))
+        return outcomes
+
+    @staticmethod
+    def _run_one(request: ExtractionRequest) -> tuple[ExtractionResult | None, float, str | None]:
+        try:
+            result, seconds = _execute_request(request.backend, request.layout, request.options)
+            return result, seconds, None
+        except Exception as exc:  # contain per-request failures
+            return None, 0.0, f"{type(exc).__name__}: {exc}"

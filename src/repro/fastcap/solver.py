@@ -5,40 +5,28 @@ multipole-accelerated collocation operator, solves one GMRES system per
 conductor and assembles the capacitance matrix -- the same pipeline as the
 original FASTCAP program [4], with timing and memory bookkeeping so the
 Table 2 comparison can be regenerated.
+
+The solver returns the unified :class:`repro.core.results.ExtractionResult`
+(with ``iterations`` populated); the historical ``FastCapSolution`` name is
+retained only as a deprecated alias of that type.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
 import numpy as np
 
+from repro.core.results import ExtractionResult
 from repro.fastcap.fmm import MultipoleOperator
 from repro.geometry.discretize import discretize_layout_graded
 from repro.geometry.layout import Layout
 from repro.geometry.panel import Panel
-from repro.solver.iterative import IterativeStats, gmres_solve
+from repro.parallel.timing import SolverTimer
+from repro.solver.iterative import gmres_solve
 
-__all__ = ["FastCapSolution", "FastCapSolver"]
+__all__ = ["FastCapSolver"]
 
-
-@dataclass
-class FastCapSolution:
-    """Result of a FASTCAP-like extraction."""
-
-    capacitance: np.ndarray
-    setup_seconds: float
-    solve_seconds: float
-    memory_bytes: int
-    num_panels: int
-    iterations: IterativeStats
-    metadata: dict = field(default_factory=dict)
-
-    @property
-    def total_seconds(self) -> float:
-        """Setup plus solve time."""
-        return self.setup_seconds + self.solve_seconds
+#: Deprecated alias — the FASTCAP-like solver now returns the unified result.
+FastCapSolution = ExtractionResult
 
 
 class FastCapSolver:
@@ -85,50 +73,53 @@ class FastCapSolver:
             max_edge=self.max_edge,
         )
 
-    def solve_panels(self, layout: Layout, panels: list[Panel]) -> FastCapSolution:
+    def solve_panels(self, layout: Layout, panels: list[Panel]) -> ExtractionResult:
         """Run the extraction on an explicit panel discretisation."""
-        start = time.perf_counter()
-        operator = MultipoleOperator(
-            panels,
-            layout.permittivity,
-            theta=self.theta,
-            max_leaf_size=self.max_leaf_size,
-        )
-        diagonal = operator.diagonal()
-        setup_seconds = time.perf_counter() - start
+        timer = SolverTimer()
+        with timer.setup():
+            operator = MultipoleOperator(
+                panels,
+                layout.permittivity,
+                theta=self.theta,
+                max_leaf_size=self.max_leaf_size,
+            )
+            diagonal = operator.diagonal()
 
         conductor_of_panel = np.asarray([p.conductor for p in panels], dtype=np.intp)
         areas = np.asarray([p.area for p in panels])
         num_conductors = layout.num_conductors
 
-        start = time.perf_counter()
-        rhs = np.zeros((len(panels), num_conductors))
-        for k in range(num_conductors):
-            rhs[conductor_of_panel == k, k] = 1.0
-        densities, stats = gmres_solve(
-            operator.matvec,
-            rhs,
-            size=len(panels),
-            tolerance=self.tolerance,
-            max_iterations=self.max_iterations,
-            diagonal=diagonal,
-        )
-        # C[k, l] = total charge on conductor k when conductor l is at 1 V.
-        capacitance = np.zeros((num_conductors, num_conductors))
-        for k in range(num_conductors):
-            mask = conductor_of_panel == k
-            capacitance[k, :] = (areas[mask, None] * densities[mask, :]).sum(axis=0)
-        capacitance = 0.5 * (capacitance + capacitance.T)
-        solve_seconds = time.perf_counter() - start
+        with timer.solve():
+            rhs = np.zeros((len(panels), num_conductors))
+            for k in range(num_conductors):
+                rhs[conductor_of_panel == k, k] = 1.0
+            densities, stats = gmres_solve(
+                operator.matvec,
+                rhs,
+                size=len(panels),
+                tolerance=self.tolerance,
+                max_iterations=self.max_iterations,
+                diagonal=diagonal,
+            )
+            # C[k, l] = total charge on conductor k when conductor l is at 1 V.
+            capacitance = np.zeros((num_conductors, num_conductors))
+            for k in range(num_conductors):
+                mask = conductor_of_panel == k
+                capacitance[k, :] = (areas[mask, None] * densities[mask, :]).sum(axis=0)
+            capacitance = 0.5 * (capacitance + capacitance.T)
 
-        return FastCapSolution(
+        return ExtractionResult(
             capacitance=capacitance,
-            setup_seconds=setup_seconds,
-            solve_seconds=solve_seconds,
+            conductor_names=list(layout.names),
+            setup_seconds=timer.setup_seconds,
+            solve_seconds=timer.solve_seconds,
             memory_bytes=operator.memory_bytes,
-            num_panels=len(panels),
+            backend="fastcap",
+            num_unknowns=len(panels),
             iterations=stats,
+            charges=densities,
             metadata={
+                "num_panels": len(panels),
                 "theta": self.theta,
                 "tree_depth": operator.tree.depth,
                 "num_leaves": len(operator.tree.leaves),
@@ -136,6 +127,6 @@ class FastCapSolver:
             },
         )
 
-    def solve(self, layout: Layout) -> FastCapSolution:
+    def solve(self, layout: Layout) -> ExtractionResult:
         """Discretise and extract the layout."""
         return self.solve_panels(layout, self.discretize(layout))

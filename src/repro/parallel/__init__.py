@@ -14,12 +14,13 @@ communication overhead.  The real ``multiprocessing`` backends in
 """
 
 from repro.parallel.machine import MachineModel, SimulatedParallelMachine, ParallelRunTiming
-from repro.parallel.timing import Stopwatch, measure
+from repro.parallel.timing import SolverTimer, Stopwatch, measure
 
 __all__ = [
     "MachineModel",
     "SimulatedParallelMachine",
     "ParallelRunTiming",
+    "SolverTimer",
     "Stopwatch",
     "measure",
 ]

@@ -6,7 +6,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, TypeVar
 
-__all__ = ["Stopwatch", "measure"]
+__all__ = ["Stopwatch", "SolverTimer", "measure"]
 
 T = TypeVar("T")
 
@@ -48,6 +48,53 @@ class Stopwatch:
     def total(self) -> float:
         """Sum of all laps."""
         return sum(self.laps.values())
+
+
+class SolverTimer(Stopwatch):
+    """Standardised setup/solve phase bookkeeping of the extraction drivers.
+
+    Every solver driver (instantiable-basis, dense PWC, FASTCAP-like) times
+    the same two phases: the system *setup* (discretisation / operator
+    construction / matrix fill) and the *solve* (linear solve plus
+    capacitance post-processing).  This helper keeps the lap names and the
+    reporting consistent across them.
+
+    Example
+    -------
+    >>> timer = SolverTimer()
+    >>> with timer.setup():
+    ...     pass
+    >>> with timer.solve():
+    ...     pass
+    >>> timer.total_seconds == timer.setup_seconds + timer.solve_seconds
+    True
+    """
+
+    SETUP = "setup"
+    SOLVE = "solve"
+
+    def setup(self) -> "Stopwatch._Lap":
+        """Context manager timing the system-setup phase."""
+        return self.lap(self.SETUP)
+
+    def solve(self) -> "Stopwatch._Lap":
+        """Context manager timing the solve/post-processing phase."""
+        return self.lap(self.SOLVE)
+
+    @property
+    def setup_seconds(self) -> float:
+        """Accumulated system-setup time."""
+        return self.laps.get(self.SETUP, 0.0)
+
+    @property
+    def solve_seconds(self) -> float:
+        """Accumulated solve time."""
+        return self.laps.get(self.SOLVE, 0.0)
+
+    @property
+    def total_seconds(self) -> float:
+        """Setup plus solve time (the paper's "Total time" row)."""
+        return self.setup_seconds + self.solve_seconds
 
 
 def measure(function: Callable[[], T]) -> tuple[T, float]:

@@ -16,7 +16,10 @@ roles in the reproduction:
 """
 
 from repro.pwc.assembly import PWCSystem
-from repro.pwc.solver import PWCSolver, PWCSolution
+from repro.pwc.solver import PWCSolver
 from repro.pwc.refine import refined_reference
 
-__all__ = ["PWCSystem", "PWCSolver", "PWCSolution", "refined_reference"]
+# ``PWCSolution`` is retired as a public type: the solver returns the unified
+# ``repro.core.results.ExtractionResult``.  The alias remains importable from
+# ``repro.pwc.solver`` for legacy code.
+__all__ = ["PWCSystem", "PWCSolver", "refined_reference"]

@@ -16,7 +16,8 @@ import numpy as np
 
 from repro.geometry.discretize import refine_discretization
 from repro.geometry.layout import Layout
-from repro.pwc.solver import PWCSolution, PWCSolver
+from repro.core.results import ExtractionResult
+from repro.pwc.solver import PWCSolver
 
 __all__ = ["ReferenceResult", "refined_reference"]
 
@@ -26,7 +27,7 @@ class ReferenceResult:
     """A converged reference capacitance matrix and its convergence history."""
 
     capacitance: np.ndarray
-    solution: PWCSolution
+    solution: ExtractionResult
     history: list[float] = field(default_factory=list)
     panel_counts: list[int] = field(default_factory=list)
     converged: bool = False

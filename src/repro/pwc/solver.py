@@ -4,60 +4,27 @@ Discretises a layout, assembles the dense Galerkin system, solves it
 directly and forms the capacitance matrix.  Used as the accuracy reference
 and as the substrate of the arch-shape extraction; the FASTCAP-like and pFFT
 baselines replace the dense solve with multipole / FFT-accelerated GMRES.
+
+The solver returns the unified :class:`repro.core.results.ExtractionResult`
+(with ``charges`` and ``panels`` populated); the historical ``PWCSolution``
+name is retained only as a deprecated alias of that type.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
-import numpy as np
-
+from repro.core.results import ExtractionResult
 from repro.geometry.discretize import discretize_layout_graded
 from repro.geometry.layout import Layout
 from repro.geometry.panel import Panel
+from repro.parallel.timing import SolverTimer
 from repro.pwc.assembly import PWCSystem
 from repro.solver.capacitance import capacitance_from_solution
 from repro.solver.dense import solve_dense
 
-__all__ = ["PWCSolution", "PWCSolver"]
+__all__ = ["PWCSolver"]
 
-
-@dataclass
-class PWCSolution:
-    """Result of a PWC extraction.
-
-    Attributes
-    ----------
-    capacitance:
-        The ``n x n`` short-circuit capacitance matrix in farad.
-    charges:
-        Panel charge densities, one column per conductor excitation.
-    panels:
-        The discretisation panels.
-    setup_seconds, solve_seconds:
-        Wall-clock time of the matrix assembly and of the direct solve.
-    memory_bytes:
-        Size of the dense system matrix.
-    """
-
-    capacitance: np.ndarray
-    charges: np.ndarray
-    panels: list[Panel]
-    setup_seconds: float
-    solve_seconds: float
-    memory_bytes: int
-    metadata: dict = field(default_factory=dict)
-
-    @property
-    def num_panels(self) -> int:
-        """Number of panels used."""
-        return len(self.panels)
-
-    @property
-    def total_seconds(self) -> float:
-        """Setup plus solve time."""
-        return self.setup_seconds + self.solve_seconds
+#: Deprecated alias — the PWC solver now returns the unified result type.
+PWCSolution = ExtractionResult
 
 
 class PWCSolver:
@@ -99,32 +66,34 @@ class PWCSolver:
             max_edge=self.max_edge,
         )
 
-    def solve_panels(self, layout: Layout, panels: list[Panel]) -> PWCSolution:
+    def solve_panels(self, layout: Layout, panels: list[Panel]) -> ExtractionResult:
         """Assemble and solve the PWC system on an explicit panel set."""
-        start = time.perf_counter()
-        system = PWCSystem.assemble(
-            panels,
-            layout.permittivity,
-            num_conductors=layout.num_conductors,
-            order_near=self.order_near,
-        )
-        setup_seconds = time.perf_counter() - start
+        timer = SolverTimer()
+        with timer.setup():
+            system = PWCSystem.assemble(
+                panels,
+                layout.permittivity,
+                num_conductors=layout.num_conductors,
+                order_near=self.order_near,
+            )
 
-        start = time.perf_counter()
-        charges = solve_dense(system.matrix, system.rhs)
-        capacitance = capacitance_from_solution(system.rhs, charges)
-        solve_seconds = time.perf_counter() - start
+        with timer.solve():
+            charges = solve_dense(system.matrix, system.rhs)
+            capacitance = capacitance_from_solution(system.rhs, charges)
 
-        return PWCSolution(
+        return ExtractionResult(
             capacitance=capacitance,
+            conductor_names=list(layout.names),
+            setup_seconds=timer.setup_seconds,
+            solve_seconds=timer.solve_seconds,
+            memory_bytes=system.memory_bytes,
+            backend="pwc-dense",
+            num_unknowns=len(panels),
             charges=charges,
             panels=list(panels),
-            setup_seconds=setup_seconds,
-            solve_seconds=solve_seconds,
-            memory_bytes=system.memory_bytes,
             metadata={"num_panels": len(panels)},
         )
 
-    def solve(self, layout: Layout) -> PWCSolution:
+    def solve(self, layout: Layout) -> ExtractionResult:
         """Discretise and solve a layout."""
         return self.solve_panels(layout, self.discretize(layout))

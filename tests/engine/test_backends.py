@@ -1,0 +1,91 @@
+"""Backend equivalence: every stock backend matches its legacy entry point.
+
+The engine adapters must be thin: extracting the crossing-wires example
+through the registry has to agree with the historical constructor-based
+entry points to round-off, and every backend must return the same unified
+result type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExtractionConfig
+from repro.core.engine import CapacitanceExtractor
+from repro.core.results import ExtractionResult
+from repro.engine import get_backend
+from repro.fastcap.solver import FastCapSolver
+from repro.pwc.solver import PWCSolver
+
+
+class TestBackendEquivalence:
+    def test_instantiable_matches_legacy_extractor(self, crossing_layout):
+        via_engine = get_backend("instantiable").extract(crossing_layout, tolerance=0.01)
+        legacy = CapacitanceExtractor(ExtractionConfig(tolerance=0.01)).extract(crossing_layout)
+        np.testing.assert_allclose(via_engine.capacitance, legacy.capacitance, rtol=1e-12)
+        assert via_engine.num_basis_functions == legacy.num_basis_functions
+
+    def test_pwc_dense_matches_legacy_solver(self, crossing_layout):
+        via_engine = get_backend("pwc-dense").extract(crossing_layout, cells_per_edge=2)
+        legacy = PWCSolver(cells_per_edge=2).solve(crossing_layout)
+        np.testing.assert_allclose(via_engine.capacitance, legacy.capacitance, rtol=1e-12)
+        assert via_engine.num_unknowns == legacy.num_unknowns
+
+    def test_fastcap_matches_legacy_solver(self, crossing_layout):
+        via_engine = get_backend("fastcap").extract(crossing_layout, cells_per_edge=2)
+        legacy = FastCapSolver(cells_per_edge=2).solve(crossing_layout)
+        np.testing.assert_allclose(via_engine.capacitance, legacy.capacitance, rtol=1e-10)
+        assert via_engine.num_unknowns == legacy.num_unknowns
+
+    def test_all_backends_return_unified_result(self, crossing_layout):
+        options = {
+            "instantiable": {},
+            "pwc-dense": {"cells_per_edge": 2},
+            "fastcap": {"cells_per_edge": 2},
+        }
+        for name, kwargs in options.items():
+            result = get_backend(name).extract(crossing_layout, **kwargs)
+            assert type(result) is ExtractionResult
+            assert result.backend == name
+            assert result.conductor_names == ["source", "target"]
+            assert result.num_unknowns > 0
+            assert result.capacitance.shape == (2, 2)
+            assert result.total_seconds == result.setup_seconds + result.solve_seconds
+            assert result.memory_bytes > 0
+            summary = result.as_dict()
+            assert summary["backend"] == name
+            assert summary["num_unknowns"] == result.num_unknowns
+
+    def test_backends_agree_with_each_other(self, crossing_layout):
+        # Cross-backend physics check: all three formulations extract the
+        # same structure to a few percent.
+        results = [
+            get_backend("instantiable").extract(crossing_layout),
+            get_backend("pwc-dense").extract(crossing_layout, cells_per_edge=3),
+            get_backend("fastcap").extract(crossing_layout, cells_per_edge=3),
+        ]
+        couplings = [r.coupling_capacitance("source", "target") for r in results]
+        assert max(couplings) / min(couplings) < 1.10
+
+    def test_instantiable_rejects_config_plus_options(self, crossing_layout):
+        with pytest.raises(TypeError):
+            get_backend("instantiable").extract(
+                crossing_layout, config=ExtractionConfig(), tolerance=0.01
+            )
+
+    def test_backend_specific_fields(self, crossing_layout):
+        pwc = get_backend("pwc-dense").extract(crossing_layout, cells_per_edge=2)
+        assert pwc.panels is not None and len(pwc.panels) == pwc.num_unknowns
+        assert pwc.charges is not None and pwc.charges.shape[0] == pwc.num_unknowns
+        assert pwc.iterations is None
+
+        fastcap = get_backend("fastcap").extract(crossing_layout, cells_per_edge=2)
+        assert fastcap.iterations is not None
+        assert fastcap.iterations.total_iterations > 0
+        assert fastcap.num_panels == fastcap.num_unknowns
+
+        basis = get_backend("instantiable").extract(crossing_layout)
+        assert basis.num_basis_functions == basis.num_unknowns
+        assert basis.num_templates > 0
+        assert basis.parallel_setup is not None

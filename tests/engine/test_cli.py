@@ -1,0 +1,65 @@
+"""Tests of the ``python -m repro`` command-line front end."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.cli import main
+
+
+class TestBackendsCommand:
+    def test_lists_stock_backends(self, capsys):
+        assert main(["backends"]) == 0
+        output = capsys.readouterr().out
+        for name in ("instantiable", "pwc-dense", "fastcap"):
+            assert name in output
+
+    def test_json_output(self, capsys):
+        assert main(["backends", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert {e["name"] for e in entries} >= {"instantiable", "pwc-dense", "fastcap"}
+        assert all(e["description"] for e in entries)
+
+
+class TestExtractCommand:
+    def test_extract_json(self, capsys):
+        code = main([
+            "extract",
+            "--backend", "pwc-dense",
+            "--option", "cells_per_edge=2",
+            "--generator", "crossing_wires",
+            "--generator-arg", "separation=5e-7",
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "pwc-dense"
+        assert payload["conductors"] == ["source", "target"]
+        assert payload["num_unknowns"] > 0
+
+    def test_extract_text(self, capsys):
+        assert main(["extract", "--backend", "instantiable"]) == 0
+        output = capsys.readouterr().out
+        assert "Capacitance matrix" in output
+        assert "instantiable" in output
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["extract", "--generator", "flux_capacitor"])
+
+
+class TestBenchCommand:
+    def test_bench_writes_json(self, capsys, tmp_path):
+        target = tmp_path / "BENCH_engine.json"
+        assert main(["bench", "--executor", "serial", "--output", str(target)]) == 0
+        output = capsys.readouterr().out
+        assert "Service batch" in output
+        data = json.loads(target.read_text())
+        assert set(data["backends"]) == {"instantiable", "pwc-dense", "fastcap"}
+        for entry in data["backends"].values():
+            assert entry["setup_seconds"] >= 0.0
+            assert entry["num_unknowns"] > 0
+        assert data["throughput_per_second"] > 0.0
+        assert data["service_batch"]["cache_hits"] >= 1

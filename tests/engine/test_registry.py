@@ -1,0 +1,122 @@
+"""Tests of the backend registry and the request fingerprinting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ExtractionConfig
+from repro.engine import (
+    ExtractionRequest,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.engine.fingerprint import layout_fingerprint, request_fingerprint
+from repro.geometry import generators
+
+
+class TestRegistry:
+    def test_stock_backends_registered(self):
+        names = available_backends()
+        assert {"instantiable", "pwc-dense", "fastcap"} <= set(names)
+        assert names == sorted(names)
+
+    def test_get_backend_exposes_protocol(self):
+        for name in ("instantiable", "pwc-dense", "fastcap"):
+            backend = get_backend(name)
+            assert backend.name == name
+            assert isinstance(backend.description, str) and backend.description
+            assert callable(backend.extract)
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(KeyError, match="pwc-dense"):
+            get_backend("no-such-backend")
+
+    def test_duplicate_registration_rejected(self):
+        class Dummy:
+            name = "dummy-backend"
+            description = "dummy"
+
+            def extract(self, layout, **options):
+                raise NotImplementedError
+
+        try:
+            register_backend(Dummy())
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend(Dummy())
+            replacement = Dummy()
+            assert register_backend(replacement, replace=True) is replacement
+            assert get_backend("dummy-backend") is replacement
+        finally:
+            unregister_backend("dummy-backend")
+        assert "dummy-backend" not in available_backends()
+
+    def test_invalid_backends_rejected(self):
+        class NoName:
+            description = "nameless"
+
+            def extract(self, layout, **options):
+                raise NotImplementedError
+
+        class NoExtract:
+            name = "no-extract"
+            description = "missing extract"
+
+        with pytest.raises(ValueError):
+            register_backend(NoName())
+        with pytest.raises(ValueError):
+            register_backend(NoExtract())
+
+
+class TestFingerprint:
+    def test_identical_layouts_collide(self):
+        first = generators.crossing_wires(separation=0.5e-6)
+        second = generators.crossing_wires(separation=0.5e-6)
+        assert layout_fingerprint(first) == layout_fingerprint(second)
+
+    def test_geometry_changes_fingerprint(self):
+        base = generators.crossing_wires(separation=0.5e-6)
+        moved = generators.crossing_wires(separation=0.6e-6)
+        assert layout_fingerprint(base) != layout_fingerprint(moved)
+
+    def test_permittivity_changes_fingerprint(self):
+        vacuum = generators.crossing_wires()
+        oxide = generators.crossing_wires(relative_permittivity=3.9)
+        assert layout_fingerprint(vacuum) != layout_fingerprint(oxide)
+
+    def test_backend_and_options_enter_request_fingerprint(self, crossing_layout):
+        base = request_fingerprint(crossing_layout, "pwc-dense", {"cells_per_edge": 2})
+        assert base == request_fingerprint(crossing_layout, "pwc-dense", {"cells_per_edge": 2})
+        assert base != request_fingerprint(crossing_layout, "fastcap", {"cells_per_edge": 2})
+        assert base != request_fingerprint(crossing_layout, "pwc-dense", {"cells_per_edge": 3})
+
+    def test_option_order_is_irrelevant(self, crossing_layout):
+        forward = request_fingerprint(
+            crossing_layout, "fastcap", {"cells_per_edge": 2, "theta": 0.5}
+        )
+        backward = request_fingerprint(
+            crossing_layout, "fastcap", {"theta": 0.5, "cells_per_edge": 2}
+        )
+        assert forward == backward
+
+    def test_dataclass_options_canonicalised(self, crossing_layout):
+        first = request_fingerprint(
+            crossing_layout, "instantiable", {"config": ExtractionConfig(tolerance=0.02)}
+        )
+        second = request_fingerprint(
+            crossing_layout, "instantiable", {"config": ExtractionConfig(tolerance=0.02)}
+        )
+        third = request_fingerprint(
+            crossing_layout, "instantiable", {"config": ExtractionConfig(tolerance=0.03)}
+        )
+        assert first == second
+        assert first != third
+
+    def test_request_object_fingerprint_matches_function(self, crossing_layout):
+        request = ExtractionRequest(
+            crossing_layout, backend="pwc-dense", options={"cells_per_edge": 2}
+        )
+        assert request.fingerprint() == request_fingerprint(
+            crossing_layout, "pwc-dense", {"cells_per_edge": 2}
+        )
