@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the engine and scaling benchmarks.
+
+Compares a freshly generated ``BENCH_engine.json`` against the committed
+``benchmarks/baseline.json``: the gate fails (exit 1) when any backend's
+``total_seconds`` exceeds its baseline by more than ``--threshold``
+(default 25 %) plus an absolute noise floor (``--floor``, default 100 ms —
+the quick workloads finish in tens of milliseconds, where cross-machine
+and scheduler variance dwarf 25 %).  It also checks
+``BENCH_scaling.json`` structurally: both parallel backends must report
+speedup and parallel-efficiency entries for at least two worker counts.
+
+Escape hatches:
+
+* ``BENCH_GATE_SKIP=1`` skips the gate entirely (the CI workflow sets it
+  when the pull request carries the ``skip-bench-gate`` label).
+* ``--update-baseline`` rewrites ``benchmarks/baseline.json`` from the
+  current ``BENCH_engine.json`` instead of comparing. Refresh flow::
+
+      PYTHONPATH=src python -m repro bench --executor serial --output BENCH_engine.json
+      python benchmarks/check_regression.py --update-baseline
+
+The script is dependency-free (standard library only) so the CI job can run
+it without installing the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.25
+# Absolute allowance on top of the relative threshold: the quick-bench
+# workloads complete in tens of milliseconds, where cross-machine and
+# scheduler variance dwarfs 25 %.  Real regressions in this repo show up as
+# multi-x slowdowns, which the floor does not hide.
+DEFAULT_FLOOR_SECONDS = 0.10
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+#: Backends that must report scaling entries (kept in sync with
+#: ``repro.engine.scaling.SCALING_BACKENDS`` — asserted by the test suite).
+SCALING_BACKENDS = ("galerkin-shared", "galerkin-distributed")
+
+
+def compare_backends(
+    baseline_totals: dict,
+    current_backends: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    floor_seconds: float = DEFAULT_FLOOR_SECONDS,
+) -> list[str]:
+    """Regression messages for every backend slower than the baseline allows.
+
+    ``baseline_totals`` maps backend name to baseline ``total_seconds``;
+    ``current_backends`` is the ``backends`` section of ``BENCH_engine.json``.
+    A backend regresses when ``total > baseline * (1 + threshold) + floor``.
+    A backend on either side only (dropped from the bench, or added without
+    refreshing the baseline) also fails: new backends must enter the gate.
+    """
+    failures = []
+    for name, base_total in sorted(baseline_totals.items()):
+        entry = current_backends.get(name)
+        if entry is None:
+            failures.append(f"backend {name!r} is missing from the current benchmark")
+            continue
+        total = float(entry["total_seconds"])
+        allowed = float(base_total) * (1.0 + threshold) + floor_seconds
+        if total > allowed:
+            failures.append(
+                f"backend {name!r} regressed: total_seconds {total:.3f} s > "
+                f"allowed {allowed:.3f} s (baseline {float(base_total):.3f} s "
+                f"+ {threshold:.0%} + {floor_seconds:.2f} s floor)"
+            )
+    for name in sorted(set(current_backends) - set(baseline_totals)):
+        failures.append(
+            f"backend {name!r} has no baseline entry; run "
+            "`python benchmarks/check_regression.py --update-baseline` to gate it"
+        )
+    return failures
+
+
+def check_scaling(scaling_data: dict, expected_backends=SCALING_BACKENDS) -> list[str]:
+    """Structural checks of ``BENCH_scaling.json``.
+
+    Every expected backend needs speedup and efficiency entries for at least
+    two worker counts on every swept layout, with sane values.
+    """
+    failures = []
+    backends = scaling_data.get("backends", {})
+    for name in expected_backends:
+        per_layout = backends.get(name)
+        if not per_layout:
+            failures.append(f"scaling report has no entries for backend {name!r}")
+            continue
+        for label, entry in sorted(per_layout.items()):
+            speedup = entry.get("speedup") or []
+            efficiency = entry.get("efficiency") or []
+            if len(speedup) < 2 or len(efficiency) < 2:
+                failures.append(
+                    f"{name}/{label}: needs speedup+efficiency for >= 2 worker "
+                    f"counts, got {len(speedup)}/{len(efficiency)}"
+                )
+            elif not all(s > 0.0 for s in speedup) or not all(
+                0.0 < e <= 2.0 for e in efficiency
+            ):
+                failures.append(
+                    f"{name}/{label}: implausible speedup/efficiency values "
+                    f"(speedup={speedup}, efficiency={efficiency})"
+                )
+    return failures
+
+
+def _load(path: Path, description: str) -> dict:
+    if not path.exists():
+        raise SystemExit(f"error: {description} not found at {path}")
+    return json.loads(path.read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline (default: benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--engine",
+        type=Path,
+        default=REPO_ROOT / "BENCH_engine.json",
+        help="fresh engine benchmark artifact",
+    )
+    parser.add_argument(
+        "--scaling",
+        type=Path,
+        default=REPO_ROOT / "BENCH_scaling.json",
+        help="fresh scaling benchmark artifact",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help=f"allowed relative regression (default: baseline's, else {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=None,
+        help=f"absolute noise floor in seconds (default: baseline's, else {DEFAULT_FLOOR_SECONDS})",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current BENCH_engine.json and exit",
+    )
+    args = parser.parse_args(argv)
+
+    # The escape hatch only bypasses the *comparison*; an explicit
+    # --update-baseline still runs so refreshes are never silently lost.
+    if os.environ.get("BENCH_GATE_SKIP") == "1" and not args.update_baseline:
+        print("perf-regression gate skipped (BENCH_GATE_SKIP=1)")
+        return 0
+
+    engine = _load(args.engine, "engine benchmark")
+    current_backends = engine.get("backends", {})
+
+    if args.update_baseline:
+        baseline = {
+            "comment": (
+                "Per-backend total_seconds of the quick engine benchmark; "
+                "refresh with: python benchmarks/check_regression.py --update-baseline"
+            ),
+            "threshold": args.threshold if args.threshold is not None else DEFAULT_THRESHOLD,
+            "floor_seconds": args.floor if args.floor is not None else DEFAULT_FLOOR_SECONDS,
+            "backends": {
+                name: float(entry["total_seconds"])
+                for name, entry in sorted(current_backends.items())
+            },
+        }
+        args.baseline.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"wrote {args.baseline}")
+        return 0
+
+    baseline = _load(args.baseline, "baseline")
+    threshold = (
+        args.threshold
+        if args.threshold is not None
+        else float(baseline.get("threshold", DEFAULT_THRESHOLD))
+    )
+    floor_seconds = (
+        args.floor
+        if args.floor is not None
+        else float(baseline.get("floor_seconds", DEFAULT_FLOOR_SECONDS))
+    )
+
+    failures = compare_backends(
+        baseline.get("backends", {}), current_backends, threshold, floor_seconds
+    )
+    failures += check_scaling(_load(args.scaling, "scaling benchmark"))
+
+    for name, entry in sorted(current_backends.items()):
+        base = baseline.get("backends", {}).get(name)
+        base_text = f"{float(base):.3f} s baseline" if base is not None else "no baseline"
+        print(f"  {name:<22} {float(entry['total_seconds']):.3f} s  ({base_text})")
+    if failures:
+        print("\nperf-regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        print(
+            "\nIf the regression is expected, refresh benchmarks/baseline.json "
+            "(--update-baseline) or apply the 'skip-bench-gate' PR label."
+        )
+        return 1
+    print(f"\nperf-regression gate passed ({threshold:.0%} + {floor_seconds:.2f} s allowance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

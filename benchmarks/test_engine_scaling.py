@@ -1,0 +1,43 @@
+"""Scaling benchmark of the parallel Galerkin backends; writes ``BENCH_scaling.json``.
+
+Sweeps worker counts x crossing-bus sizes through ``galerkin-shared`` and
+``galerkin-distributed`` and records speedup / parallel efficiency (modelled
+by the simulated parallel machine from measured per-worker work, exactly as
+the Table 3 / Figure 8 experiments).  The machine-readable artifact lands at
+the repository root next to ``BENCH_engine.json`` and is consumed by the CI
+perf-regression gate (``benchmarks/check_regression.py``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from conftest import run_once
+
+from repro.engine.scaling import SCALING_BACKENDS, run_scaling_bench, write_scaling_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_scaling_benchmark(benchmark, quick_mode):
+    """Worker-count sweep of both parallel backends over two bus sizes."""
+    report = run_once(benchmark, run_scaling_bench, quick=quick_mode)
+    print("\n" + report.text)
+    target = write_scaling_json(report, REPO_ROOT / "BENCH_scaling.json")
+    print(f"\nwrote {target}")
+    benchmark.extra_info["scaling"] = report.data["backends"]
+
+    data = report.data
+    assert set(data["backends"]) == set(SCALING_BACKENDS)
+    assert len(data["worker_counts"]) >= 2
+    for per_layout in data["backends"].values():
+        assert len(per_layout) >= 2  # two bus sizes per backend
+        for entry in per_layout.values():
+            assert len(entry["worker_counts"]) >= 2
+            assert len(entry["speedup"]) >= 2
+            assert len(entry["efficiency"]) >= 2
+            assert entry["speedup"][0] == pytest.approx(1.0)
+            assert all(s > 0.0 for s in entry["speedup"])
+            assert all(0.0 < e <= 1.5 for e in entry["efficiency"])
+            assert entry["num_unknowns"] > 0

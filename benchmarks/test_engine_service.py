@@ -30,7 +30,13 @@ def test_engine_service_benchmark(benchmark, quick_mode):
     }
 
     data = report.data
-    assert set(data["backends"]) == {"instantiable", "pwc-dense", "fastcap"}
+    assert set(data["backends"]) == {
+        "instantiable",
+        "pwc-dense",
+        "fastcap",
+        "galerkin-shared",
+        "galerkin-distributed",
+    }
     for entry in data["backends"].values():
         assert entry["num_unknowns"] > 0
         assert entry["total_seconds"] > 0.0

@@ -23,7 +23,7 @@ that decay with distance, which is why the denominator easily captures the
 from __future__ import annotations
 
 from itertools import combinations_with_replacement
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 

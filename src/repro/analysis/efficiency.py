@@ -89,6 +89,16 @@ class ScalingTable:
                 return point.efficiency
         raise KeyError(f"no measurement for {num_nodes} nodes in table {self.label!r}")
 
+    def as_dict(self) -> dict:
+        """Machine-readable summary (aligned lists, one entry per node count)."""
+        return {
+            "label": self.label,
+            "worker_counts": self.node_counts,
+            "total_seconds": [p.total_seconds for p in self.points],
+            "speedup": self.speedups,
+            "efficiency": self.efficiencies,
+        }
+
     def rows(self) -> list[list[str]]:
         """Formatted rows (nodes, time, speedup, efficiency) for reports."""
         return [

@@ -40,7 +40,11 @@ from repro.core.reference import reference_capacitance
 from repro.engine import get_backend
 from repro.geometry import generators
 from repro.greens.collocation import collocation_from_deltas
-from repro.parallel.machine import SimulatedParallelMachine
+from repro.parallel.machine import (
+    SimulatedParallelMachine,
+    calibrate_unit_costs,
+    with_predicted_times,
+)
 from repro.solver.capacitance import compare_capacitance
 from repro.solver.dense import solve_dense
 
@@ -231,36 +235,18 @@ def _calibrate_unit_costs(basis_set, permittivity, calibration_chunks: int = 16)
     """Measure per-category template-pair costs for the workload model.
 
     The basis set is assembled once, split into ``calibration_chunks``
-    sub-chunks; a non-negative least-squares fit of the per-chunk wall-clock
-    times against the per-chunk category counts yields the cost of one
-    template-pair evaluation in every category.  The simulated parallel
-    machine then predicts every partition's compute time from its category
-    counts, which removes scheduler jitter from the efficiency figures while
-    keeping the prediction anchored to measured costs (see DESIGN.md).
+    sub-chunks; the fit itself lives in
+    :func:`repro.parallel.machine.calibrate_unit_costs`.
     """
-    from scipy.optimize import nnls
-
     setup = SharedMemoryAssembler(
         basis_set, permittivity, num_nodes=calibration_chunks
     ).assemble()
-    categories = sorted(setup.node_results[0].category_counts)
-    design = np.array(
-        [[r.category_counts[c] for c in categories] for r in setup.node_results], dtype=float
-    )
-    elapsed = np.array([r.elapsed_seconds for r in setup.node_results])
-    costs, _ = nnls(design, elapsed)
-    return dict(zip(categories, costs))
+    return calibrate_unit_costs(setup.node_results)
 
 
 def _predicted_setup(setup: ParallelSetupResult, unit_costs: dict[str, float]) -> ParallelSetupResult:
     """Replace measured node times by the workload-model prediction."""
-    return ParallelSetupResult(
-        matrix=setup.matrix,
-        node_results=[
-            r.with_elapsed(r.predicted_seconds(unit_costs)) for r in setup.node_results
-        ],
-        communication_bytes=list(setup.communication_bytes),
-    )
+    return with_predicted_times(setup, unit_costs)
 
 
 def run_table3(

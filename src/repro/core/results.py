@@ -107,6 +107,30 @@ class ExtractionResult:
         return int(self.metadata.get("num_panels", 0))
 
     # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        """Parallel workers used in the system setup (zero when serial/unknown)."""
+        return self.parallel_setup.num_nodes if self.parallel_setup is not None else 0
+
+    @property
+    def worker_setup_seconds(self) -> list[float]:
+        """Per-worker system-setup time (empty without a parallel setup)."""
+        if self.parallel_setup is None:
+            return []
+        return [r.elapsed_seconds for r in self.parallel_setup.node_results]
+
+    @property
+    def worker_communication_bytes(self) -> list[int]:
+        """Per-worker communication volume (empty without a parallel setup).
+
+        All zeros in the shared-memory flow; in the distributed flow the
+        non-main workers' entries are the partial-matrix message sizes.
+        """
+        if self.parallel_setup is None:
+            return []
+        return list(self.parallel_setup.communication_bytes)
+
+    # ------------------------------------------------------------------
     def index_of(self, name: str) -> int:
         """Index of a conductor by name."""
         try:
@@ -146,4 +170,9 @@ class ExtractionResult:
         }
         if self.iterations is not None:
             summary["total_iterations"] = self.iterations.total_iterations
+        if self.parallel_setup is not None:
+            summary["num_workers"] = self.num_workers
+            summary["worker_setup_seconds"] = self.worker_setup_seconds
+            summary["worker_communication_bytes"] = self.worker_communication_bytes
+            summary["load_imbalance"] = self.parallel_setup.load_imbalance
         return summary

@@ -16,12 +16,14 @@ API::
     ])
 
 Every backend returns the same :class:`~repro.core.results.ExtractionResult`.
-Importing this package registers the three stock backends
-(``instantiable``, ``pwc-dense``, ``fastcap``); third-party pipelines join
-the same registry through :func:`register_backend`.
+Importing this package registers the five stock backends (``instantiable``,
+``pwc-dense``, ``fastcap``, ``galerkin-shared``, ``galerkin-distributed``);
+third-party pipelines join the same registry through
+:func:`register_backend`.
 
 The command-line front end lives in :mod:`repro.engine.cli`
-(``python -m repro``), the benchmark driver in :mod:`repro.engine.bench`.
+(``python -m repro``), the benchmark driver in :mod:`repro.engine.bench`,
+the worker-count scaling harness in :mod:`repro.engine.scaling`.
 """
 
 from repro.core.results import ExtractionResult
@@ -32,6 +34,10 @@ from repro.engine.backends import (
     register_default_backends,
 )
 from repro.engine.fingerprint import canonicalize, layout_fingerprint, request_fingerprint
+from repro.engine.parallel_backends import (
+    GalerkinDistributedBackend,
+    GalerkinSharedBackend,
+)
 from repro.engine.registry import (
     Backend,
     available_backends,
@@ -55,6 +61,8 @@ __all__ = [
     "ExtractionResult",
     "ExtractionService",
     "FastCapBackend",
+    "GalerkinDistributedBackend",
+    "GalerkinSharedBackend",
     "InstantiableBackend",
     "PWCDenseBackend",
     "RequestStatus",

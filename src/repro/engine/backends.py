@@ -5,13 +5,19 @@ Each adapter wraps one existing solver pipeline behind the
 options into the solver's native configuration and returning the unified
 :class:`~repro.core.results.ExtractionResult`:
 
-=============  ==================================================  =============
-name           pipeline                                            unknowns
-=============  ==================================================  =============
-instantiable   instantiable-basis condensed system, direct solve   basis functions
-pwc-dense      dense piecewise-constant Galerkin BEM               panels
-fastcap        multipole-accelerated PWC collocation + GMRES       panels
-=============  ==================================================  =============
+====================  ==================================================  =============
+name                  pipeline                                            unknowns
+====================  ==================================================  =============
+instantiable          instantiable-basis condensed system, direct solve   basis functions
+pwc-dense             dense piecewise-constant Galerkin BEM               panels
+fastcap               multipole-accelerated PWC collocation + GMRES       panels
+galerkin-shared       shared-memory parallel Galerkin assembly + GMRES    basis functions
+galerkin-distributed  distributed partial-matrix assembly + GMRES         basis functions
+====================  ==================================================  =============
+
+The two ``galerkin-*`` backends live in
+:mod:`repro.engine.parallel_backends`; they are registered here alongside
+the serial adapters.
 """
 
 from __future__ import annotations
@@ -19,6 +25,10 @@ from __future__ import annotations
 from repro.core.config import ExtractionConfig
 from repro.core.engine import CapacitanceExtractor
 from repro.core.results import ExtractionResult
+from repro.engine.parallel_backends import (
+    GalerkinDistributedBackend,
+    GalerkinSharedBackend,
+)
 from repro.engine.registry import available_backends, register_backend
 from repro.fastcap.solver import FastCapSolver
 from repro.geometry.layout import Layout
@@ -98,6 +108,13 @@ class FastCapBackend:
 def register_default_backends() -> None:
     """Register the stock backends (idempotent)."""
     registered = set(available_backends())
-    for backend_type in (InstantiableBackend, PWCDenseBackend, FastCapBackend):
+    stock = (
+        InstantiableBackend,
+        PWCDenseBackend,
+        FastCapBackend,
+        GalerkinSharedBackend,
+        GalerkinDistributedBackend,
+    )
+    for backend_type in stock:
         if backend_type.name not in registered:
             register_backend(backend_type())

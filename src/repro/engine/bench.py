@@ -29,6 +29,8 @@ _BACKEND_OPTIONS: dict[str, dict] = {
     "instantiable": {},
     "pwc-dense": {"cells_per_edge": 2},
     "fastcap": {"cells_per_edge": 2},
+    "galerkin-shared": {"workers": 2},
+    "galerkin-distributed": {"workers": 2},
 }
 
 

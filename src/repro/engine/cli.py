@@ -7,6 +7,8 @@ Run as ``python -m repro``:
   --option cells_per_edge=2`` -- extract a generated structure.
 * ``python -m repro bench --output BENCH_engine.json`` -- run the engine
   benchmark and write the machine-readable artifact.
+* ``python -m repro scale --quick`` -- sweep worker counts x layout sizes
+  over the parallel Galerkin backends and write ``BENCH_scaling.json``.
 
 (The paper-experiment driver remains available as
 ``python -m repro.core.experiments``.)
@@ -107,6 +109,37 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_int_list(text: str) -> list[int]:
+    """Parse a comma-separated list of integers (e.g. ``1,2,4``)."""
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one integer")
+    return values
+
+
+def _command_scale(args: argparse.Namespace) -> int:
+    from repro.engine.scaling import run_scaling_bench, write_scaling_json
+
+    try:
+        report = run_scaling_bench(
+            quick=not args.full,
+            worker_counts=args.workers,
+            sizes=args.sizes,
+            executor=args.executor,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(report.text)
+    target = write_scaling_json(report, args.output)
+    print(f"\nwrote {target}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -176,6 +209,47 @@ def main(argv: list[str] | None = None) -> int:
         help="write the machine-readable report (default path: BENCH_engine.json)",
     )
     bench_parser.set_defaults(handler=_command_bench)
+
+    scale_parser = subparsers.add_parser(
+        "scale",
+        help="sweep worker counts x layout sizes over the parallel Galerkin backends",
+    )
+    quickness = scale_parser.add_mutually_exclusive_group()
+    quickness.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the reduced bus sizes (the default)",
+    )
+    quickness.add_argument(
+        "--full", action="store_true", help="use the larger bus sizes"
+    )
+    scale_parser.add_argument(
+        "--workers",
+        type=_parse_int_list,
+        default=[1, 2, 4],
+        metavar="D1,D2,...",
+        help="comma-separated worker counts to sweep (default: 1,2,4)",
+    )
+    scale_parser.add_argument(
+        "--sizes",
+        type=_parse_int_list,
+        default=None,
+        metavar="N1,N2,...",
+        help="comma-separated crossing-bus sizes overriding the quick/full defaults",
+    )
+    scale_parser.add_argument(
+        "--executor",
+        choices=("simulated", "process"),
+        default="simulated",
+        help="backend executor mode (default: simulated)",
+    )
+    scale_parser.add_argument(
+        "--output",
+        default="BENCH_scaling.json",
+        metavar="PATH",
+        help="where to write the machine-readable report (default: BENCH_scaling.json)",
+    )
+    scale_parser.set_defaults(handler=_command_scale)
 
     args = parser.parse_args(argv)
     return args.handler(args)

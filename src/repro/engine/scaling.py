@@ -1,0 +1,187 @@
+"""Scaling harness: worker-count x layout-size sweeps of the parallel backends.
+
+``run_scaling_bench`` extracts crossing-bus layouts of increasing size
+through the two parallel Galerkin backends (``galerkin-shared`` and
+``galerkin-distributed``) at every requested worker count, then derives
+speedup and parallel efficiency the same way the paper's Table 3 / Figure 8
+experiments do: the per-worker compute times are replaced by the calibrated
+workload model (per-category unit costs fitted over *all* measured chunks of
+the sweep), and the :class:`~repro.parallel.machine.SimulatedParallelMachine`
+adds the fork/join, communication and merge terms of the modelled flow.
+This keeps the efficiency figures meaningful on any host — including a
+single-core CI runner — while staying anchored to measured per-category
+costs.
+
+The report's ``data`` is the machine-readable payload written to
+``BENCH_scaling.json`` (next to ``BENCH_engine.json``) by the benchmark
+suite and by ``python -m repro scale``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.efficiency import ScalingTable, fit_serial_fraction
+from repro.analysis.report import format_table
+from repro.assembly.shared_memory import ParallelSetupResult
+from repro.core.experiments import ExperimentReport
+from repro.engine.registry import get_backend
+from repro.geometry import generators
+from repro.parallel.machine import (
+    SimulatedParallelMachine,
+    calibrate_unit_costs,
+    with_predicted_times,
+)
+
+__all__ = [
+    "BENCH_SCALING_FILENAME",
+    "SCALING_BACKENDS",
+    "run_scaling_bench",
+    "write_scaling_json",
+]
+
+#: Default name of the machine-readable scaling artifact.
+BENCH_SCALING_FILENAME = "BENCH_scaling.json"
+
+#: The backends swept by the scaling harness.
+SCALING_BACKENDS = ("galerkin-shared", "galerkin-distributed")
+
+
+def _sweep_layouts(quick: bool, sizes: Sequence[int] | None):
+    """The crossing-bus layouts of the sweep, keyed by a short label."""
+    if sizes is None:
+        sizes = (2, 3) if quick else (4, 6)
+    layouts = {}
+    for size in sizes:
+        if size < 1:
+            raise ValueError(f"bus sizes must be >= 1, got {size}")
+        layouts[f"bus{size}x{size}"] = generators.bus_crossing(size, size)
+    return layouts
+
+
+def run_scaling_bench(
+    quick: bool = True,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    sizes: Sequence[int] | None = None,
+    executor: str = "simulated",
+    backends: Sequence[str] = SCALING_BACKENDS,
+) -> ExperimentReport:
+    """Sweep worker counts x layout sizes over the parallel backends.
+
+    Parameters
+    ----------
+    quick:
+        Use the reduced bus sizes (2x2 and 3x3); ``False`` uses 4x4 and 6x6.
+    worker_counts:
+        Worker counts ``D`` of the sweep; must include at least two values
+        (a 1-worker baseline makes the speedups absolute).
+    sizes:
+        Explicit bus sizes overriding the quick/full defaults.
+    executor:
+        Executor mode forwarded to the backends (``"simulated"`` or
+        ``"process"``).
+    backends:
+        Backend names to sweep; each must accept ``workers``/``executor``
+        options and return a result with ``parallel_setup`` filled in.
+    """
+    worker_counts = sorted(set(int(w) for w in worker_counts))
+    if len(worker_counts) < 2:
+        raise ValueError(
+            f"the sweep needs at least two worker counts, got {worker_counts}"
+        )
+    if any(w < 1 for w in worker_counts):
+        raise ValueError(f"worker counts must be >= 1, got {worker_counts}")
+
+    layouts = _sweep_layouts(quick, sizes)
+    machine = SimulatedParallelMachine()
+    backends_data: dict[str, dict] = {}
+    text_parts: list[str] = []
+
+    for backend_name in backends:
+        backend = get_backend(backend_name)
+        flow = getattr(backend, "assembly_flow", None)
+        if flow not in ("shared-memory", "distributed"):
+            raise ValueError(
+                f"backend {backend_name!r} must expose assembly_flow "
+                f"('shared-memory' or 'distributed') to select the machine "
+                f"model, got {flow!r}"
+            )
+        per_layout: dict[str, dict] = {}
+        for label, layout in layouts.items():
+            results = [
+                backend.extract(layout, workers=w, executor=executor)
+                for w in worker_counts
+            ]
+            setups: list[ParallelSetupResult] = []
+            for result in results:
+                if result.parallel_setup is None:
+                    raise ValueError(
+                        f"backend {backend_name!r} did not report a parallel "
+                        "setup; the scaling harness needs per-worker timings"
+                    )
+                setups.append(result.parallel_setup)
+            # Calibrate the workload model over every chunk of the sweep so
+            # all worker counts share one set of per-category unit costs.
+            unit_costs = calibrate_unit_costs(
+                [chunk for setup in setups for chunk in setup.node_results]
+            )
+            modelled_times = []
+            for result, raw_setup in zip(results, setups):
+                setup = with_predicted_times(raw_setup, unit_costs)
+                if flow == "distributed":
+                    timing = machine.distributed_run(
+                        setup, solve_seconds=result.solve_seconds
+                    )
+                else:
+                    timing = machine.shared_memory_run(
+                        setup, solve_seconds=result.solve_seconds
+                    )
+                modelled_times.append(timing.total_seconds)
+            table = ScalingTable.from_times(
+                f"{backend_name} {label}", worker_counts, modelled_times
+            )
+            per_layout[label] = {
+                **table.as_dict(),
+                "num_unknowns": results[0].num_unknowns,
+                "num_conductors": layout.num_conductors,
+                "measured_setup_seconds": [r.setup_seconds for r in results],
+                "communication_bytes": [
+                    sum(r.worker_communication_bytes) for r in results
+                ],
+                "amdahl_serial_fraction": fit_serial_fraction(
+                    np.asarray(table.node_counts), np.asarray(table.efficiencies)
+                ),
+            }
+            text_parts.append(
+                format_table(
+                    ["workers", "time", "speedup", "efficiency"],
+                    table.rows(),
+                    title=(
+                        f"{backend_name} -- {label} "
+                        f"(N={results[0].num_unknowns}, {executor} executor)"
+                    ),
+                )
+            )
+        backends_data[backend_name] = per_layout
+
+    data = {
+        "quick": quick,
+        "executor": executor,
+        "worker_counts": worker_counts,
+        "layouts": sorted(layouts),
+        "backends": backends_data,
+    }
+    return ExperimentReport(
+        name="scaling_bench", text="\n\n".join(text_parts), data=data
+    )
+
+
+def write_scaling_json(report: ExperimentReport, path: str | Path | None = None) -> Path:
+    """Write a scaling report's data to ``BENCH_scaling.json``."""
+    target = Path(path) if path is not None else Path.cwd() / BENCH_SCALING_FILENAME
+    target.write_text(json.dumps(report.data, indent=2, sort_keys=True) + "\n")
+    return target

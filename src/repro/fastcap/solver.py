@@ -13,6 +13,8 @@ retained only as a deprecated alias of that type.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.core.results import ExtractionResult
@@ -25,8 +27,18 @@ from repro.solver.iterative import gmres_solve
 
 __all__ = ["FastCapSolver"]
 
-#: Deprecated alias — the FASTCAP-like solver now returns the unified result.
-FastCapSolution = ExtractionResult
+
+def __getattr__(name: str):
+    # Deprecated alias — the FASTCAP-like solver now returns the unified result.
+    if name == "FastCapSolution":
+        warnings.warn(
+            "FastCapSolution is deprecated; the solver returns the unified "
+            "repro.core.results.ExtractionResult",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return ExtractionResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class FastCapSolver:

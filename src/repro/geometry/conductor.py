@@ -8,7 +8,6 @@ bounding surface as a list of :class:`~repro.geometry.panel.Panel` objects.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 

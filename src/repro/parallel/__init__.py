@@ -13,7 +13,13 @@ communication overhead.  The real ``multiprocessing`` backends in
 :mod:`repro.assembly` remain available for functional verification.
 """
 
-from repro.parallel.machine import MachineModel, SimulatedParallelMachine, ParallelRunTiming
+from repro.parallel.machine import (
+    MachineModel,
+    ParallelRunTiming,
+    SimulatedParallelMachine,
+    calibrate_unit_costs,
+    with_predicted_times,
+)
 from repro.parallel.timing import SolverTimer, Stopwatch, measure
 
 __all__ = [
@@ -22,5 +28,7 @@ __all__ = [
     "ParallelRunTiming",
     "SolverTimer",
     "Stopwatch",
+    "calibrate_unit_costs",
     "measure",
+    "with_predicted_times",
 ]

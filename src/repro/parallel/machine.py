@@ -21,10 +21,57 @@ show the conclusions are insensitive to the exact values.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
+import numpy as np
+
+from repro.assembly.batch import ChunkResult
 from repro.assembly.shared_memory import ParallelSetupResult
 
-__all__ = ["MachineModel", "ParallelRunTiming", "SimulatedParallelMachine"]
+__all__ = [
+    "MachineModel",
+    "ParallelRunTiming",
+    "SimulatedParallelMachine",
+    "calibrate_unit_costs",
+    "with_predicted_times",
+]
+
+
+def calibrate_unit_costs(node_results: Sequence[ChunkResult]) -> dict[str, float]:
+    """Fit per-category template-pair costs from measured chunk timings.
+
+    A non-negative least-squares fit of the chunks' wall-clock times against
+    their per-category pair counts yields the cost of one template-pair
+    evaluation in every category.  The simulated parallel machine then
+    predicts every partition's compute time from its category counts, which
+    removes scheduler jitter from the efficiency figures while keeping the
+    prediction anchored to measured costs (see DESIGN.md).
+    """
+    from scipy.optimize import nnls
+
+    if not node_results:
+        raise ValueError("unit-cost calibration needs at least one measured chunk")
+    categories = sorted({c for r in node_results for c in r.category_counts})
+    design = np.array(
+        [[r.category_counts.get(c, 0) for c in categories] for r in node_results],
+        dtype=float,
+    )
+    elapsed = np.array([r.elapsed_seconds for r in node_results])
+    costs, _ = nnls(design, elapsed)
+    return dict(zip(categories, costs))
+
+
+def with_predicted_times(
+    setup: ParallelSetupResult, unit_costs: dict[str, float]
+) -> ParallelSetupResult:
+    """Copy of a setup result with node times replaced by the workload model."""
+    return ParallelSetupResult(
+        matrix=setup.matrix,
+        node_results=[
+            r.with_elapsed(r.predicted_seconds(unit_costs)) for r in setup.node_results
+        ],
+        communication_bytes=list(setup.communication_bytes),
+    )
 
 
 @dataclass(frozen=True)

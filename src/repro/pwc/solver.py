@@ -12,6 +12,8 @@ name is retained only as a deprecated alias of that type.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.core.results import ExtractionResult
 from repro.geometry.discretize import discretize_layout_graded
 from repro.geometry.layout import Layout
@@ -23,8 +25,18 @@ from repro.solver.dense import solve_dense
 
 __all__ = ["PWCSolver"]
 
-#: Deprecated alias — the PWC solver now returns the unified result type.
-PWCSolution = ExtractionResult
+
+def __getattr__(name: str):
+    # Deprecated alias — the PWC solver now returns the unified result type.
+    if name == "PWCSolution":
+        warnings.warn(
+            "PWCSolution is deprecated; the solver returns the unified "
+            "repro.core.results.ExtractionResult",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return ExtractionResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class PWCSolver:

@@ -20,7 +20,6 @@ from repro.assembly import (
 )
 from repro.assembly.batch import symmetrize_upper
 from repro.basis import build_basis_set
-from repro.basis.functions import BasisSet
 
 
 class TestTriangularMapping:

@@ -17,8 +17,7 @@ from repro.basis import (
     build_basis_set,
 )
 from repro.basis.functions import BasisFunction, BasisKind
-from repro.basis.templates import TemplateInstance, make_arch_template, make_flat_template
-from repro.geometry import generators
+from repro.basis.templates import make_arch_template, make_flat_template
 from repro.geometry.panel import Panel
 
 

@@ -1,0 +1,33 @@
+"""The retired per-solver solution types warn and alias the unified result."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import ExtractionResult
+
+
+def test_pwc_solution_alias_warns():
+    from repro.pwc import solver
+
+    with pytest.warns(DeprecationWarning, match="PWCSolution is deprecated"):
+        alias = solver.PWCSolution
+    assert alias is ExtractionResult
+
+
+def test_fastcap_solution_alias_warns():
+    from repro.fastcap import solver
+
+    with pytest.warns(DeprecationWarning, match="FastCapSolution is deprecated"):
+        alias = solver.FastCapSolution
+    assert alias is ExtractionResult
+
+
+def test_unknown_attributes_still_raise():
+    from repro.fastcap import solver as fastcap_solver
+    from repro.pwc import solver as pwc_solver
+
+    with pytest.raises(AttributeError, match="no attribute"):
+        pwc_solver.NoSuchName
+    with pytest.raises(AttributeError, match="no attribute"):
+        fastcap_solver.NoSuchName

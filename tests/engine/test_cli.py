@@ -13,7 +13,13 @@ class TestBackendsCommand:
     def test_lists_stock_backends(self, capsys):
         assert main(["backends"]) == 0
         output = capsys.readouterr().out
-        for name in ("instantiable", "pwc-dense", "fastcap"):
+        for name in (
+            "instantiable",
+            "pwc-dense",
+            "fastcap",
+            "galerkin-shared",
+            "galerkin-distributed",
+        ):
             assert name in output
 
     def test_json_output(self, capsys):
@@ -57,7 +63,13 @@ class TestBenchCommand:
         output = capsys.readouterr().out
         assert "Service batch" in output
         data = json.loads(target.read_text())
-        assert set(data["backends"]) == {"instantiable", "pwc-dense", "fastcap"}
+        assert set(data["backends"]) == {
+            "instantiable",
+            "pwc-dense",
+            "fastcap",
+            "galerkin-shared",
+            "galerkin-distributed",
+        }
         for entry in data["backends"].values():
             assert entry["setup_seconds"] >= 0.0
             assert entry["num_unknowns"] > 0

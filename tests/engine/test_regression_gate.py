@@ -1,0 +1,161 @@
+"""Unit tests of the CI perf-regression gate (``benchmarks/check_regression.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _engine_payload(totals: dict[str, float]) -> dict:
+    return {"backends": {name: {"total_seconds": t} for name, t in totals.items()}}
+
+
+def _scaling_payload(speedups=(1.0, 1.4), efficiencies=(1.0, 0.7)) -> dict:
+    entry = {"speedup": list(speedups), "efficiency": list(efficiencies)}
+    return {
+        "backends": {
+            name: {"bus2x2": dict(entry)} for name in gate.SCALING_BACKENDS
+        }
+    }
+
+
+class TestCompareBackends:
+    def test_within_threshold_passes(self):
+        failures = gate.compare_backends(
+            {"instantiable": 1.0}, _engine_payload({"instantiable": 1.2})["backends"]
+        )
+        assert failures == []
+
+    def test_large_regression_fails(self):
+        failures = gate.compare_backends(
+            {"instantiable": 1.0}, _engine_payload({"instantiable": 1.4})["backends"]
+        )
+        assert len(failures) == 1
+        assert "regressed" in failures[0]
+
+    def test_noise_floor_forgives_tiny_times(self):
+        # 3 ms -> 40 ms is a 13x "regression" but far below the 100 ms floor:
+        # at these magnitudes the difference is scheduler noise, not a change.
+        failures = gate.compare_backends(
+            {"fastcap": 0.003}, _engine_payload({"fastcap": 0.040})["backends"]
+        )
+        assert failures == []
+
+    def test_missing_backend_fails(self):
+        failures = gate.compare_backends({"instantiable": 1.0}, {})
+        assert failures and "missing" in failures[0]
+
+    def test_unbaselined_backend_fails(self):
+        # A backend added to the bench without refreshing the baseline must
+        # not silently escape the gate.
+        failures = gate.compare_backends(
+            {"instantiable": 1.0},
+            _engine_payload({"instantiable": 1.0, "brand-new": 0.5})["backends"],
+        )
+        assert len(failures) == 1
+        assert "no baseline entry" in failures[0]
+
+    def test_speedup_is_never_flagged(self):
+        failures = gate.compare_backends(
+            {"instantiable": 1.0}, _engine_payload({"instantiable": 0.2})["backends"]
+        )
+        assert failures == []
+
+
+class TestCheckScaling:
+    def test_wellformed_report_passes(self):
+        assert gate.check_scaling(_scaling_payload()) == []
+
+    def test_missing_backend_fails(self):
+        payload = _scaling_payload()
+        del payload["backends"]["galerkin-distributed"]
+        failures = gate.check_scaling(payload)
+        assert failures and "galerkin-distributed" in failures[0]
+
+    def test_single_worker_count_fails(self):
+        failures = gate.check_scaling(_scaling_payload(speedups=(1.0,), efficiencies=(1.0,)))
+        assert failures and ">= 2 worker" in failures[0]
+
+    def test_implausible_values_fail(self):
+        failures = gate.check_scaling(
+            _scaling_payload(speedups=(1.0, -2.0), efficiencies=(1.0, -1.0))
+        )
+        assert failures and "implausible" in failures[0]
+
+    def test_expected_backends_match_scaling_harness(self):
+        from repro.engine.scaling import SCALING_BACKENDS
+
+        assert tuple(gate.SCALING_BACKENDS) == tuple(SCALING_BACKENDS)
+
+
+class TestMain:
+    @pytest.fixture(autouse=True)
+    def _clear_escape_hatch(self, monkeypatch):
+        # A developer's exported BENCH_GATE_SKIP=1 must not leak into the
+        # tests that assert the gate actually gates.
+        monkeypatch.delenv("BENCH_GATE_SKIP", raising=False)
+
+    @pytest.fixture
+    def artifacts(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        engine = tmp_path / "BENCH_engine.json"
+        scaling = tmp_path / "BENCH_scaling.json"
+        baseline.write_text(json.dumps({"backends": {"instantiable": 1.0}}))
+        engine.write_text(json.dumps(_engine_payload({"instantiable": 1.1})))
+        scaling.write_text(json.dumps(_scaling_payload()))
+        return baseline, engine, scaling
+
+    def _run(self, baseline, engine, scaling) -> int:
+        return gate.main(
+            [
+                "--baseline", str(baseline),
+                "--engine", str(engine),
+                "--scaling", str(scaling),
+            ]
+        )
+
+    def test_green_path(self, artifacts, capsys):
+        assert self._run(*artifacts) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_regression_fails(self, artifacts, capsys):
+        baseline, engine, scaling = artifacts
+        engine.write_text(json.dumps(_engine_payload({"instantiable": 5.0})))
+        assert self._run(baseline, engine, scaling) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_escape_hatch_env(self, artifacts, capsys, monkeypatch):
+        baseline, engine, scaling = artifacts
+        engine.write_text(json.dumps(_engine_payload({"instantiable": 5.0})))
+        monkeypatch.setenv("BENCH_GATE_SKIP", "1")
+        assert self._run(baseline, engine, scaling) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_update_baseline_writes_file(self, artifacts, capsys):
+        baseline, engine, scaling = artifacts
+        code = gate.main(
+            [
+                "--baseline", str(baseline),
+                "--engine", str(engine),
+                "--scaling", str(scaling),
+                "--update-baseline",
+            ]
+        )
+        assert code == 0
+        written = json.loads(baseline.read_text())
+        assert written["backends"] == {"instantiable": 1.1}
+        assert written["threshold"] == gate.DEFAULT_THRESHOLD
+
+    def test_missing_artifact_is_an_error(self, artifacts):
+        baseline, engine, scaling = artifacts
+        engine.unlink()
+        with pytest.raises(SystemExit, match="not found"):
+            self._run(baseline, engine, scaling)

@@ -1,0 +1,95 @@
+"""Tests of the scaling harness (``repro.engine.scaling`` / ``python -m repro scale``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.cli import main
+from repro.engine.scaling import (
+    SCALING_BACKENDS,
+    run_scaling_bench,
+    write_scaling_json,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    """A minimal sweep: the 2x2 bus at 1 and 2 workers."""
+    return run_scaling_bench(quick=True, worker_counts=(1, 2), sizes=(2,))
+
+
+class TestRunScalingBench:
+    def test_covers_both_parallel_backends(self, quick_report):
+        assert set(quick_report.data["backends"]) == set(SCALING_BACKENDS)
+
+    def test_speedup_and_efficiency_entries(self, quick_report):
+        for per_layout in quick_report.data["backends"].values():
+            assert set(per_layout) == {"bus2x2"}
+            entry = per_layout["bus2x2"]
+            assert entry["worker_counts"] == [1, 2]
+            assert len(entry["speedup"]) == 2
+            assert len(entry["efficiency"]) == 2
+            assert entry["speedup"][0] == pytest.approx(1.0)
+            assert entry["efficiency"][0] == pytest.approx(1.0)
+            assert all(s > 0.0 for s in entry["speedup"])
+            assert all(0.0 < e <= 1.5 for e in entry["efficiency"])
+            assert all(t > 0.0 for t in entry["total_seconds"])
+            assert 0.0 <= entry["amdahl_serial_fraction"] <= 0.5
+
+    def test_distributed_reports_communication_volume(self, quick_report):
+        entry = quick_report.data["backends"]["galerkin-distributed"]["bus2x2"]
+        assert entry["communication_bytes"][0] == 0  # single worker: no messages
+        assert entry["communication_bytes"][1] > 0
+        shared = quick_report.data["backends"]["galerkin-shared"]["bus2x2"]
+        assert shared["communication_bytes"] == [0, 0]
+
+    def test_report_text_is_tabular(self, quick_report):
+        for backend in SCALING_BACKENDS:
+            assert backend in quick_report.text
+        assert "speedup" in quick_report.text
+        assert "efficiency" in quick_report.text
+
+    def test_rejects_single_worker_count(self):
+        with pytest.raises(ValueError, match="two worker counts"):
+            run_scaling_bench(worker_counts=(2,), sizes=(2,))
+
+    def test_rejects_invalid_counts_and_sizes(self):
+        with pytest.raises(ValueError, match="worker counts"):
+            run_scaling_bench(worker_counts=(0, 2), sizes=(2,))
+        with pytest.raises(ValueError, match="bus sizes"):
+            run_scaling_bench(worker_counts=(1, 2), sizes=(0,))
+
+
+class TestWriteScalingJson:
+    def test_writes_machine_readable_artifact(self, quick_report, tmp_path):
+        target = write_scaling_json(quick_report, tmp_path / "BENCH_scaling.json")
+        data = json.loads(target.read_text())
+        assert data["worker_counts"] == [1, 2]
+        assert set(data["backends"]) == set(SCALING_BACKENDS)
+
+
+class TestScaleCommand:
+    def test_scale_writes_json(self, capsys, tmp_path):
+        target = tmp_path / "BENCH_scaling.json"
+        code = main(
+            ["scale", "--quick", "--workers", "1,2", "--sizes", "2", "--output", str(target)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "efficiency" in output
+        assert str(target) in output
+        data = json.loads(target.read_text())
+        for backend in SCALING_BACKENDS:
+            entry = data["backends"][backend]["bus2x2"]
+            assert len(entry["speedup"]) == 2
+            assert len(entry["efficiency"]) == 2
+
+    def test_invalid_workers_list_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scale", "--workers", "two,four"])
+
+    def test_single_worker_count_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scale", "--workers", "2", "--sizes", "2"])

@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.geometry.panel import Panel
 from repro.greens.collocation import (
     collocation_corner,
-    collocation_from_deltas,
     collocation_potential,
     strip_integral,
 )

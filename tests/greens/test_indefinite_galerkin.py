@@ -9,7 +9,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.geometry import generators
 from repro.geometry.panel import Panel
 from repro.greens.galerkin import GalerkinIntegrator
 from repro.greens.indefinite import (
