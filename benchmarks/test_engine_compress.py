@@ -1,0 +1,37 @@
+"""Storage-scaling benchmark of ``galerkin-aca``; writes ``BENCH_compress.json``.
+
+Sweeps crossing-bus sizes through the compressed backend and records stored
+operator entries against the dense ``N^2``, plus the fitted storage growth
+exponent — the artifact demonstrating the sub-quadratic storage of the
+hierarchical compression.  Lands at the repository root next to
+``BENCH_engine.json`` / ``BENCH_scaling.json``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.engine.scaling import run_compress_bench, write_compress_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_compress_benchmark(benchmark, quick_mode):
+    """Bus-size sweep of the compressed backend."""
+    report = run_once(benchmark, run_compress_bench, quick=quick_mode)
+    print("\n" + report.text)
+    target = write_compress_json(report, REPO_ROOT / "BENCH_compress.json")
+    print(f"\nwrote {target}")
+    benchmark.extra_info["compress"] = report.data["entries"]
+
+    data = report.data
+    assert len(data["entries"]) >= 2
+    for entry in data["entries"].values():
+        assert entry["num_unknowns"] > 0
+        assert 0 < entry["stored_entries"] <= entry["dense_entries"]
+        assert 0.0 < entry["compression_ratio"] <= 1.0
+    exponent = data["stored_entries_growth_exponent"]
+    assert exponent is not None
+    assert exponent < 2.0

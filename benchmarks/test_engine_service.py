@@ -36,6 +36,7 @@ def test_engine_service_benchmark(benchmark, quick_mode):
         "fastcap",
         "galerkin-shared",
         "galerkin-distributed",
+        "galerkin-aca",
     }
     for entry in data["backends"].values():
         assert entry["num_unknowns"] > 0

@@ -47,6 +47,11 @@ def symmetrize_upper(upper: np.ndarray) -> np.ndarray:
     return upper + upper.T - np.diag(np.diag(upper))
 
 
+def _count(counts: dict[str, int], category: str, mask: np.ndarray) -> None:
+    """Accumulate the pair count of one evaluation category."""
+    counts[category] = counts.get(category, 0) + int(np.count_nonzero(mask))
+
+
 @dataclass
 class ChunkResult:
     """Outcome of assembling one partition (chunk) of the iteration space."""
@@ -221,8 +226,27 @@ class BatchGalerkinAssembler:
     ) -> None:
         """Evaluate one numpy batch of template pairs and condense into ``out``."""
         i, j = triangular_index_to_pair(k)
+        values = self.evaluate_pairs(i, j, counts=counts)
+        self._condense(i, j, values, out, condense_mode)
+
+    def evaluate_pairs(
+        self, i: np.ndarray, j: np.ndarray, counts: dict[str, int] | None = None
+    ) -> np.ndarray:
+        """Galerkin integrals of arbitrary template pairs ``(i[p], j[p])``.
+
+        The pairs need not come from the triangular iteration space: the
+        hierarchical compression of :mod:`repro.compress` samples scattered
+        rows and columns of the condensed matrix through this entry point.
+        The values include the kernel prefactor and are identical (to
+        round-off) with per-pair :meth:`GalerkinIntegrator.template_pair`
+        calls.
+        """
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        if counts is None:
+            counts = {}
         arrays = self.arrays
-        values = np.zeros(k.size)
+        values = np.zeros(i.size)
 
         centroid_i = arrays.centroid[i]
         centroid_j = arrays.centroid[j]
@@ -246,13 +270,13 @@ class BatchGalerkinAssembler:
                 * arrays.moment[j[point_mask]]
                 / distance[point_mask]
             )
-            counts["point"] += int(np.count_nonzero(point_mask))
+            _count(counts, "point", point_mask)
 
         # --- profiled pairs below the point distance: per-pair fallback ----
         profiled_near = profiled & ~is_point
         if np.any(profiled_near):
             self._profiled_pairs(i[profiled_near], j[profiled_near], values, profiled_near)
-            counts["profiled"] += int(np.count_nonzero(profiled_near))
+            _count(counts, "profiled", profiled_near)
 
         flat = ~profiled & ~is_point
 
@@ -260,7 +284,7 @@ class BatchGalerkinAssembler:
         colloc_mask = flat & is_colloc
         if np.any(colloc_mask):
             values[colloc_mask] = self._collocation_level(i[colloc_mask], j[colloc_mask])
-            counts["collocation"] += int(np.count_nonzero(colloc_mask))
+            _count(counts, "collocation", colloc_mask)
 
         # --- exact level -----------------------------------------------------
         exact_mask = flat & ~is_colloc
@@ -272,19 +296,30 @@ class BatchGalerkinAssembler:
                 values[parallel_mask] = self._parallel_exact(
                     i[parallel_mask], j[parallel_mask]
                 )
-                counts["parallel"] += int(np.count_nonzero(parallel_mask))
+                _count(counts, "parallel", parallel_mask)
             if np.any(orthogonal_mask):
                 values[orthogonal_mask] = self._orthogonal_exact(
                     i[orthogonal_mask], j[orthogonal_mask]
                 )
-                counts["orthogonal"] += int(np.count_nonzero(orthogonal_mask))
+                _count(counts, "orthogonal", orthogonal_mask)
 
-        # --- prefactor and condensation -------------------------------------
+        # --- prefactor -------------------------------------------------------
         # Profiled near pairs already include the prefactor (the fallback
         # integrator applies it); every vectorised category does not.
         needs_prefactor = ~profiled_near
         values[needs_prefactor] *= self.prefactor
+        return values
 
+    def _condense(
+        self,
+        i: np.ndarray,
+        j: np.ndarray,
+        values: np.ndarray,
+        out: np.ndarray,
+        condense_mode: str,
+    ) -> None:
+        """Accumulate evaluated template pairs into the condensed matrix."""
+        arrays = self.arrays
         rows = arrays.owner[i]
         cols = arrays.owner[j]
         off_diagonal = i != j

@@ -1,0 +1,139 @@
+"""The ``galerkin-aca`` engine backend: ACA-compressed Galerkin extraction.
+
+Instantiates the paper's basis set, compresses the condensed Galerkin matrix
+into an :class:`~repro.compress.hmatrix.HMatrix` (dense near field, ACA
+low-rank far field — never materialising ``N x N``), and solves with the
+Jacobi-preconditioned GMRES shared by every iterative backend.  The returned
+result carries the compression statistics (``stored_entries``,
+``compression_ratio``, ``max_block_rank``) alongside the usual timings.
+"""
+
+from __future__ import annotations
+
+from repro.basis.instantiate import InstantiationConfig, build_basis_set
+from repro.compress.entries import GalerkinEntries
+from repro.compress.hmatrix import build_hmatrix
+from repro.core.results import ExtractionResult
+from repro.geometry.layout import Layout
+from repro.greens.policy import ApproximationPolicy
+from repro.parallel.timing import SolverTimer
+from repro.solver.capacitance import capacitance_from_solution
+from repro.solver.iterative import gmres_solve
+
+__all__ = ["GalerkinACABackend"]
+
+
+class GalerkinACABackend:
+    """Hierarchical low-rank compressed Galerkin extraction."""
+
+    name = "galerkin-aca"
+    description = (
+        "Compressed Galerkin BEM: block cluster tree + ACA low-rank far "
+        "field (sub-quadratic storage), Jacobi-preconditioned GMRES"
+    )
+
+    def extract(
+        self,
+        layout: Layout,
+        *,
+        epsilon: float = 1e-4,
+        max_rank: int = 64,
+        leaf_size: int = 32,
+        eta: float = 2.0,
+        num_workers: int = 1,
+        face_refinement: int = 1,
+        tolerance: float = 0.01,
+        order_near: int = 6,
+        order_far: int = 3,
+        gmres_tolerance: float = 1e-12,
+        max_iterations: int = 500,
+    ) -> ExtractionResult:
+        """Extract ``layout`` through the compressed pipeline.
+
+        Parameters
+        ----------
+        epsilon:
+            Relative ACA stopping tolerance of the far-field blocks.
+        max_rank:
+            ACA rank cap per block.
+        leaf_size:
+            Cluster-tree leaf size (near-field block dimension).
+        eta:
+            Admissibility parameter; larger admits more (coarser) far
+            blocks.
+        num_workers:
+            Partitions of the block-assembly work (per-worker times are
+            recorded in the result metadata).
+        face_refinement:
+            Subdivision of every conductor face into ``r x r`` face basis
+            functions — the knob that scales ``N`` for compression studies.
+        tolerance, order_near, order_far:
+            Integration accuracy knobs, as in the other Galerkin backends.
+        gmres_tolerance, max_iterations:
+            Controls of the iterative solve.
+        """
+        basis_set = build_basis_set(
+            layout, InstantiationConfig(face_refinement=face_refinement)
+        )
+        if basis_set.num_basis_functions == 0:
+            raise ValueError("the layout produced an empty basis set")
+
+        timer = SolverTimer()
+        with timer.setup():
+            entries = GalerkinEntries(
+                basis_set,
+                layout.permittivity,
+                policy=ApproximationPolicy(tolerance=tolerance),
+                order_near=order_near,
+                order_far=order_far,
+            )
+            hmatrix = build_hmatrix(
+                entries,
+                epsilon=epsilon,
+                max_rank=max_rank,
+                leaf_size=leaf_size,
+                eta=eta,
+                num_workers=num_workers,
+            )
+            phi = basis_set.incidence_matrix(layout.num_conductors)
+            diagonal = hmatrix.diagonal()
+
+        with timer.solve():
+            rho, stats = gmres_solve(
+                hmatrix.matvec,
+                phi,
+                size=basis_set.num_basis_functions,
+                tolerance=gmres_tolerance,
+                max_iterations=max_iterations,
+                diagonal=diagonal,
+            )
+            capacitance = capacitance_from_solution(phi, rho)
+
+        return ExtractionResult(
+            capacitance=capacitance,
+            conductor_names=list(layout.names),
+            num_basis_functions=basis_set.num_basis_functions,
+            num_templates=basis_set.num_templates,
+            setup_seconds=timer.setup_seconds,
+            solve_seconds=timer.solve_seconds,
+            memory_bytes=hmatrix.memory_bytes + int(phi.nbytes),
+            backend=self.name,
+            num_unknowns=basis_set.num_basis_functions,
+            iterations=stats,
+            stored_entries=hmatrix.stored_entries,
+            compression_ratio=hmatrix.compression_ratio,
+            max_block_rank=hmatrix.max_block_rank,
+            metadata={
+                "epsilon": epsilon,
+                "max_rank": max_rank,
+                "leaf_size": leaf_size,
+                "eta": eta,
+                "num_workers": num_workers,
+                "face_refinement": face_refinement,
+                "num_near_blocks": len(hmatrix.dense_blocks),
+                "num_far_blocks": len(hmatrix.lowrank_blocks),
+                "worker_assembly_seconds": list(hmatrix.worker_seconds),
+                "entries_sampled": entries.entries_sampled,
+                "gmres_tolerance": gmres_tolerance,
+            },
+        )

@@ -1,0 +1,118 @@
+"""Block cluster tree: admissible partition of the matrix index product.
+
+A *block* pairs a row cluster with a column cluster.  The recursion starts
+from ``(root, root)`` and classifies every visited block:
+
+* **admissible** (far field): the clusters are well separated, so the kernel
+  restricted to the block is numerically low-rank and is compressed by ACA;
+* **inadmissible leaf** (near field): both clusters are tree leaves, the
+  block stays dense;
+* otherwise the larger cluster (both, when both still have children) is
+  split and the recursion descends.
+
+The admissibility test is the standard strong criterion
+
+.. math:: \\min(\\mathrm{diam}\\,t, \\mathrm{diam}\\,s)
+          \\le \\eta \\cdot \\mathrm{dist}(t, s),
+
+the H-matrix generalisation of the Barnes-Hut ratio test used by
+:class:`repro.fastcap.fmm.MultipoleOperator` (there:
+``(r_t + r_s) / distance < theta``, i.e. cluster size small relative to the
+separation).  Larger ``eta`` admits more blocks (better compression, larger
+low-rank truncation error at fixed rank); ``eta`` of 1-3 is customary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compress.cluster import ClusterNode, ClusterTree
+
+__all__ = ["Block", "BlockClusterTree"]
+
+
+@dataclass
+class Block:
+    """One leaf of the block cluster tree."""
+
+    row: ClusterNode
+    col: ClusterNode
+    admissible: bool
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Block dimensions ``(m, n)``."""
+        return (self.row.size, self.col.size)
+
+    @property
+    def num_entries(self) -> int:
+        """Dense entry count ``m * n`` of the block."""
+        return self.row.size * self.col.size
+
+
+class BlockClusterTree:
+    """The admissible/inadmissible block partition of ``rows x cols``.
+
+    Parameters
+    ----------
+    row_tree, col_tree:
+        Cluster trees of the row and column index sets (the same tree for
+        the symmetric Galerkin system).
+    eta:
+        Admissibility parameter of the separation test.
+    """
+
+    def __init__(self, row_tree: ClusterTree, col_tree: ClusterTree, eta: float = 2.0):
+        if eta <= 0.0:
+            raise ValueError(f"eta must be positive, got {eta}")
+        self.row_tree = row_tree
+        self.col_tree = col_tree
+        self.eta = float(eta)
+        self.blocks: list[Block] = []
+        self._partition(row_tree.root, col_tree.root)
+
+    # ------------------------------------------------------------------
+    def is_admissible(self, row: ClusterNode, col: ClusterNode) -> bool:
+        """The strong admissibility test ``min(diam) <= eta * dist``."""
+        distance = row.distance_to(col)
+        if distance <= 0.0:
+            return False
+        return min(row.diameter, col.diameter) <= self.eta * distance
+
+    def _partition(self, row: ClusterNode, col: ClusterNode) -> None:
+        if self.is_admissible(row, col):
+            self.blocks.append(Block(row=row, col=col, admissible=True))
+            return
+        if row.is_leaf and col.is_leaf:
+            self.blocks.append(Block(row=row, col=col, admissible=False))
+            return
+        # Split the cluster(s) that still have children; when both do, split
+        # both so block aspect ratios stay bounded.
+        rows = row.children if not row.is_leaf else [row]
+        cols = col.children if not col.is_leaf else [col]
+        for r in rows:
+            for c in cols:
+                self._partition(r, c)
+
+    # ------------------------------------------------------------------
+    @property
+    def admissible_blocks(self) -> list[Block]:
+        """The far-field (low-rank) blocks."""
+        return [b for b in self.blocks if b.admissible]
+
+    @property
+    def inadmissible_blocks(self) -> list[Block]:
+        """The near-field (dense) blocks."""
+        return [b for b in self.blocks if not b.admissible]
+
+    @property
+    def num_entries(self) -> int:
+        """Total entry count over all blocks (must equal ``N_rows * N_cols``)."""
+        return sum(b.num_entries for b in self.blocks)
+
+    def admissible_fraction(self) -> float:
+        """Fraction of matrix entries covered by admissible blocks."""
+        total = self.num_entries
+        if total == 0:
+            return 0.0
+        return sum(b.num_entries for b in self.admissible_blocks) / total

@@ -1,0 +1,133 @@
+"""Geometry-adaptive binary cluster tree over panel-supported unknowns.
+
+The tree recursively bisects the index set of the unknowns: each node owns a
+contiguous-free *index array*, an axis-aligned bounding box enclosing every
+owned support panel, and (unless it is a leaf) two children obtained by
+splitting the owned indices at the median of their support centres along the
+longest axis of the node box.  Median splits keep the tree depth
+``O(log N)`` regardless of how unevenly the geometry fills space, which is
+what "geometry-adaptive" buys over the fixed octant subdivision of
+:class:`repro.fastcap.octree.ClusterTree` — and unlike the octree, this tree
+works for *any* panel set (templates of the instantiable basis, PWC panels,
+arbitrary point supports), not just the collocation path.
+
+Cluster diameters and box-to-box distances feed the admissibility test of
+:mod:`repro.compress.blocktree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ClusterNode", "ClusterTree"]
+
+
+@dataclass
+class ClusterNode:
+    """One cluster: an index set plus the bounding box of its supports."""
+
+    indices: np.ndarray
+    lo: np.ndarray
+    hi: np.ndarray
+    children: list["ClusterNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node has no children."""
+        return not self.children
+
+    @property
+    def size(self) -> int:
+        """Number of unknowns owned by the cluster."""
+        return int(self.indices.size)
+
+    @property
+    def diameter(self) -> float:
+        """Diagonal of the bounding box."""
+        return float(np.linalg.norm(self.hi - self.lo))
+
+    def distance_to(self, other: "ClusterNode") -> float:
+        """Distance between the two bounding boxes (zero when they overlap)."""
+        gap = np.maximum(0.0, np.maximum(self.lo - other.hi, other.lo - self.hi))
+        return float(np.linalg.norm(gap))
+
+
+class ClusterTree:
+    """Binary cluster tree over per-unknown support bounding boxes.
+
+    Parameters
+    ----------
+    lo, hi:
+        ``(N, 3)`` arrays: the axis-aligned bounding box of every unknown's
+        support (for an instantiable basis function, the union of its
+        template panels; for a PWC panel, the panel itself).
+    leaf_size:
+        Clusters with at most this many unknowns are not subdivided.
+    """
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray, leaf_size: int = 32):
+        lo = np.asarray(lo, dtype=float)
+        hi = np.asarray(hi, dtype=float)
+        if lo.ndim != 2 or lo.shape[1] != 3 or lo.shape != hi.shape:
+            raise ValueError(
+                f"lo and hi must both have shape (N, 3), got {lo.shape} and {hi.shape}"
+            )
+        if lo.shape[0] == 0:
+            raise ValueError("cannot build a cluster tree without unknowns")
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+        self.lo = lo
+        self.hi = hi
+        self.leaf_size = int(leaf_size)
+        self.centers = 0.5 * (lo + hi)
+        self.root = self._build(np.arange(lo.shape[0], dtype=np.intp))
+        self.leaves = [node for node in self.iter_nodes() if node.is_leaf]
+
+    # ------------------------------------------------------------------
+    def _build(self, indices: np.ndarray) -> ClusterNode:
+        node = ClusterNode(
+            indices=indices,
+            lo=self.lo[indices].min(axis=0),
+            hi=self.hi[indices].max(axis=0),
+        )
+        if indices.size <= self.leaf_size:
+            return node
+        axis = int(np.argmax(node.hi - node.lo))
+        coords = self.centers[indices, axis]
+        order = np.argsort(coords, kind="stable")
+        # The median split always produces two non-empty halves (size >= 2
+        # here), so the recursion terminates even for coincident centres.
+        half = indices.size // 2
+        node.children = [
+            self._build(indices[order[:half]]),
+            self._build(indices[order[half:]]),
+        ]
+        return node
+
+    # ------------------------------------------------------------------
+    @property
+    def num_unknowns(self) -> int:
+        """Number of unknowns the tree is built over."""
+        return int(self.lo.shape[0])
+
+    def iter_nodes(self) -> Iterator[ClusterNode]:
+        """Yield every node of the tree (pre-order)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    @property
+    def depth(self) -> int:
+        """Maximum depth of the tree (1 for a single-leaf tree)."""
+
+        def _depth(node: ClusterNode) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + max(_depth(child) for child in node.children)
+
+        return _depth(self.root)

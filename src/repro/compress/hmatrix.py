@@ -1,0 +1,299 @@
+"""The hierarchical matrix operator: dense near field + low-rank far field.
+
+:func:`build_hmatrix` runs the whole compression pipeline — cluster tree,
+block partition, per-block assembly (dense for inadmissible blocks, ACA
+factors for admissible ones) — against an entry oracle, and returns an
+:class:`HMatrix`: a :class:`scipy.sparse.linalg.LinearOperator` whose matvec
+costs ``O(stored entries)`` instead of ``O(N^2)``.  Kernel symmetry is
+exploited at block level: only diagonal and upper blocks are assembled and
+stored, and the matvec applies off-diagonal blocks twice (once transposed) —
+the hierarchical analogue of the dense assemblers' upper-triangle sweep.
+
+Block assembly is optionally worker-partitioned: the flat block list is
+divided into ``num_workers`` contiguous partitions with
+:func:`repro.assembly.partition.partition_range` (the same equal-split idiom
+as the parallel Galerkin assemblers) and the per-partition wall-clock times
+are recorded.  Partitions are executed one after another in the current
+process (the repository's "simulated" executor convention), so the assembled
+operator is bit-identical at every worker count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse.linalg import LinearOperator
+
+from repro.assembly.partition import partition_range
+from repro.compress.aca import LowRankFactors, aca_partial_pivoting
+from repro.compress.blocktree import Block, BlockClusterTree
+from repro.compress.cluster import ClusterTree
+from repro.compress.entries import GalerkinEntries
+
+__all__ = ["DenseBlockEntry", "LowRankBlockEntry", "HMatrix", "build_hmatrix"]
+
+
+@dataclass
+class DenseBlockEntry:
+    """One exactly-stored near-field block.
+
+    ``mirrored`` marks off-diagonal blocks whose transpose partner is *not*
+    stored: the Galerkin kernel is symmetric, so the operator applies the
+    stored values a second time transposed (the block-level analogue of the
+    dense assemblers' upper-triangle iteration).
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+    mirrored: bool = False
+
+    @property
+    def stored_entries(self) -> int:
+        """Dense entry count of the block."""
+        return int(self.values.size)
+
+
+@dataclass
+class LowRankBlockEntry:
+    """One ACA-compressed far-field block (``mirrored`` as for dense blocks)."""
+
+    rows: np.ndarray
+    cols: np.ndarray
+    factors: LowRankFactors
+    mirrored: bool = False
+
+    @property
+    def stored_entries(self) -> int:
+        """Entry count of the stored factors, ``k (m + n)``."""
+        return self.factors.stored_entries
+
+
+class HMatrix(LinearOperator):
+    """Hierarchically compressed symmetric-kernel operator.
+
+    Built by :func:`build_hmatrix`; apart from the ``LinearOperator``
+    interface it exposes the memory accounting the compressed backend
+    reports (stored entries vs ``N^2``, compression ratio, largest block
+    rank).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        dense_blocks: list[DenseBlockEntry],
+        lowrank_blocks: list[LowRankBlockEntry],
+        worker_seconds: list[float] | None = None,
+    ):
+        super().__init__(dtype=np.dtype(float), shape=(size, size))
+        self.dense_blocks = dense_blocks
+        self.lowrank_blocks = lowrank_blocks
+        #: Per-partition assembly wall-clock times (one entry per worker).
+        self.worker_seconds = list(worker_seconds or [])
+
+    # ------------------------------------------------------------------
+    def _matvec(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float).ravel()
+        out = np.zeros(self.shape[0])
+        for dense in self.dense_blocks:
+            out[dense.rows] += dense.values @ x[dense.cols]
+            if dense.mirrored:
+                out[dense.cols] += dense.values.T @ x[dense.rows]
+        for lowrank in self.lowrank_blocks:
+            factors = lowrank.factors
+            out[lowrank.rows] += factors.matvec(x[lowrank.cols])
+            if lowrank.mirrored:
+                out[lowrank.cols] += factors.v.T @ (factors.u.T @ x[lowrank.rows])
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def num_unknowns(self) -> int:
+        """Operator dimension ``N``."""
+        return int(self.shape[0])
+
+    @property
+    def stored_entries(self) -> int:
+        """Stored entry count over all blocks."""
+        return sum(b.stored_entries for b in self.dense_blocks) + sum(
+            b.stored_entries for b in self.lowrank_blocks
+        )
+
+    @property
+    def dense_entries(self) -> int:
+        """Entry count ``N^2`` of the uncompressed matrix."""
+        return self.num_unknowns * self.num_unknowns
+
+    @property
+    def compression_ratio(self) -> float:
+        """``stored_entries / N^2`` (1.0 means no compression)."""
+        return self.stored_entries / self.dense_entries if self.dense_entries else 0.0
+
+    @property
+    def max_block_rank(self) -> int:
+        """Largest ACA rank over the far-field blocks."""
+        if not self.lowrank_blocks:
+            return 0
+        return max(b.factors.rank for b in self.lowrank_blocks)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes of the stored blocks (8 bytes per entry) plus index arrays."""
+        index_bytes = sum(
+            b.rows.nbytes + b.cols.nbytes
+            for blocks in (self.dense_blocks, self.lowrank_blocks)
+            for b in blocks
+        )
+        return 8 * self.stored_entries + int(index_bytes)
+
+    # ------------------------------------------------------------------
+    def diagonal(self) -> np.ndarray:
+        """Diagonal of the operator (the Jacobi preconditioner's input).
+
+        Diagonal entries always live in near-field blocks: a block containing
+        ``(i, i)`` has overlapping row and column clusters, hence separation
+        zero, hence is inadmissible.
+        """
+        diag = np.zeros(self.shape[0])
+        seen = np.zeros(self.shape[0], dtype=bool)
+        for dense in self.dense_blocks:
+            if dense.mirrored:
+                # Off-diagonal: row and column clusters are disjoint.
+                continue
+            col_position = {int(c): b for b, c in enumerate(dense.cols)}
+            for a, i in enumerate(dense.rows):
+                b = col_position.get(int(i))
+                if b is not None:
+                    diag[i] = dense.values[a, b]
+                    seen[i] = True
+        if not np.all(seen):
+            missing = np.flatnonzero(~seen)
+            raise RuntimeError(
+                f"{missing.size} diagonal entries not covered by near blocks "
+                "(block partition is inconsistent)"
+            )
+        return diag
+
+    def dense(self) -> np.ndarray:
+        """Materialise the full matrix (tests and diagnostics only)."""
+        out = np.zeros(self.shape)
+        for dense_block in self.dense_blocks:
+            out[np.ix_(dense_block.rows, dense_block.cols)] = dense_block.values
+            if dense_block.mirrored:
+                out[np.ix_(dense_block.cols, dense_block.rows)] = dense_block.values.T
+        for lowrank in self.lowrank_blocks:
+            values = lowrank.factors.dense()
+            out[np.ix_(lowrank.rows, lowrank.cols)] = values
+            if lowrank.mirrored:
+                out[np.ix_(lowrank.cols, lowrank.rows)] = values.T
+        return out
+
+    def stats(self) -> dict:
+        """Machine-readable compression statistics."""
+        return {
+            "num_unknowns": self.num_unknowns,
+            "stored_entries": self.stored_entries,
+            "dense_entries": self.dense_entries,
+            "compression_ratio": self.compression_ratio,
+            "max_block_rank": self.max_block_rank,
+            "num_near_blocks": len(self.dense_blocks),
+            "num_far_blocks": len(self.lowrank_blocks),
+            "memory_bytes": self.memory_bytes,
+            "worker_seconds": list(self.worker_seconds),
+        }
+
+
+# ----------------------------------------------------------------------
+def build_hmatrix(
+    entries: GalerkinEntries,
+    epsilon: float = 1e-4,
+    max_rank: int = 64,
+    leaf_size: int = 32,
+    eta: float = 2.0,
+    num_workers: int = 1,
+) -> HMatrix:
+    """Assemble the hierarchical operator from an entry oracle.
+
+    Parameters
+    ----------
+    entries:
+        The condensed-matrix entry oracle.
+    epsilon:
+        Relative ACA stopping tolerance of the far-field blocks.
+    max_rank:
+        ACA rank cap per block.
+    leaf_size:
+        Cluster-tree leaf size (near-field block dimension).
+    eta:
+        Admissibility parameter (see
+        :class:`~repro.compress.blocktree.BlockClusterTree`).
+    num_workers:
+        Number of equal partitions of the block list; per-partition assembly
+        times are recorded on the returned operator.
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    if not (0.0 < epsilon < 1.0):
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    if max_rank < 1:
+        raise ValueError(f"max_rank must be >= 1, got {max_rank}")
+    tree = ClusterTree(*entries.support_bounds(), leaf_size=leaf_size)
+    block_tree = BlockClusterTree(tree, tree, eta=eta)
+
+    # The Galerkin kernel is symmetric and the block partition is mirror
+    # symmetric, so only the diagonal and "upper" blocks are assembled; the
+    # operator applies stored off-diagonal blocks twice (once transposed).
+    blocks = [
+        block
+        for block in block_tree.blocks
+        if block.row is block.col
+        or int(block.row.indices.min()) < int(block.col.indices.min())
+    ]
+    dense_blocks: list[DenseBlockEntry] = []
+    lowrank_blocks: list[LowRankBlockEntry] = []
+    worker_seconds: list[float] = []
+    for part in partition_range(len(blocks), num_workers):
+        t_begin = time.perf_counter()
+        for block in blocks[part.start : part.stop]:
+            _assemble_block(entries, block, epsilon, max_rank, dense_blocks, lowrank_blocks)
+        worker_seconds.append(time.perf_counter() - t_begin)
+
+    return HMatrix(
+        size=entries.num_unknowns,
+        dense_blocks=dense_blocks,
+        lowrank_blocks=lowrank_blocks,
+        worker_seconds=worker_seconds,
+    )
+
+
+def _assemble_block(
+    entries: GalerkinEntries,
+    block: Block,
+    epsilon: float,
+    max_rank: int,
+    dense_blocks: list[DenseBlockEntry],
+    lowrank_blocks: list[LowRankBlockEntry],
+) -> None:
+    rows = block.row.indices
+    cols = block.col.indices
+    mirrored = block.row is not block.col
+    if not block.admissible:
+        # Diagonal blocks are symmetric: evaluate one triangle, mirror the
+        # other (half the integral work).
+        values = entries.block(rows, cols) if mirrored else entries.symmetric_block(rows)
+        dense_blocks.append(
+            DenseBlockEntry(rows=rows, cols=cols, values=values, mirrored=mirrored)
+        )
+        return
+    factors = aca_partial_pivoting(
+        row_fn=lambda i: entries.row(int(rows[i]), cols),
+        col_fn=lambda j: entries.col(rows, int(cols[j])),
+        shape=block.shape,
+        epsilon=epsilon,
+        max_rank=max_rank,
+    )
+    lowrank_blocks.append(
+        LowRankBlockEntry(rows=rows, cols=cols, factors=factors, mirrored=mirrored)
+    )

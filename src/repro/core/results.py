@@ -54,6 +54,15 @@ class ExtractionResult:
         the instantiable backend, panels for the PWC-based backends.
     iterations:
         Krylov iteration statistics when an iterative solve was used.
+    stored_entries:
+        Stored operator entries when the backend compresses the system
+        (near-field dense entries plus low-rank factor entries); zero for
+        the dense backends.
+    compression_ratio:
+        ``stored_entries / num_unknowns^2`` for compressed backends
+        (``None`` when the full dense operator was stored).
+    max_block_rank:
+        Largest low-rank block rank of a compressed operator.
     charges:
         Panel charge densities (one column per conductor excitation) when
         the backend exposes them.
@@ -73,6 +82,9 @@ class ExtractionResult:
     backend: str = "instantiable"
     num_unknowns: int = 0
     iterations: IterativeStats | None = None
+    stored_entries: int = 0
+    compression_ratio: float | None = None
+    max_block_rank: int = 0
     charges: np.ndarray | None = None
     panels: list[Panel] | None = None
 
@@ -170,6 +182,10 @@ class ExtractionResult:
         }
         if self.iterations is not None:
             summary["total_iterations"] = self.iterations.total_iterations
+        if self.compression_ratio is not None:
+            summary["stored_entries"] = self.stored_entries
+            summary["compression_ratio"] = self.compression_ratio
+            summary["max_block_rank"] = self.max_block_rank
         if self.parallel_setup is not None:
             summary["num_workers"] = self.num_workers
             summary["worker_setup_seconds"] = self.worker_setup_seconds

@@ -16,9 +16,9 @@ API::
     ])
 
 Every backend returns the same :class:`~repro.core.results.ExtractionResult`.
-Importing this package registers the five stock backends (``instantiable``,
-``pwc-dense``, ``fastcap``, ``galerkin-shared``, ``galerkin-distributed``);
-third-party pipelines join the same registry through
+Importing this package registers the six stock backends (``instantiable``,
+``pwc-dense``, ``fastcap``, ``galerkin-shared``, ``galerkin-distributed``,
+``galerkin-aca``); third-party pipelines join the same registry through
 :func:`register_backend`.
 
 The command-line front end lives in :mod:`repro.engine.cli`
@@ -26,6 +26,7 @@ The command-line front end lives in :mod:`repro.engine.cli`
 the worker-count scaling harness in :mod:`repro.engine.scaling`.
 """
 
+from repro.compress.backend import GalerkinACABackend
 from repro.core.results import ExtractionResult
 from repro.engine.backends import (
     FastCapBackend,
@@ -61,6 +62,7 @@ __all__ = [
     "ExtractionResult",
     "ExtractionService",
     "FastCapBackend",
+    "GalerkinACABackend",
     "GalerkinDistributedBackend",
     "GalerkinSharedBackend",
     "InstantiableBackend",

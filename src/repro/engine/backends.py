@@ -13,15 +13,18 @@ pwc-dense             dense piecewise-constant Galerkin BEM               panels
 fastcap               multipole-accelerated PWC collocation + GMRES       panels
 galerkin-shared       shared-memory parallel Galerkin assembly + GMRES    basis functions
 galerkin-distributed  distributed partial-matrix assembly + GMRES         basis functions
+galerkin-aca          H-matrix-compressed Galerkin (ACA far field)+GMRES  basis functions
 ====================  ==================================================  =============
 
-The two ``galerkin-*`` backends live in
-:mod:`repro.engine.parallel_backends`; they are registered here alongside
-the serial adapters.
+The two parallel ``galerkin-*`` backends live in
+:mod:`repro.engine.parallel_backends`, the compressed ``galerkin-aca``
+backend in :mod:`repro.compress.backend`; they are registered here
+alongside the serial adapters.
 """
 
 from __future__ import annotations
 
+from repro.compress.backend import GalerkinACABackend
 from repro.core.config import ExtractionConfig
 from repro.core.engine import CapacitanceExtractor
 from repro.core.results import ExtractionResult
@@ -92,7 +95,12 @@ class FastCapBackend:
 
     Options are the :class:`~repro.fastcap.solver.FastCapSolver`
     constructor arguments (``cells_per_edge``, ``theta``, ``max_leaf_size``,
-    ``tolerance``, ``max_iterations``, ...).
+    ``tolerance``, ``max_iterations``, ``expansion_order``, ...).  The
+    accuracy knobs ``theta`` (multipole acceptance) and ``expansion_order``
+    (highest retained moment, 0-2) travel through this options dict — e.g.
+    ``python -m repro extract --backend fastcap --option theta=0.3
+    --option expansion_order=1`` — so they enter the request fingerprint and
+    are cached like every other option.
     """
 
     name = "fastcap"
@@ -114,6 +122,7 @@ def register_default_backends() -> None:
         FastCapBackend,
         GalerkinSharedBackend,
         GalerkinDistributedBackend,
+        GalerkinACABackend,
     )
     for backend_type in stock:
         if backend_type.name not in registered:

@@ -31,6 +31,7 @@ _BACKEND_OPTIONS: dict[str, dict] = {
     "fastcap": {"cells_per_edge": 2},
     "galerkin-shared": {"workers": 2},
     "galerkin-distributed": {"workers": 2},
+    "galerkin-aca": {},
 }
 
 

@@ -9,6 +9,9 @@ Run as ``python -m repro``:
   benchmark and write the machine-readable artifact.
 * ``python -m repro scale --quick`` -- sweep worker counts x layout sizes
   over the parallel Galerkin backends and write ``BENCH_scaling.json``.
+* ``python -m repro scale --backend galerkin-aca`` -- sweep bus sizes over
+  the compressed backend and write ``BENCH_compress.json`` (stored entries
+  vs dense ``N^2`` and the fitted storage growth exponent).
 
 (The paper-experiment driver remains available as
 ``python -m repro.core.experiments``.)
@@ -123,19 +126,53 @@ def _parse_int_list(text: str) -> list[int]:
 
 
 def _command_scale(args: argparse.Namespace) -> int:
-    from repro.engine.scaling import run_scaling_bench, write_scaling_json
+    from repro.engine.scaling import (
+        BENCH_COMPRESS_FILENAME,
+        BENCH_SCALING_FILENAME,
+        run_compress_bench,
+        run_scaling_bench,
+        write_compress_json,
+        write_scaling_json,
+    )
 
     try:
-        report = run_scaling_bench(
-            quick=not args.full,
-            worker_counts=args.workers,
-            sizes=args.sizes,
-            executor=args.executor,
-        )
+        if args.backend == "galerkin-aca":
+            # The compression sweep varies the layout size, not the worker
+            # count, and has no executor modes: reject explicit flags
+            # instead of silently reinterpreting them.
+            if args.executor is not None:
+                raise SystemExit(
+                    "error: --executor does not apply to --backend galerkin-aca"
+                )
+            workers = args.workers if args.workers is not None else [1]
+            if len(workers) != 1:
+                raise SystemExit(
+                    "error: --backend galerkin-aca takes a single worker count "
+                    f"(block-assembly partitions), got --workers {','.join(map(str, workers))}"
+                )
+            report = run_compress_bench(
+                quick=not args.full,
+                sizes=args.sizes,
+                epsilon=args.epsilon if args.epsilon is not None else 1e-4,
+                num_workers=workers[0],
+            )
+            writer, default_output = write_compress_json, BENCH_COMPRESS_FILENAME
+        else:
+            if args.epsilon is not None:
+                raise SystemExit(
+                    "error: --epsilon only applies to --backend galerkin-aca"
+                )
+            report = run_scaling_bench(
+                quick=not args.full,
+                worker_counts=args.workers if args.workers is not None else [1, 2, 4],
+                sizes=args.sizes,
+                executor=args.executor if args.executor is not None else "simulated",
+            )
+            writer, default_output = write_scaling_json, BENCH_SCALING_FILENAME
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from None
     print(report.text)
-    target = write_scaling_json(report, args.output)
+    target = writer(report, args.output if args.output is not None else default_output)
     print(f"\nwrote {target}")
     return 0
 
@@ -226,9 +263,12 @@ def main(argv: list[str] | None = None) -> int:
     scale_parser.add_argument(
         "--workers",
         type=_parse_int_list,
-        default=[1, 2, 4],
+        default=None,
         metavar="D1,D2,...",
-        help="comma-separated worker counts to sweep (default: 1,2,4)",
+        help=(
+            "comma-separated worker counts to sweep (default: 1,2,4); with "
+            "--backend galerkin-aca a single count of assembly partitions"
+        ),
     )
     scale_parser.add_argument(
         "--sizes",
@@ -240,14 +280,33 @@ def main(argv: list[str] | None = None) -> int:
     scale_parser.add_argument(
         "--executor",
         choices=("simulated", "process"),
-        default="simulated",
-        help="backend executor mode (default: simulated)",
+        default=None,
+        help="backend executor mode (default: simulated; parallel sweep only)",
+    )
+    scale_parser.add_argument(
+        "--backend",
+        choices=("parallel", "galerkin-aca"),
+        default="parallel",
+        help=(
+            "what to sweep: 'parallel' (default) runs the worker-count sweep of "
+            "the parallel Galerkin backends; 'galerkin-aca' runs the storage "
+            "sweep of the compressed backend and writes BENCH_compress.json"
+        ),
+    )
+    scale_parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        help="ACA tolerance of the galerkin-aca sweep (default: 1e-4)",
     )
     scale_parser.add_argument(
         "--output",
-        default="BENCH_scaling.json",
+        default=None,
         metavar="PATH",
-        help="where to write the machine-readable report (default: BENCH_scaling.json)",
+        help=(
+            "where to write the machine-readable report (default: "
+            "BENCH_scaling.json, or BENCH_compress.json with --backend galerkin-aca)"
+        ),
     )
     scale_parser.set_defaults(handler=_command_scale)
 

@@ -15,6 +15,12 @@ costs.
 The report's ``data`` is the machine-readable payload written to
 ``BENCH_scaling.json`` (next to ``BENCH_engine.json``) by the benchmark
 suite and by ``python -m repro scale``.
+
+``run_compress_bench`` is the storage-scaling counterpart for the
+compressed ``galerkin-aca`` backend: it sweeps bus sizes, records stored
+entries against the dense ``N^2`` and fits the growth exponent; its payload
+is written to ``BENCH_compress.json`` by
+``python -m repro scale --backend galerkin-aca``.
 """
 
 from __future__ import annotations
@@ -39,22 +45,33 @@ from repro.parallel.machine import (
 
 __all__ = [
     "BENCH_SCALING_FILENAME",
+    "BENCH_COMPRESS_FILENAME",
     "SCALING_BACKENDS",
     "run_scaling_bench",
+    "run_compress_bench",
     "write_scaling_json",
+    "write_compress_json",
 ]
 
 #: Default name of the machine-readable scaling artifact.
 BENCH_SCALING_FILENAME = "BENCH_scaling.json"
 
+#: Default name of the machine-readable compression artifact.
+BENCH_COMPRESS_FILENAME = "BENCH_compress.json"
+
 #: The backends swept by the scaling harness.
 SCALING_BACKENDS = ("galerkin-shared", "galerkin-distributed")
 
+#: Default quick/full bus sizes of the two sweeps (one table each, so the
+#: worker sweep and the compression sweep cannot silently diverge).
+SCALING_SWEEP_SIZES = {"quick": (2, 3), "full": (4, 6)}
+COMPRESS_SWEEP_SIZES = {"quick": (2, 3, 4), "full": (3, 4, 6)}
+
 
 def _sweep_layouts(quick: bool, sizes: Sequence[int] | None):
-    """The crossing-bus layouts of the sweep, keyed by a short label."""
+    """The crossing-bus layouts of a sweep, keyed by a short label."""
     if sizes is None:
-        sizes = (2, 3) if quick else (4, 6)
+        sizes = SCALING_SWEEP_SIZES["quick" if quick else "full"]
     layouts = {}
     for size in sizes:
         if size < 1:
@@ -183,5 +200,119 @@ def run_scaling_bench(
 def write_scaling_json(report: ExperimentReport, path: str | Path | None = None) -> Path:
     """Write a scaling report's data to ``BENCH_scaling.json``."""
     target = Path(path) if path is not None else Path.cwd() / BENCH_SCALING_FILENAME
+    target.write_text(json.dumps(report.data, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+# ----------------------------------------------------------------------
+# Compression sweep (the ``galerkin-aca`` backend)
+# ----------------------------------------------------------------------
+def run_compress_bench(
+    quick: bool = True,
+    sizes: Sequence[int] | None = None,
+    epsilon: float = 1e-4,
+    face_refinement: int = 3,
+    num_workers: int = 1,
+) -> ExperimentReport:
+    """Sweep crossing-bus sizes through the compressed ``galerkin-aca`` backend.
+
+    For every bus size the sweep records the stored entry count of the
+    hierarchical operator against the dense ``N^2``, then fits the growth
+    exponent ``stored ~ N^p`` over the sweep — ``p < 2`` is the
+    sub-quadratic storage the compression buys (the dense backends are
+    exactly ``p = 2``).
+
+    Parameters
+    ----------
+    quick:
+        Use the reduced bus sizes (2, 3, 4); ``False`` uses 3, 4, 6.
+    sizes:
+        Explicit bus sizes overriding the quick/full defaults.
+    epsilon:
+        ACA stopping tolerance forwarded to the backend.
+    face_refinement:
+        Face-subdivision factor forwarded to the backend (scales ``N``
+        beyond the conductor count).
+    num_workers:
+        Block-assembly partitions forwarded to the backend.
+    """
+    if sizes is None:
+        sizes = COMPRESS_SWEEP_SIZES["quick" if quick else "full"]
+    layouts = _sweep_layouts(quick, sizes)
+    backend = get_backend("galerkin-aca")
+    per_layout: dict[str, dict] = {}
+    unknowns: list[int] = []
+    stored: list[int] = []
+    rows = []
+    for label, layout in layouts.items():
+        result = backend.extract(
+            layout,
+            epsilon=epsilon,
+            face_refinement=face_refinement,
+            num_workers=num_workers,
+        )
+        unknowns.append(result.num_unknowns)
+        stored.append(result.stored_entries)
+        per_layout[label] = {
+            "num_unknowns": result.num_unknowns,
+            "num_conductors": layout.num_conductors,
+            "stored_entries": result.stored_entries,
+            "dense_entries": result.num_unknowns**2,
+            "compression_ratio": result.compression_ratio,
+            "max_block_rank": result.max_block_rank,
+            "num_near_blocks": result.metadata["num_near_blocks"],
+            "num_far_blocks": result.metadata["num_far_blocks"],
+            "setup_seconds": result.setup_seconds,
+            "solve_seconds": result.solve_seconds,
+            "total_iterations": (
+                result.iterations.total_iterations if result.iterations else 0
+            ),
+        }
+        rows.append(
+            [
+                label,
+                str(result.num_unknowns),
+                str(result.stored_entries),
+                f"{result.compression_ratio:.3f}",
+                str(result.max_block_rank),
+                f"{result.setup_seconds:.2f} s",
+            ]
+        )
+
+    # Least-squares slope of log(stored) vs log(N): the storage growth
+    # exponent (needs at least two distinct sizes).
+    exponent = None
+    if len(set(unknowns)) >= 2:
+        exponent = float(
+            np.polyfit(np.log(np.asarray(unknowns, dtype=float)),
+                       np.log(np.asarray(stored, dtype=float)), 1)[0]
+        )
+
+    text = format_table(
+        ["layout", "N", "stored", "ratio", "max rank", "setup"],
+        rows,
+        title=(
+            f"galerkin-aca compression sweep (epsilon={epsilon:g}, "
+            f"face_refinement={face_refinement})"
+            + (f" -- stored ~ N^{exponent:.2f}" if exponent is not None else "")
+        ),
+    )
+    data = {
+        "quick": quick,
+        "epsilon": epsilon,
+        "face_refinement": face_refinement,
+        "num_workers": num_workers,
+        "sizes": [int(s) for s in sizes],
+        "layouts": sorted(per_layout),
+        "backend": "galerkin-aca",
+        "entries": per_layout,
+        "stored_entries_growth_exponent": exponent,
+    }
+    return ExperimentReport(name="compress_bench", text=text, data=data)
+
+
+def write_compress_json(report: ExperimentReport, path: str | Path | None = None) -> Path:
+    """Write a compression report's data to ``BENCH_compress.json``."""
+    target = Path(path) if path is not None else Path.cwd() / BENCH_COMPRESS_FILENAME
     target.write_text(json.dumps(report.data, indent=2, sort_keys=True) + "\n")
     return target

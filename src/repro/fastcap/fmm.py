@@ -61,6 +61,11 @@ class MultipoleOperator:
         Multipole acceptance criterion; smaller is more accurate and slower.
     max_leaf_size:
         Leaf size of the cluster tree.
+    expansion_order:
+        Highest multipole moment retained in the far-field evaluation:
+        ``0`` monopole only, ``1`` adds the dipole, ``2`` (default) adds the
+        quadrupole — the FASTCAP-style accuracy/speed knob alongside
+        ``theta``.
     """
 
     def __init__(
@@ -69,14 +74,20 @@ class MultipoleOperator:
         permittivity: float,
         theta: float = 0.5,
         max_leaf_size: int = 32,
+        expansion_order: int = 2,
     ):
         if not (0.0 < theta < 1.0):
             raise ValueError(f"theta must be in (0, 1), got {theta}")
         if permittivity <= 0.0:
             raise ValueError(f"permittivity must be positive, got {permittivity}")
+        if expansion_order not in (0, 1, 2):
+            raise ValueError(
+                f"expansion_order must be 0, 1 or 2, got {expansion_order}"
+            )
         self.panels = list(panels)
         self.permittivity = float(permittivity)
         self.theta = float(theta)
+        self.expansion_order = int(expansion_order)
         self.tree = ClusterTree(self.panels, max_leaf_size=max_leaf_size)
         self.prefactor = 1.0 / (4.0 * math.pi * self.permittivity)
         self.areas = self.tree.areas
@@ -165,9 +176,10 @@ class MultipoleOperator:
         for near in self.near_blocks:
             potentials[near.target_indices] += near.block @ densities[near.source_indices]
 
-        # Far field: multipole expansions of total charges.
+        # Far field: multipole expansions of total charges (only the moment
+        # levels the configured expansion order reads are computed).
         charges = densities * self.areas
-        self.tree.compute_moments(charges)
+        self.tree.compute_moments(charges, order=self.expansion_order)
         for interaction in self.far_interactions:
             leaf = self.tree.leaves[interaction.target_leaf]
             node = interaction.source_node
@@ -177,11 +189,13 @@ class MultipoleOperator:
             dist = np.sqrt(dist2)
             inv_dist = 1.0 / dist
             value = node.monopole * inv_dist
-            value += (rel @ node.dipole) / (dist2 * dist)
-            # Quadrupole: 0.5 * S_ab (3 r_a r_b - r^2 delta_ab) / r^5.
-            quad = np.einsum("na,ab,nb->n", rel, node.quadrupole, rel)
-            trace = np.trace(node.quadrupole)
-            value += 0.5 * (3.0 * quad - dist2 * trace) / (dist2 * dist2 * dist)
+            if self.expansion_order >= 1:
+                value += (rel @ node.dipole) / (dist2 * dist)
+            if self.expansion_order >= 2:
+                # Quadrupole: 0.5 * S_ab (3 r_a r_b - r^2 delta_ab) / r^5.
+                quad = np.einsum("na,ab,nb->n", rel, node.quadrupole, rel)
+                trace = np.trace(node.quadrupole)
+                value += 0.5 * (3.0 * quad - dist2 * trace) / (dist2 * dist2 * dist)
             potentials[targets] += self.prefactor * value
         return potentials
 

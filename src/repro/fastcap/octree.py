@@ -135,39 +135,47 @@ class ClusterTree:
         return _depth(self.root)
 
     # ------------------------------------------------------------------
-    def compute_moments(self, charges: np.ndarray) -> None:
+    def compute_moments(self, charges: np.ndarray, order: int = 2) -> None:
         """Upward pass: fill the multipole moments for given panel charges.
 
         ``charges`` are total panel charges (charge density times area).
         Moments are accumulated bottom-up so every node sums its children's
-        moments shifted to its own centre.
+        moments shifted to its own centre.  ``order`` is the highest moment
+        computed (0 monopole, 1 dipole, 2 quadrupole); levels above it keep
+        their previous values and must not be read.
         """
         charges = np.asarray(charges, dtype=float)
         if charges.shape != (len(self.panels),):
             raise ValueError(
                 f"charges must have shape ({len(self.panels)},), got {charges.shape}"
             )
-        self._moments_recursive(self.root, charges)
+        if order not in (0, 1, 2):
+            raise ValueError(f"order must be 0, 1 or 2, got {order}")
+        self._moments_recursive(self.root, charges, order)
 
-    def _moments_recursive(self, node: ClusterNode, charges: np.ndarray) -> None:
+    def _moments_recursive(self, node: ClusterNode, charges: np.ndarray, order: int) -> None:
         if node.is_leaf:
             q = charges[node.indices]
-            rel = self.centroids[node.indices] - node.center
             node.monopole = float(q.sum())
-            node.dipole = rel.T @ q
-            node.quadrupole = (rel * q[:, None]).T @ rel
+            if order >= 1:
+                rel = self.centroids[node.indices] - node.center
+                node.dipole = rel.T @ q
+                if order >= 2:
+                    node.quadrupole = (rel * q[:, None]).T @ rel
             return
         node.monopole = 0.0
         node.dipole = np.zeros(3)
         node.quadrupole = np.zeros((3, 3))
         for child in node.children:
-            self._moments_recursive(child, charges)
+            self._moments_recursive(child, charges, order)
             shift = child.center - node.center
             node.monopole += child.monopole
-            node.dipole += child.dipole + child.monopole * shift
-            node.quadrupole += (
-                child.quadrupole
-                + np.outer(child.dipole, shift)
-                + np.outer(shift, child.dipole)
-                + child.monopole * np.outer(shift, shift)
-            )
+            if order >= 1:
+                node.dipole += child.dipole + child.monopole * shift
+            if order >= 2:
+                node.quadrupole += (
+                    child.quadrupole
+                    + np.outer(child.dipole, shift)
+                    + np.outer(shift, child.dipole)
+                    + child.monopole * np.outer(shift, shift)
+                )

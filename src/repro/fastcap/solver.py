@@ -51,6 +51,9 @@ class FastCapSolver:
         :func:`repro.geometry.discretize.discretize_layout_graded`).
     theta:
         Multipole acceptance criterion of the far-field expansion.
+    expansion_order:
+        Highest multipole moment of the far-field evaluation (0-2, see
+        :class:`~repro.fastcap.fmm.MultipoleOperator`).
     max_leaf_size:
         Cluster-tree leaf size.
     tolerance:
@@ -66,6 +69,7 @@ class FastCapSolver:
         max_leaf_size: int = 32,
         tolerance: float = 1e-5,
         max_iterations: int = 300,
+        expansion_order: int = 2,
     ):
         self.cells_per_edge = int(cells_per_edge)
         self.grading_ratio = float(grading_ratio)
@@ -74,6 +78,7 @@ class FastCapSolver:
         self.max_leaf_size = int(max_leaf_size)
         self.tolerance = float(tolerance)
         self.max_iterations = int(max_iterations)
+        self.expansion_order = int(expansion_order)
 
     # ------------------------------------------------------------------
     def discretize(self, layout: Layout) -> list[Panel]:
@@ -94,6 +99,7 @@ class FastCapSolver:
                 layout.permittivity,
                 theta=self.theta,
                 max_leaf_size=self.max_leaf_size,
+                expansion_order=self.expansion_order,
             )
             diagonal = operator.diagonal()
 
@@ -133,6 +139,7 @@ class FastCapSolver:
             metadata={
                 "num_panels": len(panels),
                 "theta": self.theta,
+                "expansion_order": self.expansion_order,
                 "tree_depth": operator.tree.depth,
                 "num_leaves": len(operator.tree.leaves),
                 "far_interactions": len(operator.far_interactions),

@@ -14,7 +14,20 @@ from typing import Callable
 import numpy as np
 from scipy.sparse.linalg import LinearOperator, gmres
 
-__all__ = ["IterativeStats", "gmres_solve"]
+__all__ = ["IterativeStats", "jacobi_preconditioner", "gmres_solve"]
+
+
+def jacobi_preconditioner(diagonal: np.ndarray) -> LinearOperator:
+    """The Jacobi (diagonal-scaling) preconditioner ``M ~= diag(A)^-1``.
+
+    Every iterative backend — the parallel Galerkin flows, the FASTCAP-like
+    baseline and the compressed ``galerkin-aca`` path — builds its GMRES
+    preconditioner through this one helper (directly or by passing
+    ``diagonal=`` to :func:`gmres_solve`).
+    """
+    inverse_diagonal = 1.0 / np.asarray(diagonal, dtype=float)
+    size = inverse_diagonal.size
+    return LinearOperator((size, size), matvec=lambda x: inverse_diagonal * x)
 
 
 @dataclass
@@ -72,12 +85,7 @@ def gmres_solve(
         raise ValueError(f"rhs has {columns.shape[0]} rows, expected {size}")
 
     operator = LinearOperator((size, size), matvec=matvec)
-    preconditioner = None
-    if diagonal is not None:
-        inverse_diagonal = 1.0 / np.asarray(diagonal, dtype=float)
-        preconditioner = LinearOperator(
-            (size, size), matvec=lambda x: inverse_diagonal * x
-        )
+    preconditioner = jacobi_preconditioner(diagonal) if diagonal is not None else None
 
     solution = np.empty_like(columns)
     iterations: list[int] = []

@@ -1,0 +1,88 @@
+"""ACA with partial pivoting: exactness, tolerance tracking, Galerkin blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.basis.instantiate import InstantiationConfig, build_basis_set
+from repro.compress.aca import aca_partial_pivoting
+from repro.compress.blocktree import BlockClusterTree
+from repro.compress.cluster import ClusterTree
+from repro.compress.entries import GalerkinEntries
+from repro.geometry import generators
+
+
+def _oracles(matrix: np.ndarray):
+    return (lambda i: matrix[i, :], lambda j: matrix[:, j])
+
+
+class TestSyntheticMatrices:
+    def test_exactly_low_rank_matrix_is_recovered(self, rng):
+        u = rng.normal(size=(40, 3))
+        v = rng.normal(size=(3, 25))
+        matrix = u @ v
+        factors = aca_partial_pivoting(*_oracles(matrix), matrix.shape, epsilon=1e-10)
+        assert factors.rank <= 4
+        np.testing.assert_allclose(factors.dense(), matrix, atol=1e-10 * np.abs(matrix).max())
+
+    @pytest.mark.parametrize("epsilon", [1e-2, 1e-4, 1e-6])
+    def test_kernel_matrix_meets_the_tolerance(self, rng, epsilon):
+        # 1/r interactions between two separated point clouds: numerically
+        # low rank, the textbook ACA target.
+        sources = rng.uniform(0.0, 1.0, size=(60, 3))
+        targets = rng.uniform(0.0, 1.0, size=(50, 3)) + np.array([4.0, 0.0, 0.0])
+        matrix = 1.0 / np.linalg.norm(
+            targets[:, None, :] - sources[None, :, :], axis=2
+        )
+        factors = aca_partial_pivoting(*_oracles(matrix), matrix.shape, epsilon=epsilon)
+        error = np.linalg.norm(factors.dense() - matrix) / np.linalg.norm(matrix)
+        assert error <= 10.0 * epsilon
+        assert factors.rank < min(matrix.shape)
+
+    def test_rank_cap_respected(self, rng):
+        matrix = rng.normal(size=(30, 30))  # full rank: the cap must bite
+        factors = aca_partial_pivoting(*_oracles(matrix), matrix.shape, epsilon=1e-12, max_rank=5)
+        assert factors.rank == 5
+        assert factors.stored_entries == 5 * 60
+
+    def test_zero_block_yields_rank_zero(self):
+        matrix = np.zeros((12, 7))
+        factors = aca_partial_pivoting(*_oracles(matrix), matrix.shape)
+        assert factors.rank == 0
+        np.testing.assert_array_equal(factors.dense(), matrix)
+        assert factors.matvec(np.ones(7)).shape == (12,)
+
+    def test_validation(self):
+        matrix = np.ones((3, 3))
+        with pytest.raises(ValueError, match="epsilon"):
+            aca_partial_pivoting(*_oracles(matrix), matrix.shape, epsilon=2.0)
+        with pytest.raises(ValueError, match="max_rank"):
+            aca_partial_pivoting(*_oracles(matrix), matrix.shape, max_rank=0)
+        with pytest.raises(ValueError, match="shape"):
+            aca_partial_pivoting(*_oracles(matrix), (0, 3))
+
+
+class TestAdmissibleGalerkinBlocks:
+    """UV^T factors must reproduce admissible blocks of the real system."""
+
+    @pytest.mark.parametrize("epsilon", [1e-2, 1e-4, 1e-6])
+    def test_factors_match_dense_reference(self, epsilon):
+        layout = generators.bus_crossing(3, 3)
+        basis_set = build_basis_set(layout, InstantiationConfig(face_refinement=2))
+        entries = GalerkinEntries(basis_set, layout.permittivity)
+        tree = ClusterTree(*entries.support_bounds(), leaf_size=12)
+        block_tree = BlockClusterTree(tree, tree, eta=2.0)
+        admissible = block_tree.admissible_blocks
+        assert admissible, "the refined bus must produce admissible blocks"
+        for block in admissible[:6]:
+            rows, cols = block.row.indices, block.col.indices
+            reference = entries.block(rows, cols)  # densely-assembled reference
+            factors = aca_partial_pivoting(
+                row_fn=lambda i: entries.row(int(rows[i]), cols),
+                col_fn=lambda j: entries.col(rows, int(cols[j])),
+                shape=block.shape,
+                epsilon=epsilon,
+            )
+            error = np.linalg.norm(factors.dense() - reference) / np.linalg.norm(reference)
+            assert error <= 10.0 * epsilon

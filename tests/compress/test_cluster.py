@@ -1,0 +1,101 @@
+"""Cluster tree and block cluster tree: partition and admissibility invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compress.blocktree import BlockClusterTree
+from repro.compress.cluster import ClusterTree
+
+
+def _random_boxes(rng, count: int) -> tuple[np.ndarray, np.ndarray]:
+    centers = rng.uniform(-1.0, 1.0, size=(count, 3))
+    half = rng.uniform(0.01, 0.05, size=(count, 3))
+    return centers - half, centers + half
+
+
+class TestClusterTree:
+    def test_leaves_partition_the_index_set(self, rng):
+        lo, hi = _random_boxes(rng, 153)
+        tree = ClusterTree(lo, hi, leaf_size=10)
+        gathered = np.concatenate([leaf.indices for leaf in tree.leaves])
+        assert np.array_equal(np.sort(gathered), np.arange(153))
+
+    def test_leaf_size_respected(self, rng):
+        lo, hi = _random_boxes(rng, 200)
+        tree = ClusterTree(lo, hi, leaf_size=16)
+        assert all(leaf.size <= 16 for leaf in tree.leaves)
+        assert tree.depth >= 2
+
+    def test_node_boxes_contain_children(self, rng):
+        lo, hi = _random_boxes(rng, 120)
+        tree = ClusterTree(lo, hi, leaf_size=8)
+        for node in tree.iter_nodes():
+            assert np.all(node.lo <= node.hi)
+            for child in node.children:
+                assert np.all(child.lo >= node.lo - 1e-12)
+                assert np.all(child.hi <= node.hi + 1e-12)
+
+    def test_coincident_centres_terminate(self):
+        lo = np.zeros((50, 3))
+        hi = np.ones((50, 3))
+        # All boxes identical: the median split still halves the index set,
+        # so construction terminates with valid leaves.
+        tree = ClusterTree(lo, hi, leaf_size=4)
+        assert all(leaf.size <= 4 for leaf in tree.leaves)
+        gathered = np.concatenate([leaf.indices for leaf in tree.leaves])
+        assert np.array_equal(np.sort(gathered), np.arange(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="leaf_size"):
+            ClusterTree(np.zeros((3, 3)), np.ones((3, 3)), leaf_size=0)
+        with pytest.raises(ValueError, match="shape"):
+            ClusterTree(np.zeros((3, 2)), np.ones((3, 2)))
+        with pytest.raises(ValueError, match="without unknowns"):
+            ClusterTree(np.zeros((0, 3)), np.ones((0, 3)))
+
+
+class TestBlockClusterTree:
+    def test_blocks_tile_the_index_product_exactly_once(self, rng):
+        lo, hi = _random_boxes(rng, 90)
+        tree = ClusterTree(lo, hi, leaf_size=8)
+        block_tree = BlockClusterTree(tree, tree, eta=2.0)
+        coverage = np.zeros((90, 90), dtype=int)
+        for block in block_tree.blocks:
+            coverage[np.ix_(block.row.indices, block.col.indices)] += 1
+        assert np.all(coverage == 1)
+        assert block_tree.num_entries == 90 * 90
+
+    def test_admissible_blocks_satisfy_the_eta_test(self, rng):
+        lo, hi = _random_boxes(rng, 150)
+        tree = ClusterTree(lo, hi, leaf_size=8)
+        eta = 1.5
+        block_tree = BlockClusterTree(tree, tree, eta=eta)
+        assert block_tree.admissible_blocks  # the geometry produces far pairs
+        for block in block_tree.admissible_blocks:
+            distance = block.row.distance_to(block.col)
+            assert distance > 0.0
+            assert min(block.row.diameter, block.col.diameter) <= eta * distance
+
+    def test_diagonal_blocks_are_inadmissible(self, rng):
+        lo, hi = _random_boxes(rng, 80)
+        tree = ClusterTree(lo, hi, leaf_size=8)
+        block_tree = BlockClusterTree(tree, tree, eta=2.0)
+        for block in block_tree.blocks:
+            overlap = np.intersect1d(block.row.indices, block.col.indices)
+            if overlap.size:
+                assert not block.admissible
+
+    def test_larger_eta_admits_more(self, rng):
+        lo, hi = _random_boxes(rng, 150)
+        tree = ClusterTree(lo, hi, leaf_size=8)
+        tight = BlockClusterTree(tree, tree, eta=0.5).admissible_fraction()
+        loose = BlockClusterTree(tree, tree, eta=4.0).admissible_fraction()
+        assert loose >= tight
+
+    def test_eta_validation(self, rng):
+        lo, hi = _random_boxes(rng, 10)
+        tree = ClusterTree(lo, hi)
+        with pytest.raises(ValueError, match="eta"):
+            BlockClusterTree(tree, tree, eta=0.0)

@@ -1,0 +1,147 @@
+"""Entry oracle and HMatrix operator: equivalence with the dense assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assembly.batch import BatchGalerkinAssembler
+from repro.basis.instantiate import InstantiationConfig, build_basis_set
+from repro.compress.entries import GalerkinEntries
+from repro.compress.hmatrix import build_hmatrix
+from repro.geometry import generators
+
+
+@pytest.fixture(scope="module")
+def refined_bus():
+    """A refined 3x3 bus: large enough for admissible (far) blocks."""
+    layout = generators.bus_crossing(3, 3)
+    basis_set = build_basis_set(layout, InstantiationConfig(face_refinement=2))
+    return layout, basis_set
+
+
+@pytest.fixture(scope="module")
+def dense_reference(refined_bus):
+    layout, basis_set = refined_bus
+    return BatchGalerkinAssembler(basis_set, layout.permittivity).assemble()
+
+
+@pytest.fixture(scope="module")
+def entries(refined_bus):
+    layout, basis_set = refined_bus
+    return GalerkinEntries(basis_set, layout.permittivity)
+
+
+class TestGalerkinEntries:
+    def test_vectorized_block_matches_dense_assembly(self, entries, dense_reference):
+        n = entries.num_unknowns
+        block = entries.block(np.arange(n), np.arange(n))
+        np.testing.assert_allclose(block, dense_reference, rtol=1e-10, atol=0)
+
+    def test_entrywise_path_matches_vectorized(self, refined_bus, entries):
+        layout, basis_set = refined_bus
+        reference = GalerkinEntries(basis_set, layout.permittivity, vectorized=False)
+        rows = np.asarray([0, 3, 17, entries.num_unknowns - 1])
+        cols = np.asarray([1, 3, 29])
+        np.testing.assert_allclose(
+            entries.block(rows, cols), reference.block(rows, cols), rtol=1e-12
+        )
+
+    def test_row_and_col_samples(self, entries, dense_reference):
+        cols = np.arange(entries.num_unknowns)
+        np.testing.assert_allclose(entries.row(5, cols), dense_reference[5], rtol=1e-10)
+        np.testing.assert_allclose(
+            entries.col(cols, 7), dense_reference[:, 7], rtol=1e-10
+        )
+
+    def test_support_bounds_shapes(self, entries):
+        lo, hi = entries.support_bounds()
+        assert lo.shape == (entries.num_unknowns, 3)
+        assert hi.shape == lo.shape
+        assert np.all(lo <= hi)
+
+
+class TestHMatrix:
+    @pytest.fixture(scope="class")
+    def hmatrix(self, entries):
+        return build_hmatrix(entries, epsilon=1e-6, leaf_size=12, eta=2.0)
+
+    def test_contains_compressed_far_blocks(self, hmatrix):
+        assert hmatrix.lowrank_blocks
+        assert hmatrix.max_block_rank >= 1
+        assert hmatrix.compression_ratio < 1.0
+
+    def test_dense_reconstruction_close_to_reference(self, hmatrix, dense_reference):
+        error = np.linalg.norm(hmatrix.dense() - dense_reference) / np.linalg.norm(
+            dense_reference
+        )
+        assert error <= 1e-5
+
+    def test_matvec_matches_dense(self, hmatrix, dense_reference, rng):
+        x = rng.normal(size=hmatrix.shape[1])
+        np.testing.assert_allclose(
+            hmatrix.matvec(x), dense_reference @ x, rtol=1e-5, atol=0
+        )
+
+    def test_diagonal_matches_dense(self, hmatrix, dense_reference):
+        np.testing.assert_allclose(
+            hmatrix.diagonal(), np.diag(dense_reference), rtol=1e-10
+        )
+
+    def test_stored_entries_accounting(self, hmatrix):
+        dense_stored = sum(b.stored_entries for b in hmatrix.dense_blocks)
+        lowrank_stored = sum(b.stored_entries for b in hmatrix.lowrank_blocks)
+        assert hmatrix.stored_entries == dense_stored + lowrank_stored
+        for block in hmatrix.lowrank_blocks:
+            m, n = block.factors.shape
+            assert block.stored_entries == block.factors.rank * (m + n)
+        stats = hmatrix.stats()
+        assert stats["stored_entries"] == hmatrix.stored_entries
+        assert stats["num_near_blocks"] == len(hmatrix.dense_blocks)
+        assert 0.0 < stats["compression_ratio"] < 1.0
+
+    @pytest.mark.parametrize("num_workers", [2, 4])
+    def test_worker_partitions_do_not_change_the_operator(
+        self, entries, hmatrix, num_workers
+    ):
+        partitioned = build_hmatrix(
+            entries, epsilon=1e-6, leaf_size=12, eta=2.0, num_workers=num_workers
+        )
+        np.testing.assert_array_equal(partitioned.dense(), hmatrix.dense())
+        assert len(partitioned.worker_seconds) == num_workers
+        assert all(seconds >= 0.0 for seconds in partitioned.worker_seconds)
+
+    def test_validation(self, entries):
+        with pytest.raises(ValueError, match="num_workers"):
+            build_hmatrix(entries, num_workers=0)
+        with pytest.raises(ValueError, match="epsilon"):
+            build_hmatrix(entries, epsilon=1.5)
+        with pytest.raises(ValueError, match="max_rank"):
+            build_hmatrix(entries, max_rank=0)
+
+    def test_epsilon_controls_the_error(self, entries, dense_reference):
+        norm = np.linalg.norm(dense_reference)
+        errors = []
+        for epsilon in (1e-2, 1e-6):
+            hmatrix = build_hmatrix(entries, epsilon=epsilon, leaf_size=12, eta=2.0)
+            errors.append(np.linalg.norm(hmatrix.dense() - dense_reference) / norm)
+        assert errors[1] <= errors[0]
+        assert errors[1] <= 1e-5
+
+
+class TestSymmetricStorage:
+    def test_upper_blocks_cover_every_entry_exactly_once(self, entries):
+        hmatrix = build_hmatrix(entries, epsilon=1e-4, leaf_size=12, eta=2.0)
+        n = hmatrix.shape[0]
+        coverage = np.zeros((n, n), dtype=int)
+        for blocks in (hmatrix.dense_blocks, hmatrix.lowrank_blocks):
+            for block in blocks:
+                coverage[np.ix_(block.rows, block.cols)] += 1
+                if block.mirrored:
+                    # Off-diagonal: the transpose partner is applied, not stored.
+                    coverage[np.ix_(block.cols, block.rows)] += 1
+                else:
+                    # Non-mirrored blocks are the diagonal ones.
+                    assert np.array_equal(np.sort(block.rows), np.sort(block.cols))
+        assert np.all(coverage == 1)
+        assert hmatrix.stored_entries < n * n

@@ -19,6 +19,7 @@ class TestBackendsCommand:
             "fastcap",
             "galerkin-shared",
             "galerkin-distributed",
+            "galerkin-aca",
         ):
             assert name in output
 
@@ -69,6 +70,7 @@ class TestBenchCommand:
             "fastcap",
             "galerkin-shared",
             "galerkin-distributed",
+            "galerkin-aca",
         }
         for entry in data["backends"].values():
             assert entry["setup_seconds"] >= 0.0

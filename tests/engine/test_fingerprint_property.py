@@ -1,0 +1,110 @@
+"""Property tests of the request fingerprint (hypothesis).
+
+The extraction-service cache key must satisfy two properties for arbitrary
+option payloads — nested dataclasses, enums, numpy arrays, dictionaries in
+any insertion order:
+
+* two *independently constructed* but equal requests always collide, and
+* changing any backend option (or the backend name) changes the fingerprint.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.basis.functions import BasisKind
+from repro.engine.fingerprint import canonicalize, request_fingerprint
+from repro.geometry import generators
+from repro.greens.policy import ApproximationPolicy, EvaluationLevel
+
+# ----------------------------------------------------------------------
+# Option-value strategies: every payload type a backend option can carry.
+# ----------------------------------------------------------------------
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=8),
+    st.sampled_from(list(EvaluationLevel)),
+    st.sampled_from(list(BasisKind)),
+    # A nested dataclass exactly like the ones passed as backend options.
+    st.builds(
+        ApproximationPolicy,
+        tolerance=st.floats(min_value=1e-4, max_value=0.5),
+        safety_factor=st.floats(min_value=1.0, max_value=3.0),
+    ),
+    st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=4).map(
+        np.asarray
+    ),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.text(max_size=6), children, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+_options = st.dictionaries(st.text(min_size=1, max_size=8), _values, max_size=4)
+
+
+def _layout_pair():
+    """Two independently constructed, geometrically identical layouts."""
+    return (
+        generators.crossing_wires(separation=0.7e-6),
+        generators.crossing_wires(separation=0.7e-6),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(options=_options, data=st.data())
+def test_equal_requests_always_collide(options, data):
+    layout_a, layout_b = _layout_pair()
+    # Rebuild the options independently (deep copy) with a shuffled
+    # dictionary insertion order: the fingerprint must not see either.
+    shuffled = data.draw(st.permutations(list(options.items())))
+    options_b = {key: copy.deepcopy(value) for key, value in shuffled}
+    assert request_fingerprint(layout_a, "instantiable", options) == request_fingerprint(
+        layout_b, "instantiable", options_b
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(options=_options, data=st.data(), replacement=_values)
+def test_changing_any_option_changes_the_fingerprint(options, data, replacement):
+    assume(options)
+    layout, _ = _layout_pair()
+    key = data.draw(st.sampled_from(sorted(options, key=repr)))
+    assume(canonicalize(replacement) != canonicalize(options[key]))
+    mutated = dict(options)
+    mutated[key] = replacement
+    assert request_fingerprint(layout, "instantiable", options) != request_fingerprint(
+        layout, "instantiable", mutated
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(options=_options)
+def test_adding_or_dropping_an_option_changes_the_fingerprint(options):
+    layout, _ = _layout_pair()
+    assume("extra" not in options)
+    augmented = {**options, "extra": 1}
+    assert request_fingerprint(layout, "instantiable", options) != request_fingerprint(
+        layout, "instantiable", augmented
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(options=_options)
+def test_backend_name_enters_the_fingerprint(options):
+    layout, _ = _layout_pair()
+    assert request_fingerprint(layout, "instantiable", options) != request_fingerprint(
+        layout, "galerkin-aca", options
+    )

@@ -9,7 +9,9 @@ import pytest
 from repro.engine.cli import main
 from repro.engine.scaling import (
     SCALING_BACKENDS,
+    run_compress_bench,
     run_scaling_bench,
+    write_compress_json,
     write_scaling_json,
 )
 
@@ -93,3 +95,48 @@ class TestScaleCommand:
     def test_single_worker_count_rejected(self):
         with pytest.raises(SystemExit):
             main(["scale", "--workers", "2", "--sizes", "2"])
+
+
+class TestRunCompressBench:
+    @pytest.fixture(scope="class")
+    def compress_report(self):
+        return run_compress_bench(quick=True, sizes=(2, 3), face_refinement=2)
+
+    def test_records_storage_per_layout(self, compress_report):
+        data = compress_report.data
+        assert data["backend"] == "galerkin-aca"
+        assert set(data["entries"]) == {"bus2x2", "bus3x3"}
+        for entry in data["entries"].values():
+            assert entry["num_unknowns"] > 0
+            assert 0 < entry["stored_entries"] <= entry["dense_entries"]
+            assert entry["dense_entries"] == entry["num_unknowns"] ** 2
+            assert 0.0 < entry["compression_ratio"] <= 1.0
+
+    def test_growth_exponent_is_subquadratic(self, compress_report):
+        exponent = compress_report.data["stored_entries_growth_exponent"]
+        assert exponent is not None
+        assert exponent < 2.0
+
+    def test_rejects_invalid_sizes(self):
+        with pytest.raises(ValueError, match="bus sizes"):
+            run_compress_bench(sizes=(0,))
+
+    def test_write_compress_json(self, compress_report, tmp_path):
+        target = write_compress_json(compress_report, tmp_path / "BENCH_compress.json")
+        data = json.loads(target.read_text())
+        assert data["sizes"] == [2, 3]
+        assert "stored_entries_growth_exponent" in data
+
+
+class TestScaleCommandCompressedBackend:
+    def test_scale_galerkin_aca_writes_compress_json(self, capsys, tmp_path):
+        target = tmp_path / "BENCH_compress.json"
+        code = main(
+            ["scale", "--backend", "galerkin-aca", "--sizes", "2", "--output", str(target)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "compression sweep" in output
+        data = json.loads(target.read_text())
+        assert data["backend"] == "galerkin-aca"
+        assert "bus2x2" in data["entries"]

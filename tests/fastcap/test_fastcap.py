@@ -134,3 +134,51 @@ class TestFastCapSolver:
         solution = FastCapSolver(cells_per_edge=2).solve(crossing_layout)
         assert solution.capacitance[0, 0] > 0.0
         assert solution.capacitance[0, 1] < 0.0
+
+
+class TestExpansionOrder:
+    """The FASTCAP accuracy knobs (theta, expansion order) and their plumbing."""
+
+    @pytest.fixture(scope="class")
+    def far_field_layout(self):
+        # Short wires on a wide pitch: clusters small relative to their
+        # separations, so the acceptance criterion admits far interactions.
+        return generators.wire_array(10, length=2e-6, spacing=4e-6)
+
+    def test_rejects_invalid_order(self, crossing_panels, permittivity):
+        with pytest.raises(ValueError, match="expansion_order"):
+            MultipoleOperator(crossing_panels, permittivity, expansion_order=3)
+
+    def test_orders_converge_toward_the_quadrupole(self, far_field_layout):
+        results = {
+            order: FastCapSolver(
+                cells_per_edge=2, max_leaf_size=16, expansion_order=order
+            ).solve(far_field_layout)
+            for order in (0, 1, 2)
+        }
+        assert results[2].metadata["far_interactions"] > 0
+        scale = np.abs(results[2].capacitance).max()
+        error_0 = np.abs(results[0].capacitance - results[2].capacitance).max() / scale
+        error_1 = np.abs(results[1].capacitance - results[2].capacitance).max() / scale
+        assert error_0 > 0.0  # the knob has an observable effect
+        assert error_1 <= error_0  # higher order is closer to the full expansion
+
+    def test_knobs_flow_through_the_engine_backend(self, far_field_layout):
+        from repro.engine import get_backend, request_fingerprint
+
+        result = get_backend("fastcap").extract(
+            far_field_layout, cells_per_edge=2, theta=0.4, expansion_order=1
+        )
+        assert result.metadata["theta"] == 0.4
+        assert result.metadata["expansion_order"] == 1
+
+        fingerprints = {
+            request_fingerprint(far_field_layout, "fastcap", options)
+            for options in (
+                {"cells_per_edge": 2},
+                {"cells_per_edge": 2, "theta": 0.4},
+                {"cells_per_edge": 2, "expansion_order": 1},
+                {"cells_per_edge": 2, "theta": 0.4, "expansion_order": 1},
+            )
+        }
+        assert len(fingerprints) == 4  # every knob is cache-fingerprinted
