@@ -32,6 +32,13 @@ import os
 import sys
 from pathlib import Path
 
+# The sibling summary helper must resolve even when this file is loaded via
+# importlib (the unit tests do), not just when run as a script.
+_SCRIPTS_DIR = str(Path(__file__).resolve().parent)
+if _SCRIPTS_DIR not in sys.path:
+    sys.path.insert(0, _SCRIPTS_DIR)
+from gate_summary import append_step_summary, markdown_table  # noqa: E402
+
 DEFAULT_THRESHOLD = 0.25
 # Absolute allowance on top of the relative threshold: the quick-bench
 # workloads complete in tens of milliseconds, where cross-machine and
@@ -114,8 +121,62 @@ def check_scaling(scaling_data: dict, expected_backends=SCALING_BACKENDS) -> lis
     return failures
 
 
+def write_summary(
+    baseline_totals: dict,
+    current_backends: dict,
+    threshold: float,
+    floor_seconds: float,
+    failures: list,
+) -> None:
+    """Append the per-backend gate table to ``$GITHUB_STEP_SUMMARY``."""
+    rows = []
+    for name in sorted(set(baseline_totals) | set(current_backends)):
+        base = baseline_totals.get(name)
+        entry = current_backends.get(name)
+        total = float(entry["total_seconds"]) if entry is not None else None
+        if base is None or total is None:
+            status = "❌ FAIL"
+            allowed_text = "-"
+        else:
+            allowed = float(base) * (1.0 + threshold) + floor_seconds
+            allowed_text = f"{allowed:.3f} s"
+            status = "✅ ok" if total <= allowed else "❌ FAIL"
+        rows.append(
+            [
+                name,
+                f"{total:.3f} s" if total is not None else "missing",
+                f"{float(base):.3f} s" if base is not None else "no baseline",
+                allowed_text,
+                status,
+            ]
+        )
+    verdict = "passed ✅" if not failures else "FAILED ❌"
+    lines = [
+        f"## Perf-regression gate: {verdict}",
+        "",
+        f"Allowance: baseline + {threshold:.0%} + {floor_seconds:.2f} s floor",
+        "",
+    ]
+    lines += markdown_table(
+        ["backend", "total", "baseline", "allowed", "status"], rows
+    )
+    if failures:
+        lines += ["", "**Failures:**", ""]
+        lines += [f"- {failure}" for failure in failures]
+    append_step_summary(lines)
+
+
 def _load(path: Path, description: str) -> dict:
     if not path.exists():
+        # The step summary must record the red gate even when an artifact
+        # never materialised (e.g. the bench step crashed before writing).
+        append_step_summary(
+            [
+                "## Perf-regression gate: FAILED ❌",
+                "",
+                f"{description} not found at `{path}`",
+            ]
+        )
         raise SystemExit(f"error: {description} not found at {path}")
     return json.loads(path.read_text())
 
@@ -163,6 +224,7 @@ def main(argv: list[str] | None = None) -> int:
     # --update-baseline still runs so refreshes are never silently lost.
     if os.environ.get("BENCH_GATE_SKIP") == "1" and not args.update_baseline:
         print("perf-regression gate skipped (BENCH_GATE_SKIP=1)")
+        append_step_summary(["## Perf-regression gate: skipped (`BENCH_GATE_SKIP=1`)"])
         return 0
 
     engine = _load(args.engine, "engine benchmark")
@@ -200,7 +262,15 @@ def main(argv: list[str] | None = None) -> int:
     failures = compare_backends(
         baseline.get("backends", {}), current_backends, threshold, floor_seconds
     )
-    failures += check_scaling(_load(args.scaling, "scaling benchmark"))
+    # A missing scaling artifact must not abort before the summary and the
+    # per-backend results land: record it as a failure instead.
+    if args.scaling.exists():
+        failures += check_scaling(json.loads(args.scaling.read_text()))
+    else:
+        failures.append(f"scaling benchmark not found at {args.scaling}")
+    write_summary(
+        baseline.get("backends", {}), current_backends, threshold, floor_seconds, failures
+    )
 
     for name, entry in sorted(current_backends.items()):
         base = baseline.get("backends", {}).get(name)

@@ -1,0 +1,41 @@
+"""Markdown step-summary helpers shared by the CI gate scripts.
+
+Both gates (``check_regression.py`` and ``check_accuracy.py``) append a
+per-metric markdown table to ``$GITHUB_STEP_SUMMARY`` when the variable is
+set (it always is inside a GitHub Actions step), so a red gate is readable
+directly on the run's summary page without downloading artifacts.  Outside
+CI the helpers are no-ops.  Standard library only, like the gates
+themselves.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["markdown_table", "append_step_summary"]
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> list[str]:
+    """A GitHub-flavoured markdown table as a list of lines."""
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return lines
+
+
+def append_step_summary(lines: Sequence[str]) -> bool:
+    """Append markdown lines to ``$GITHUB_STEP_SUMMARY`` when it is set.
+
+    Returns whether anything was written (False outside GitHub Actions).
+    """
+    target = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not target:
+        return False
+    with Path(target).open("a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n\n")
+    return True

@@ -1,0 +1,41 @@
+"""Accuracy benchmark over the workload registry; writes ``BENCH_accuracy.json``.
+
+Extracts every registered workload family with every registered backend and
+compares the capacitance matrices against the committed golden references
+in ``benchmarks/golden/`` — the same suite the CI accuracy gate
+(``benchmarks/check_accuracy.py``) runs via ``python -m repro accuracy``.
+The machine-readable artifact lands at the repository root next to
+``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.engine.registry import available_backends
+from repro.workloads import all_workloads, run_accuracy_suite, write_accuracy_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_accuracy_suite(benchmark, quick_mode):
+    """All backends x all workload families within tolerance vs golden."""
+    report = run_once(benchmark, run_accuracy_suite, quick=quick_mode)
+    print("\n" + report.text)
+    target = write_accuracy_json(report, REPO_ROOT / "BENCH_accuracy.json")
+    print(f"\nwrote {target}")
+    benchmark.extra_info["worst"] = report.data["worst"]
+
+    data = report.data
+    assert data["failures"] == []
+    assert data["all_within_tolerance"] is True
+    assert data["num_workloads"] == len(all_workloads()) >= 8
+    assert data["num_new_geometry"] >= 3
+    assert set(data["backends"]) == set(available_backends())
+    for per_workload in data["workloads"].values():
+        assert per_workload["golden_error"] is None
+        for record in per_workload["backends"].values():
+            assert record["within_tolerance"] is True
+            assert record["frobenius_relative_error"] <= record["tolerance"]

@@ -34,6 +34,11 @@ from repro.engine.backends import (
     PWCDenseBackend,
     register_default_backends,
 )
+from repro.engine.compare import (
+    CapacitanceComparison,
+    align_capacitance,
+    compare_capacitance,
+)
 from repro.engine.fingerprint import canonicalize, layout_fingerprint, request_fingerprint
 from repro.engine.parallel_backends import (
     GalerkinDistributedBackend,
@@ -57,6 +62,7 @@ from repro.engine.service import ExtractionService
 __all__ = [
     "Backend",
     "BatchReport",
+    "CapacitanceComparison",
     "DEFAULT_BACKEND",
     "ExtractionRequest",
     "ExtractionResult",
@@ -68,8 +74,10 @@ __all__ = [
     "InstantiableBackend",
     "PWCDenseBackend",
     "RequestStatus",
+    "align_capacitance",
     "available_backends",
     "canonicalize",
+    "compare_capacitance",
     "get_backend",
     "layout_fingerprint",
     "register_backend",

@@ -12,6 +12,11 @@ Run as ``python -m repro``:
 * ``python -m repro scale --backend galerkin-aca`` -- sweep bus sizes over
   the compressed backend and write ``BENCH_compress.json`` (stored entries
   vs dense ``N^2`` and the fitted storage growth exponent).
+* ``python -m repro workloads`` -- list the registered workload families.
+* ``python -m repro accuracy --quick`` -- extract every workload family
+  with every backend, gate the relative errors against the golden
+  references in ``benchmarks/golden/`` and write ``BENCH_accuracy.json``
+  (``--update-golden`` refreshes the references instead).
 
 (The paper-experiment driver remains available as
 ``python -m repro.core.experiments``.)
@@ -177,6 +182,101 @@ def _command_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import all_workloads
+
+    entries = [
+        {
+            "name": workload.name,
+            "description": workload.description,
+            "new_geometry": workload.is_new_geometry,
+            "size_params": list(workload.size_params),
+            "default_tolerance": workload.default_tolerance,
+        }
+        for workload in all_workloads()
+    ]
+    if args.json:
+        print(json.dumps(entries, indent=2))
+        return 0
+    from repro.analysis.report import format_table
+
+    print(
+        format_table(
+            ["workload", "new", "size knob", "tolerance", "description"],
+            [
+                [
+                    e["name"],
+                    "yes" if e["new_geometry"] else "",
+                    ",".join(e["size_params"]) or "-",
+                    f"{e['default_tolerance']:.3f}",
+                    e["description"],
+                ]
+                for e in entries
+            ],
+            title="Registered workload families",
+        )
+    )
+    return 0
+
+
+def _command_accuracy(args: argparse.Namespace) -> int:
+    from repro.workloads import (
+        BENCH_ACCURACY_FILENAME,
+        run_accuracy_suite,
+        update_goldens,
+        write_accuracy_json,
+    )
+
+    workloads = args.workload or None
+    try:
+        if args.update_golden:
+            # The refresh always runs the reference backend serially and
+            # writes to the golden store: reject the comparison-only flags
+            # instead of silently ignoring them.
+            rejected = [
+                flag
+                for flag, value in (
+                    ("--backend", args.backend),
+                    ("--executor", args.executor != "serial"),
+                    ("--workers", args.workers),
+                    ("--output", args.output),
+                    ("--json", args.json),
+                )
+                if value
+            ]
+            if rejected:
+                raise SystemExit(
+                    f"error: {', '.join(rejected)} does not apply to --update-golden"
+                )
+            modes = ("quick",) if args.quick else (("full",) if args.full else ("quick", "full"))
+            paths = update_goldens(
+                workloads=workloads, golden_dir=args.golden_dir, modes=modes
+            )
+            for path in paths:
+                print(f"wrote {path}")
+            return 0
+        report = run_accuracy_suite(
+            quick=not args.full,
+            workloads=workloads,
+            backends=args.backend or None,
+            golden_dir=args.golden_dir,
+            executor=args.executor,
+            max_workers=args.workers,
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.json:
+        print(json.dumps(report.data, indent=2, sort_keys=True))
+    else:
+        print(report.text)
+    target = write_accuracy_json(
+        report, args.output if args.output is not None else BENCH_ACCURACY_FILENAME
+    )
+    if not args.json:
+        print(f"\nwrote {target}")
+    return 0 if report.data["all_within_tolerance"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -309,6 +409,66 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     scale_parser.set_defaults(handler=_command_scale)
+
+    workloads_parser = subparsers.add_parser(
+        "workloads", help="list the registered workload families"
+    )
+    workloads_parser.add_argument("--json", action="store_true", help="emit JSON")
+    workloads_parser.set_defaults(handler=_command_workloads)
+
+    accuracy_parser = subparsers.add_parser(
+        "accuracy",
+        help="gate every backend against the golden references of the workload registry",
+    )
+    accuracy_quickness = accuracy_parser.add_mutually_exclusive_group()
+    accuracy_quickness.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the CI-sized workload parameters (the default)",
+    )
+    accuracy_quickness.add_argument(
+        "--full", action="store_true", help="use the nightly-sized workload parameters"
+    )
+    accuracy_parser.add_argument(
+        "--workload",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="restrict to one workload family (repeatable; default: all)",
+    )
+    accuracy_parser.add_argument(
+        "--backend",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="restrict to one backend (repeatable; default: all registered)",
+    )
+    accuracy_parser.add_argument(
+        "--update-golden",
+        action="store_true",
+        help=(
+            "recompute and write the golden references instead of comparing "
+            "(honours --workload; --quick/--full restricts the refreshed mode)"
+        ),
+    )
+    accuracy_parser.add_argument(
+        "--golden-dir",
+        default=None,
+        metavar="PATH",
+        help="golden-reference directory (default: benchmarks/golden/)",
+    )
+    accuracy_parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default="serial"
+    )
+    accuracy_parser.add_argument("--workers", type=int, default=None)
+    accuracy_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="where to write the machine-readable report (default: BENCH_accuracy.json)",
+    )
+    accuracy_parser.add_argument("--json", action="store_true", help="emit JSON")
+    accuracy_parser.set_defaults(handler=_command_accuracy)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -1,0 +1,128 @@
+"""Capacitance-matrix comparison utilities of the engine.
+
+The accuracy harness (:mod:`repro.workloads.accuracy`) and the tests use
+these helpers to quantify how far one backend's capacitance matrix strays
+from a reference: a matrix-level relative Frobenius error (the gated
+metric — robust to individual near-zero couplings) plus the worst relative
+error over the *significant* entries (reported for diagnosis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "CapacitanceComparison",
+    "align_capacitance",
+    "compare_capacitance",
+]
+
+
+@dataclass(frozen=True)
+class CapacitanceComparison:
+    """Error metrics of one capacitance matrix against a reference.
+
+    Attributes
+    ----------
+    frobenius_relative_error:
+        ``||C - R||_F / ||R||_F`` — the metric the accuracy gate checks.
+    max_entry_relative_error:
+        Largest ``|C_ij - R_ij| / |R_ij|`` over the significant reference
+        entries (``|R_ij| >= significance * max|R|``).
+    max_abs_error_farad:
+        Largest absolute entry deviation, in farad.
+    significance:
+        Relative floor below which reference entries are excluded from the
+        per-entry metric (near-zero couplings produce meaningless ratios).
+    """
+
+    frobenius_relative_error: float
+    max_entry_relative_error: float
+    max_abs_error_farad: float
+    significance: float
+
+    def as_dict(self) -> dict:
+        """Plain-dictionary form for JSON reporting."""
+        return {
+            "frobenius_relative_error": self.frobenius_relative_error,
+            "max_entry_relative_error": self.max_entry_relative_error,
+            "max_abs_error_farad": self.max_abs_error_farad,
+            "significance": self.significance,
+        }
+
+
+def align_capacitance(
+    capacitance: np.ndarray,
+    names: Sequence[str],
+    reference_names: Sequence[str],
+) -> np.ndarray:
+    """Reorder a capacitance matrix into the reference conductor order.
+
+    Raises
+    ------
+    ValueError
+        When the two name sets differ (the matrices describe different
+        problems and must not be compared).
+    """
+    if list(names) == list(reference_names):
+        return np.asarray(capacitance, dtype=float)
+    if sorted(names) != sorted(reference_names):
+        raise ValueError(
+            f"conductor sets differ: {sorted(names)} vs {sorted(reference_names)}"
+        )
+    matrix = np.asarray(capacitance, dtype=float)
+    order = [list(names).index(name) for name in reference_names]
+    return matrix[np.ix_(order, order)]
+
+
+def compare_capacitance(
+    candidate: np.ndarray,
+    reference: np.ndarray,
+    names: Sequence[str] | None = None,
+    reference_names: Sequence[str] | None = None,
+    significance: float = 1e-3,
+) -> CapacitanceComparison:
+    """Compare a candidate capacitance matrix against a reference.
+
+    Parameters
+    ----------
+    candidate, reference:
+        Square capacitance matrices in farad.  When both name sequences are
+        given the candidate is first reordered into the reference order.
+    names, reference_names:
+        Conductor names of the two matrices (both or neither).
+    significance:
+        Relative floor selecting the reference entries that enter the
+        per-entry error metric.
+    """
+    if (names is None) != (reference_names is None):
+        raise ValueError("pass both names and reference_names, or neither")
+    reference_matrix = np.asarray(reference, dtype=float)
+    candidate_matrix = np.asarray(candidate, dtype=float)
+    if names is not None and reference_names is not None:
+        candidate_matrix = align_capacitance(candidate_matrix, names, reference_names)
+    if candidate_matrix.shape != reference_matrix.shape:
+        raise ValueError(
+            f"matrix shapes differ: {candidate_matrix.shape} vs {reference_matrix.shape}"
+        )
+    if not (0.0 < significance < 1.0):
+        raise ValueError(f"significance must be in (0, 1), got {significance}")
+
+    difference = candidate_matrix - reference_matrix
+    reference_norm = float(np.linalg.norm(reference_matrix))
+    if reference_norm == 0.0:
+        raise ValueError("reference capacitance matrix is all zeros")
+    frobenius = float(np.linalg.norm(difference)) / reference_norm
+
+    magnitudes = np.abs(reference_matrix)
+    significant = magnitudes >= significance * float(magnitudes.max())
+    entry_errors = np.abs(difference[significant]) / magnitudes[significant]
+    return CapacitanceComparison(
+        frobenius_relative_error=frobenius,
+        max_entry_relative_error=float(entry_errors.max()) if entry_errors.size else 0.0,
+        max_abs_error_farad=float(np.abs(difference).max()),
+        significance=float(significance),
+    )

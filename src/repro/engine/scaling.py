@@ -36,7 +36,6 @@ from repro.analysis.report import format_table
 from repro.assembly.shared_memory import ParallelSetupResult
 from repro.core.experiments import ExperimentReport
 from repro.engine.registry import get_backend
-from repro.geometry import generators
 from repro.parallel.machine import (
     SimulatedParallelMachine,
     calibrate_unit_costs,
@@ -47,6 +46,7 @@ __all__ = [
     "BENCH_SCALING_FILENAME",
     "BENCH_COMPRESS_FILENAME",
     "SCALING_BACKENDS",
+    "SWEEP_WORKLOAD",
     "run_scaling_bench",
     "run_compress_bench",
     "write_scaling_json",
@@ -62,21 +62,25 @@ BENCH_COMPRESS_FILENAME = "BENCH_compress.json"
 #: The backends swept by the scaling harness.
 SCALING_BACKENDS = ("galerkin-shared", "galerkin-distributed")
 
+#: The workload-registry family both sweeps scale through its size knob.
+SWEEP_WORKLOAD = "bus_crossing"
+
 #: Default quick/full bus sizes of the two sweeps (one table each, so the
 #: worker sweep and the compression sweep cannot silently diverge).
 SCALING_SWEEP_SIZES = {"quick": (2, 3), "full": (4, 6)}
 COMPRESS_SWEEP_SIZES = {"quick": (2, 3, 4), "full": (3, 4, 6)}
 
 
-def _sweep_layouts(quick: bool, sizes: Sequence[int] | None):
-    """The crossing-bus layouts of a sweep, keyed by a short label."""
-    if sizes is None:
-        sizes = SCALING_SWEEP_SIZES["quick" if quick else "full"]
+def _sweep_layouts(sizes: Sequence[int]):
+    """The sized sweep layouts from the workload registry, keyed by label."""
+    from repro.workloads import get_workload
+
+    workload = get_workload(SWEEP_WORKLOAD)
     layouts = {}
     for size in sizes:
         if size < 1:
             raise ValueError(f"bus sizes must be >= 1, got {size}")
-        layouts[f"bus{size}x{size}"] = generators.bus_crossing(size, size)
+        layouts[f"bus{size}x{size}"] = workload.sized_layout(int(size))
     return layouts
 
 
@@ -113,7 +117,9 @@ def run_scaling_bench(
     if any(w < 1 for w in worker_counts):
         raise ValueError(f"worker counts must be >= 1, got {worker_counts}")
 
-    layouts = _sweep_layouts(quick, sizes)
+    if sizes is None:
+        sizes = SCALING_SWEEP_SIZES["quick" if quick else "full"]
+    layouts = _sweep_layouts(sizes)
     machine = SimulatedParallelMachine()
     backends_data: dict[str, dict] = {}
     text_parts: list[str] = []
@@ -238,7 +244,7 @@ def run_compress_bench(
     """
     if sizes is None:
         sizes = COMPRESS_SWEEP_SIZES["quick" if quick else "full"]
-    layouts = _sweep_layouts(quick, sizes)
+    layouts = _sweep_layouts(sizes)
     backend = get_backend("galerkin-aca")
     per_layout: dict[str, dict] = {}
     unknowns: list[int] = []

@@ -10,6 +10,11 @@
 * :func:`parallel_plates`, :func:`plate_over_ground`, :func:`single_plate`,
   :func:`comb_capacitor` -- classic verification structures with known or
   easily bounded capacitances, used by the test-suite.
+* :func:`via_stack`, :func:`guard_ring`, :func:`random_manhattan`,
+  :func:`comb_bus_hybrid` -- the extended geometry families of the workload
+  registry (:mod:`repro.workloads`): multi-box via pillars over a rail,
+  a shielding ring enclosure, seeded random Manhattan routing, and a
+  comb capacitor under a crossing bus.
 
 All dimensions are in metres; the defaults are micron-scale interconnect
 dimensions similar to those plotted in the paper's figures.
@@ -18,6 +23,8 @@ dimensions similar to those plotted in the paper's figures.
 from __future__ import annotations
 
 import math
+
+import numpy as np
 
 from repro.geometry.conductor import Box, Conductor
 from repro.geometry.layout import Layout
@@ -31,6 +38,10 @@ __all__ = [
     "single_plate",
     "comb_capacitor",
     "wire_array",
+    "via_stack",
+    "guard_ring",
+    "random_manhattan",
+    "comb_bus_hybrid",
 ]
 
 #: One micron, the natural length unit of the paper's examples.
@@ -339,6 +350,263 @@ def wire_array(
         )
         for i in range(n_wires)
     ]
+    return Layout(conductors, relative_permittivity=relative_permittivity)
+
+
+def via_stack(
+    n_stacks: int = 3,
+    pad_side: float = 1.0 * UM,
+    via_side: float = 0.4 * UM,
+    pad_thickness: float = 0.35 * UM,
+    via_height: float = 0.6 * UM,
+    spacing: float = 1.0 * UM,
+    rail_gap: float = 0.8 * UM,
+    rail_margin: float = 1.0 * UM,
+    relative_permittivity: float = 1.0,
+) -> Layout:
+    """A row of via pillars (pad / via / pad) crossing over a buried rail.
+
+    Each pillar is one conductor (``stack_<i>``) made of three stacked
+    boxes: a lower metal pad, a narrower via cube spanning the inter-layer
+    dielectric, and an upper pad.  A ``rail`` wire runs along x underneath
+    the whole row at a vertical gap of ``rail_gap``, so every pillar forms
+    a vertical crossing with the rail while neighbouring pillars couple
+    laterally.  The multi-box pillars exercise the buried-face removal of
+    :meth:`~repro.geometry.conductor.Conductor.surface_panels`.
+    """
+    _require_positive(
+        pad_side=pad_side,
+        via_side=via_side,
+        pad_thickness=pad_thickness,
+        via_height=via_height,
+        spacing=spacing,
+        rail_gap=rail_gap,
+        rail_margin=rail_margin,
+    )
+    if n_stacks < 1:
+        raise ValueError(f"need at least one via stack, got {n_stacks}")
+    if via_side > pad_side:
+        raise ValueError(
+            f"via_side must not exceed pad_side, got {via_side!r} > {pad_side!r}"
+        )
+    pitch = pad_side + spacing
+    rail_thickness = pad_thickness
+    z_pad_lo = rail_thickness + rail_gap
+
+    conductors: list[Conductor] = [
+        Conductor(
+            "rail",
+            [
+                Box(
+                    (-rail_margin, 0.0, 0.0),
+                    (n_stacks * pitch - spacing + rail_margin, pad_side, rail_thickness),
+                )
+            ],
+        )
+    ]
+    inset = (pad_side - via_side) / 2.0
+    for i in range(n_stacks):
+        x0 = i * pitch
+        z_via_lo = z_pad_lo + pad_thickness
+        z_top_lo = z_via_lo + via_height
+        boxes = [
+            Box((x0, 0.0, z_pad_lo), (x0 + pad_side, pad_side, z_via_lo)),
+            Box(
+                (x0 + inset, inset, z_via_lo),
+                (x0 + inset + via_side, inset + via_side, z_top_lo),
+            ),
+            Box((x0, 0.0, z_top_lo), (x0 + pad_side, pad_side, z_top_lo + pad_thickness)),
+        ]
+        conductors.append(Conductor(f"stack_{i}", boxes))
+    return Layout(conductors, relative_permittivity=relative_permittivity)
+
+
+def guard_ring(
+    victim_length: float = 6.0 * UM,
+    wire_width: float = 1.0 * UM,
+    thickness: float = 1.0 * UM,
+    ring_clearance: float = 1.0 * UM,
+    ring_width: float = 1.0 * UM,
+    aggressor_clearance: float = 1.0 * UM,
+    relative_permittivity: float = 1.0,
+) -> Layout:
+    """A victim wire enclosed by a grounded guard ring, with an aggressor outside.
+
+    All three conductors sit on one layer: the ``victim`` wire runs along x,
+    the ``guard`` ring encloses it in plan view at a lateral clearance of
+    ``ring_clearance`` (four boxes sharing corners), and the ``aggressor``
+    wire runs parallel to the victim outside the ring at
+    ``aggressor_clearance``.  The ring shields the victim--aggressor
+    coupling, which makes the family a sensitive accuracy probe for lateral
+    interactions.
+    """
+    _require_positive(
+        victim_length=victim_length,
+        wire_width=wire_width,
+        thickness=thickness,
+        ring_clearance=ring_clearance,
+        ring_width=ring_width,
+        aggressor_clearance=aggressor_clearance,
+    )
+    victim = Conductor(
+        "victim",
+        [Box((0.0, 0.0, 0.0), (victim_length, wire_width, thickness))],
+    )
+    # Ring interior hole: the victim footprint grown by the clearance.
+    hole_lo_x, hole_lo_y = -ring_clearance, -ring_clearance
+    hole_hi_x = victim_length + ring_clearance
+    hole_hi_y = wire_width + ring_clearance
+    ring_lo_x, ring_lo_y = hole_lo_x - ring_width, hole_lo_y - ring_width
+    ring_hi_x, ring_hi_y = hole_hi_x + ring_width, hole_hi_y + ring_width
+    guard = Conductor(
+        "guard",
+        [
+            # Bottom and top bars span the full ring width, the side bars
+            # fill the remaining gap; the four boxes touch at the corners.
+            Box((ring_lo_x, ring_lo_y, 0.0), (ring_hi_x, hole_lo_y, thickness)),
+            Box((ring_lo_x, hole_hi_y, 0.0), (ring_hi_x, ring_hi_y, thickness)),
+            Box((ring_lo_x, hole_lo_y, 0.0), (hole_lo_x, hole_hi_y, thickness)),
+            Box((hole_hi_x, hole_lo_y, 0.0), (ring_hi_x, hole_hi_y, thickness)),
+        ],
+    )
+    aggressor_y0 = ring_hi_y + aggressor_clearance
+    aggressor = Conductor(
+        "aggressor",
+        [
+            Box(
+                (ring_lo_x, aggressor_y0, 0.0),
+                (ring_hi_x, aggressor_y0 + wire_width, thickness),
+            )
+        ],
+    )
+    return Layout([victim, guard, aggressor], relative_permittivity=relative_permittivity)
+
+
+def random_manhattan(
+    n_wires: int = 6,
+    seed: int = 0,
+    width: float = 1.0 * UM,
+    spacing: float = 1.0 * UM,
+    thickness: float = 1.0 * UM,
+    separation: float = 1.0 * UM,
+    region: float = 12.0 * UM,
+    min_length_fraction: float = 0.5,
+    relative_permittivity: float = 1.0,
+) -> Layout:
+    """A seeded random two-layer Manhattan routing block.
+
+    Wires alternate between the lower layer (routed along x) and the upper
+    layer (routed along y).  Each wire occupies a randomly drawn track on
+    its layer (tracks are on a ``width + spacing`` pitch, so same-layer
+    wires never overlap) with a random start and length inside the
+    ``region`` x ``region`` window, snapped to half-width grid steps.  The
+    construction is a deterministic function of ``seed`` -- the same seed
+    reproduces the exact same layout, which the workload registry relies on
+    for its golden references.
+    """
+    _require_positive(
+        width=width,
+        spacing=spacing,
+        thickness=thickness,
+        separation=separation,
+        region=region,
+        min_length_fraction=min_length_fraction,
+    )
+    if n_wires < 2:
+        raise ValueError(f"need at least two wires, got {n_wires}")
+    if min_length_fraction > 1.0:
+        raise ValueError(
+            f"min_length_fraction must be <= 1, got {min_length_fraction}"
+        )
+    pitch = width + spacing
+    num_tracks = max(int(region // pitch), 1)
+    rng = np.random.default_rng(seed)
+    # Per-layer random track permutations guarantee distinct tracks as long
+    # as each layer holds at most num_tracks wires.
+    per_layer = (n_wires + 1) // 2
+    if per_layer > num_tracks:
+        raise ValueError(
+            f"{n_wires} wires need {per_layer} tracks per layer but the "
+            f"region only fits {num_tracks}; enlarge region or reduce n_wires"
+        )
+    lower_tracks = rng.permutation(num_tracks)[:per_layer]
+    upper_tracks = rng.permutation(num_tracks)[: n_wires - per_layer]
+    grid = width / 2.0
+    z_upper = thickness + separation
+
+    def _span() -> tuple[float, float]:
+        min_length = min_length_fraction * region
+        length = float(rng.uniform(min_length, region))
+        start = float(rng.uniform(0.0, region - length))
+        start = round(start / grid) * grid
+        length = max(round(length / grid) * grid, grid)
+        return start, min(start + length, region)
+
+    conductors: list[Conductor] = []
+    for index in range(n_wires):
+        layer = index % 2
+        track_index = index // 2
+        if layer == 0:
+            y0 = float(lower_tracks[track_index]) * pitch
+            lo_x, hi_x = _span()
+            box = Box((lo_x, y0, 0.0), (hi_x, y0 + width, thickness))
+        else:
+            x0 = float(upper_tracks[track_index]) * pitch
+            lo_y, hi_y = _span()
+            box = Box((x0, lo_y, z_upper), (x0 + width, hi_y, z_upper + thickness))
+        conductors.append(Conductor(f"net_{index}", [box]))
+    return Layout(conductors, relative_permittivity=relative_permittivity)
+
+
+def comb_bus_hybrid(
+    n_fingers: int = 3,
+    n_bus: int = 2,
+    finger_length: float = 6.0 * UM,
+    finger_width: float = 1.0 * UM,
+    finger_gap: float = 1.0 * UM,
+    thickness: float = 1.0 * UM,
+    separation: float = 1.0 * UM,
+    bus_width: float = 1.0 * UM,
+    relative_permittivity: float = 1.0,
+) -> Layout:
+    """An interdigitated comb capacitor under a perpendicular crossing bus.
+
+    The lower layer is the two-conductor comb of :func:`comb_capacitor`
+    (lateral coupling); ``n_bus`` wires (``bus_<j>``) run along y on the
+    upper layer across the whole comb (vertical crossings with both combs).
+    The hybrid mixes the two coupling regimes in one dense structure.
+    """
+    _require_positive(separation=separation, bus_width=bus_width)
+    if n_bus < 1:
+        raise ValueError(f"need at least one bus wire, got {n_bus}")
+    comb = comb_capacitor(
+        n_fingers=n_fingers,
+        finger_length=finger_length,
+        finger_width=finger_width,
+        finger_gap=finger_gap,
+        thickness=thickness,
+        relative_permittivity=relative_permittivity,
+    )
+    comb_bb = comb.bounding_box()
+    span_x = comb_bb.hi[0] - comb_bb.lo[0]
+    z0 = thickness + separation
+    bus_pitch = span_x / (n_bus + 1)
+    y_lo = comb_bb.lo[1] - bus_width
+    y_hi = comb_bb.hi[1] + bus_width
+    conductors = list(comb.conductors)
+    for j in range(n_bus):
+        x_center = comb_bb.lo[0] + (j + 1) * bus_pitch
+        conductors.append(
+            Conductor(
+                f"bus_{j}",
+                [
+                    Box(
+                        (x_center - bus_width / 2.0, y_lo, z0),
+                        (x_center + bus_width / 2.0, y_hi, z0 + thickness),
+                    )
+                ],
+            )
+        )
     return Layout(conductors, relative_permittivity=relative_permittivity)
 
 

@@ -1,0 +1,232 @@
+"""Golden-reference accuracy harness over the workload registry.
+
+``run_accuracy_suite`` extracts every registered workload family with every
+registered backend (through the batched
+:class:`~repro.engine.service.ExtractionService`, so the suite exercises
+the same serving path as production batches), compares each capacitance
+matrix against the committed dense golden reference
+(``benchmarks/golden/<family>.json``) and gates the relative Frobenius
+error against the family's per-backend tolerance.
+
+The report's ``data`` is the machine-readable payload written to
+``BENCH_accuracy.json`` by ``python -m repro accuracy``; the CI accuracy
+gate (``benchmarks/check_accuracy.py``) consumes it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.report import format_table
+from repro.core.experiments import ExperimentReport
+from repro.engine.compare import compare_capacitance
+from repro.engine.registry import available_backends, get_backend
+from repro.engine.request import ExtractionRequest
+from repro.engine.service import ExtractionService
+from repro.workloads.golden import golden_capacitance, golden_entry, update_golden
+from repro.workloads.registry import Workload, all_workloads, get_workload
+
+__all__ = [
+    "BENCH_ACCURACY_FILENAME",
+    "run_accuracy_suite",
+    "update_goldens",
+    "write_accuracy_json",
+]
+
+#: Default name of the machine-readable accuracy artifact.
+BENCH_ACCURACY_FILENAME = "BENCH_accuracy.json"
+
+
+def _select_workloads(names: Sequence[str] | None) -> list[Workload]:
+    if names is None:
+        return all_workloads()
+    return [get_workload(name) for name in names]
+
+
+def run_accuracy_suite(
+    quick: bool = True,
+    workloads: Sequence[str] | None = None,
+    backends: Sequence[str] | None = None,
+    golden_dir: str | Path | None = None,
+    executor: str = "serial",
+    max_workers: int | None = None,
+) -> ExperimentReport:
+    """Extract every (workload, backend) pair and compare against the goldens.
+
+    Parameters
+    ----------
+    quick:
+        Use each family's quick (CI-sized) parameters; ``False`` uses the
+        full (nightly-sized) parameters.
+    workloads:
+        Family names to run (default: every registered family).
+    backends:
+        Backend names to gate (default: every registered backend).
+    golden_dir:
+        Golden-reference directory override (default: the committed
+        ``benchmarks/golden/``).
+    executor, max_workers:
+        Fan-out configuration of the extraction service.
+    """
+    selected = _select_workloads(workloads)
+    backend_names = list(backends) if backends is not None else available_backends()
+    if not selected:
+        raise ValueError("no workloads selected")
+    if not backend_names:
+        raise ValueError("no backends selected")
+    for name in backend_names:
+        get_backend(name)  # fail fast on typos instead of running the grid
+
+    # One batch over the full (workload x backend) grid: the suite doubles
+    # as an integration test of the batched serving path.
+    requests = []
+    for workload in selected:
+        layout = workload.layout(full=not quick)
+        layout.validate()
+        for backend in backend_names:
+            requests.append(
+                ExtractionRequest(
+                    layout=layout,
+                    backend=backend,
+                    options=workload.options_for(backend),
+                    label=f"{workload.name}/{backend}",
+                )
+            )
+    service = ExtractionService(executor=executor, max_workers=max_workers)
+    batch = service.extract_batch(requests)
+
+    workloads_data: dict[str, dict] = {}
+    failures: list[str] = []
+    worst: dict | None = None
+    rows: list[list[str]] = []
+    status_index = 0
+    for workload in selected:
+        golden_error: str | None = None
+        reference = None
+        entry = None
+        try:
+            entry = golden_entry(workload, quick=quick, golden_dir=golden_dir)
+            reference = golden_capacitance(entry)
+        except (FileNotFoundError, ValueError) as exc:
+            golden_error = str(exc)
+            failures.append(f"{workload.name}: {golden_error}")
+        per_backend: dict[str, dict] = {}
+        for backend in backend_names:
+            status = batch.statuses[status_index]
+            status_index += 1
+            tolerance = workload.tolerance_for(backend)
+            record: dict = {
+                "tolerance": tolerance,
+                "within_tolerance": False,
+                "error": None,
+            }
+            if status.result is None or golden_error is not None:
+                if status.result is None:
+                    record["error"] = status.error
+                    failures.append(f"{workload.name}/{backend}: {status.error}")
+                else:
+                    record["error"] = "no usable golden reference"
+                # Failed pairs must still appear in the grid, not only in
+                # the trailing failure list.
+                rows.append(
+                    [workload.name, backend, "-", "-", f"{tolerance:.3f}", "FAIL"]
+                )
+            else:
+                assert reference is not None and entry is not None
+                comparison = compare_capacitance(
+                    status.result.capacitance,
+                    reference,
+                    names=status.result.conductor_names,
+                    reference_names=entry["conductor_names"],
+                )
+                within = comparison.frobenius_relative_error <= tolerance
+                record.update(comparison.as_dict())
+                record["within_tolerance"] = within
+                record["num_unknowns"] = status.result.num_unknowns
+                record["total_seconds"] = status.result.total_seconds
+                if not within:
+                    failures.append(
+                        f"{workload.name}/{backend}: relative error "
+                        f"{comparison.frobenius_relative_error:.4f} exceeds "
+                        f"tolerance {tolerance:.4f}"
+                    )
+                if worst is None or comparison.frobenius_relative_error > worst["frobenius_relative_error"]:
+                    worst = {
+                        "workload": workload.name,
+                        "backend": backend,
+                        "frobenius_relative_error": comparison.frobenius_relative_error,
+                        "tolerance": tolerance,
+                    }
+                rows.append(
+                    [
+                        workload.name,
+                        backend,
+                        str(status.result.num_unknowns),
+                        f"{comparison.frobenius_relative_error:.4f}",
+                        f"{tolerance:.3f}",
+                        "ok" if within else "FAIL",
+                    ]
+                )
+            per_backend[backend] = record
+        workloads_data[workload.name] = {
+            "new_geometry": workload.is_new_geometry,
+            "golden_error": golden_error,
+            "golden_num_unknowns": entry["num_unknowns"] if entry else None,
+            "backends": per_backend,
+        }
+
+    text_parts = [
+        format_table(
+            ["workload", "backend", "N", "rel error", "tolerance", "status"],
+            rows,
+            title=f"Accuracy vs golden references ({'quick' if quick else 'full'} mode)",
+        )
+    ]
+    if worst is not None:
+        text_parts.append(
+            f"Worst case: {worst['workload']}/{worst['backend']} relative error "
+            f"{worst['frobenius_relative_error']:.4f} (tolerance {worst['tolerance']:.3f})"
+        )
+    if failures:
+        text_parts.append(
+            "FAILURES:\n" + "\n".join(f"  - {failure}" for failure in failures)
+        )
+    else:
+        text_parts.append(
+            f"All {len(selected)} workloads within tolerance on "
+            f"{len(backend_names)} backends."
+        )
+
+    data = {
+        "quick": quick,
+        "executor": executor,
+        "backends": backend_names,
+        "num_workloads": len(selected),
+        "num_new_geometry": sum(1 for w in selected if w.is_new_geometry),
+        "workloads": workloads_data,
+        "failures": failures,
+        "worst": worst,
+        "all_within_tolerance": not failures,
+    }
+    return ExperimentReport(name="accuracy_suite", text="\n\n".join(text_parts), data=data)
+
+
+def update_goldens(
+    workloads: Sequence[str] | None = None,
+    golden_dir: str | Path | None = None,
+    modes: tuple[str, ...] = ("quick", "full"),
+) -> list[Path]:
+    """Refresh the golden references of the selected families."""
+    return [
+        update_golden(workload, golden_dir=golden_dir, modes=modes)
+        for workload in _select_workloads(workloads)
+    ]
+
+
+def write_accuracy_json(report: ExperimentReport, path: str | Path | None = None) -> Path:
+    """Write an accuracy report's data to ``BENCH_accuracy.json``."""
+    target = Path(path) if path is not None else Path.cwd() / BENCH_ACCURACY_FILENAME
+    target.write_text(json.dumps(report.data, indent=2, sort_keys=True) + "\n")
+    return target

@@ -1,0 +1,207 @@
+"""The stock workload catalog: the paper's structures plus new geometry.
+
+Importing :mod:`repro.workloads` registers the families below.  The first
+eight wrap the existing generators used across the paper's experiments and
+the test-suite; the last four (tagged ``"new-geometry"``) are the extended
+structures introduced with the workload registry: via-stack pillars over a
+rail, a guard-ring enclosure, seeded random Manhattan routing and a
+comb-under-bus hybrid.
+
+Every family carries a *quick* parameter set (CI-sized: all six backends
+finish in well under a second) and a *full* parameter set (nightly-sized).
+Accuracy tolerances are relative Frobenius errors against the dense golden
+reference (``pwc-dense`` refined to :data:`REFERENCE_OPTIONS`); they are
+calibrated to roughly twice the observed error so genuine regressions trip
+the gate while discretisation noise does not.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.basis.instantiate import InstantiationConfig
+from repro.geometry import generators
+from repro.workloads.registry import (
+    NEW_GEOMETRY_TAG,
+    Workload,
+    available_workloads,
+    register_workload,
+)
+
+__all__ = [
+    "REFERENCE_BACKEND",
+    "REFERENCE_OPTIONS",
+    "DEFAULT_BACKEND_OPTIONS",
+    "register_stock_workloads",
+]
+
+UM = generators.UM
+
+#: The backend producing golden references: the dense piecewise-constant
+#: Galerkin solver, refined beyond the candidate meshes.
+REFERENCE_BACKEND = "pwc-dense"
+
+#: Harness-wide refinement of the golden-reference extraction; individual
+#: families may add overrides through ``Workload.reference_options``.
+REFERENCE_OPTIONS: Mapping[str, Any] = {"cells_per_edge": 4}
+
+#: Extraction options applied to every family unless it overrides them:
+#: the candidate meshes stay coarse (that is the point — the gate measures
+#: each backend's deviation at its production settings).
+DEFAULT_BACKEND_OPTIONS: Mapping[str, Mapping[str, Any]] = {
+    "instantiable": {},
+    "pwc-dense": {"cells_per_edge": 2},
+    "fastcap": {"cells_per_edge": 2},
+    "galerkin-shared": {"workers": 2},
+    "galerkin-distributed": {"workers": 2},
+    "galerkin-aca": {},
+}
+
+
+def _workload(
+    name: str,
+    description: str,
+    factory: Any,
+    params: Mapping[str, Any] | None = None,
+    full_params: Mapping[str, Any] | None = None,
+    size_params: tuple[str, ...] = (),
+    backend_tolerances: Mapping[str, float] | None = None,
+    default_tolerance: float = 0.12,
+    backend_options: Mapping[str, Mapping[str, Any]] | None = None,
+    reference_options: Mapping[str, Any] | None = None,
+    tags: tuple[str, ...] = (),
+) -> Workload:
+    merged_options: dict[str, Mapping[str, Any]] = {
+        backend: dict(options) for backend, options in DEFAULT_BACKEND_OPTIONS.items()
+    }
+    for backend, options in (backend_options or {}).items():
+        merged_options[backend] = {**merged_options.get(backend, {}), **options}
+    return Workload(
+        name=name,
+        description=description,
+        factory=factory,
+        params=dict(params or {}),
+        full_params=dict(full_params or {}),
+        size_params=size_params,
+        backend_options=merged_options,
+        backend_tolerances=dict(backend_tolerances or {}),
+        default_tolerance=default_tolerance,
+        reference_options=dict(reference_options or {}),
+        tags=tags,
+    )
+
+
+_STOCK_WORKLOADS: tuple[Workload, ...] = (
+    # ------------------------------------------------------------------
+    # The paper's structures and the classic verification set.
+    _workload(
+        "crossing_wires",
+        "Elementary two-wire crossing (paper Figure 1)",
+        generators.crossing_wires,
+        full_params={"length": 16.0 * UM},
+        # The coarse collocation mesh sits at ~10% on the full-length pair.
+        backend_tolerances={"fastcap": 0.15},
+    ),
+    _workload(
+        "bus_crossing",
+        "n x n crossing bus on two layers (paper Figure 7, right)",
+        generators.bus_crossing,
+        params={"n_lower": 2, "n_upper": 2},
+        full_params={"n_lower": 4, "n_upper": 4},
+        size_params=("n_lower", "n_upper"),
+    ),
+    _workload(
+        "transistor_interconnect",
+        "Synthetic poly/M1/M2 transistor-cell interconnect (paper Table 2)",
+        generators.transistor_interconnect,
+        params={"n_fingers": 2, "n_m1_straps": 2, "n_m2_lines": 1},
+        full_params={"n_fingers": 4, "n_m1_straps": 3, "n_m2_lines": 2},
+        size_params=("n_fingers",),
+    ),
+    _workload(
+        "parallel_plates",
+        "Two facing square plates (parallel-plate bound check)",
+        generators.parallel_plates,
+        full_params={"side": 14.0 * UM},
+        # The full-face overlap makes the induced flat template linearly
+        # dependent with the face basis, which the direct solve cannot
+        # tolerate: run the instantiable backend face-only here.
+        backend_options={
+            "instantiable": {
+                "instantiation": InstantiationConfig(include_induced=False)
+            }
+        },
+    ),
+    _workload(
+        "plate_over_ground",
+        "Small plate above a larger grounded plate",
+        generators.plate_over_ground,
+        # The coarse collocation mesh under-resolves the wide ground plane;
+        # one refinement step brings fastcap from ~14% to ~3%.
+        backend_options={"fastcap": {"cells_per_edge": 3}},
+    ),
+    _workload(
+        "single_plate",
+        "Isolated square conductor (Maxwell self-capacitance check)",
+        generators.single_plate,
+    ),
+    _workload(
+        "comb_capacitor",
+        "Interdigitated two-conductor MOM comb (lateral coupling)",
+        generators.comb_capacitor,
+        params={"n_fingers": 2, "finger_length": 6.0 * UM},
+        full_params={"n_fingers": 4, "finger_length": 8.0 * UM},
+        size_params=("n_fingers",),
+    ),
+    _workload(
+        "wire_array",
+        "Single-layer array of parallel wires",
+        generators.wire_array,
+        params={"n_wires": 3},
+        full_params={"n_wires": 6},
+        size_params=("n_wires",),
+    ),
+    # ------------------------------------------------------------------
+    # New geometry introduced with the workload registry.
+    _workload(
+        "via_stack",
+        "Row of pad/via/pad pillars crossing a buried rail (multi-box conductors)",
+        generators.via_stack,
+        params={"n_stacks": 2},
+        full_params={"n_stacks": 4},
+        size_params=("n_stacks",),
+        tags=(NEW_GEOMETRY_TAG,),
+    ),
+    _workload(
+        "guard_ring",
+        "Victim wire inside a shielding guard ring with an outside aggressor",
+        generators.guard_ring,
+        full_params={"victim_length": 10.0 * UM},
+        tags=(NEW_GEOMETRY_TAG,),
+    ),
+    _workload(
+        "random_manhattan",
+        "Seeded random two-layer Manhattan routing block (reproducible)",
+        generators.random_manhattan,
+        params={"n_wires": 4, "seed": 7},
+        full_params={"n_wires": 8, "seed": 7, "region": 16.0 * UM},
+        size_params=("n_wires",),
+        tags=(NEW_GEOMETRY_TAG,),
+    ),
+    _workload(
+        "comb_bus_hybrid",
+        "Interdigitated comb under a perpendicular crossing bus",
+        generators.comb_bus_hybrid,
+        params={"n_fingers": 2, "n_bus": 1},
+        full_params={"n_fingers": 3, "n_bus": 2},
+        tags=(NEW_GEOMETRY_TAG,),
+    ),
+)
+
+
+def register_stock_workloads() -> None:
+    """Register the stock workload families (idempotent)."""
+    registered = set(available_workloads())
+    for workload in _STOCK_WORKLOADS:
+        if workload.name not in registered:
+            register_workload(workload)

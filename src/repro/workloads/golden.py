@@ -1,0 +1,156 @@
+"""Golden-reference store of the workload registry.
+
+Each workload family owns one JSON file under ``benchmarks/golden/``
+holding the dense reference capacitance matrix of its quick and full
+instances, computed by the reference backend (``pwc-dense`` refined to
+:data:`~repro.workloads.catalog.REFERENCE_OPTIONS`).  The accuracy harness
+compares every backend against these committed matrices; refresh them with
+``python -m repro accuracy --update-golden`` after an intentional physics
+or parameter change.
+
+A golden entry records the exact factory parameters it was generated from,
+so the gate detects *stale* goldens (workload parameters changed without a
+refresh) instead of comparing incompatible problems.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.engine.fingerprint import canonicalize, layout_fingerprint
+from repro.engine.registry import get_backend
+from repro.workloads.catalog import REFERENCE_BACKEND, REFERENCE_OPTIONS
+from repro.workloads.registry import Workload
+
+__all__ = [
+    "DEFAULT_GOLDEN_DIR",
+    "golden_path",
+    "load_golden",
+    "golden_entry",
+    "golden_capacitance",
+    "compute_golden_entry",
+    "update_golden",
+]
+
+#: Committed golden-reference directory (resolved from the repository
+#: layout: ``src/repro/workloads/golden.py`` -> repo root -> benchmarks).
+DEFAULT_GOLDEN_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "golden"
+
+_MODES = ("quick", "full")
+
+
+def golden_path(name: str, golden_dir: str | Path | None = None) -> Path:
+    """The JSON file owning the golden references of one workload family."""
+    directory = Path(golden_dir) if golden_dir is not None else DEFAULT_GOLDEN_DIR
+    return directory / f"{name}.json"
+
+
+def load_golden(name: str, golden_dir: str | Path | None = None) -> dict | None:
+    """Load a family's golden document, or ``None`` when absent."""
+    path = golden_path(name, golden_dir)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def golden_entry(
+    workload: Workload,
+    quick: bool = True,
+    golden_dir: str | Path | None = None,
+) -> dict:
+    """The golden entry of one workload mode, validated for staleness.
+
+    Raises
+    ------
+    FileNotFoundError
+        When the family has no golden file, or the file lacks the mode.
+    ValueError
+        When the stored parameters differ from the workload's current
+        parameters (the golden is stale and must be refreshed).
+    """
+    mode = "quick" if quick else "full"
+    document = load_golden(workload.name, golden_dir)
+    path = golden_path(workload.name, golden_dir)
+    if document is None or mode not in document.get("modes", {}):
+        raise FileNotFoundError(
+            f"no golden reference for workload {workload.name!r} ({mode}) at "
+            f"{path}; generate it with `python -m repro accuracy --update-golden`"
+        )
+    entry = document["modes"][mode]
+    expected = canonicalize(workload.params_for(full=not quick))
+    if entry.get("params") != expected:
+        raise ValueError(
+            f"golden reference for workload {workload.name!r} ({mode}) is stale: "
+            f"stored params {entry.get('params')} != current {expected}; refresh "
+            "with `python -m repro accuracy --update-golden`"
+        )
+    # The explicit-params check misses changes to a generator's *defaults*;
+    # the geometry fingerprint of the rebuilt layout catches those too.
+    fingerprint = layout_fingerprint(workload.layout(full=not quick))
+    if entry.get("layout_fingerprint") != fingerprint:
+        raise ValueError(
+            f"golden reference for workload {workload.name!r} ({mode}) is stale: "
+            f"the workload geometry changed (layout fingerprint mismatch); refresh "
+            "with `python -m repro accuracy --update-golden`"
+        )
+    return entry
+
+
+def golden_capacitance(entry: dict) -> np.ndarray:
+    """The reference capacitance matrix of a golden entry, in farad."""
+    return np.asarray(entry["capacitance_farad"], dtype=float)
+
+
+def compute_golden_entry(workload: Workload, quick: bool = True) -> dict:
+    """Extract one workload mode with the reference backend.
+
+    The reference mesh is the harness-wide :data:`REFERENCE_OPTIONS`
+    overlaid with the family's ``reference_options``.
+    """
+    layout = workload.layout(full=not quick)
+    layout.validate()
+    options = {**REFERENCE_OPTIONS, **workload.reference_options}
+    result = get_backend(REFERENCE_BACKEND).extract(layout, **options)
+    return {
+        "params": canonicalize(workload.params_for(full=not quick)),
+        "layout_fingerprint": layout_fingerprint(layout),
+        "conductor_names": list(result.conductor_names),
+        "num_unknowns": int(result.num_unknowns),
+        "capacitance_farad": result.capacitance.tolist(),
+    }
+
+
+def update_golden(
+    workload: Workload,
+    golden_dir: str | Path | None = None,
+    modes: tuple[str, ...] = _MODES,
+) -> Path:
+    """(Re)compute and write the golden references of one family.
+
+    Only the requested ``modes`` are recomputed; the other mode's existing
+    entry (if any) is preserved, so a quick-only refresh does not drop the
+    committed full reference.
+    """
+    unknown = set(modes) - set(_MODES)
+    if unknown:
+        raise ValueError(f"unknown golden modes {sorted(unknown)}; expected {_MODES}")
+    path = golden_path(workload.name, golden_dir)
+    existing = load_golden(workload.name, golden_dir) or {}
+    entries: dict[str, Any] = dict(existing.get("modes", {}))
+    for mode in modes:
+        entries[mode] = compute_golden_entry(workload, quick=(mode == "quick"))
+    document = {
+        "workload": workload.name,
+        "reference_backend": REFERENCE_BACKEND,
+        "reference_options": canonicalize(
+            {**REFERENCE_OPTIONS, **workload.reference_options}
+        ),
+        "modes": {mode: entries[mode] for mode in sorted(entries)},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,81 @@
+"""Tests of the capacitance-comparison utilities (``repro.engine.compare``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import align_capacitance, compare_capacitance
+
+REFERENCE = np.array([[2.0, -1.0], [-1.0, 2.0]])
+
+
+class TestCompareCapacitance:
+    def test_identical_matrices_have_zero_error(self):
+        comparison = compare_capacitance(REFERENCE, REFERENCE)
+        assert comparison.frobenius_relative_error == 0.0
+        assert comparison.max_entry_relative_error == 0.0
+        assert comparison.max_abs_error_farad == 0.0
+
+    def test_uniform_scaling_gives_exact_relative_error(self):
+        comparison = compare_capacitance(1.1 * REFERENCE, REFERENCE)
+        assert comparison.frobenius_relative_error == pytest.approx(0.1)
+        assert comparison.max_entry_relative_error == pytest.approx(0.1)
+
+    def test_insignificant_entries_excluded_from_entry_metric(self):
+        reference = np.array([[1.0, 1e-9], [1e-9, 1.0]])
+        candidate = reference.copy()
+        candidate[0, 1] = 2e-9  # 100% off, but insignificant
+        comparison = compare_capacitance(candidate, reference, significance=1e-3)
+        assert comparison.max_entry_relative_error == 0.0
+        assert comparison.frobenius_relative_error < 1e-8
+
+    def test_alignment_by_conductor_names(self):
+        permuted = REFERENCE[np.ix_([1, 0], [1, 0])] + np.array([[0.5, 0], [0, 0]])
+        comparison = compare_capacitance(
+            permuted, REFERENCE, names=["b", "a"], reference_names=["a", "b"]
+        )
+        # After alignment only the (b, b) entry differs.
+        assert comparison.max_abs_error_farad == pytest.approx(0.5)
+
+    def test_mismatched_name_sets_rejected(self):
+        with pytest.raises(ValueError, match="conductor sets differ"):
+            compare_capacitance(
+                REFERENCE, REFERENCE, names=["a", "b"], reference_names=["a", "c"]
+            )
+
+    def test_one_sided_names_rejected(self):
+        with pytest.raises(ValueError, match="both names"):
+            compare_capacitance(REFERENCE, REFERENCE, names=["a", "b"])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            compare_capacitance(np.eye(3), REFERENCE)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError, match="all zeros"):
+            compare_capacitance(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_significance_bounds_enforced(self):
+        with pytest.raises(ValueError, match="significance"):
+            compare_capacitance(REFERENCE, REFERENCE, significance=1.5)
+
+    def test_as_dict_roundtrip(self):
+        payload = compare_capacitance(1.05 * REFERENCE, REFERENCE).as_dict()
+        assert payload["frobenius_relative_error"] == pytest.approx(0.05)
+        assert payload["significance"] == pytest.approx(1e-3)
+
+
+class TestAlignCapacitance:
+    def test_identity_when_orders_match(self):
+        aligned = align_capacitance(REFERENCE, ["a", "b"], ["a", "b"])
+        np.testing.assert_array_equal(aligned, REFERENCE)
+
+    def test_permutation(self):
+        matrix = np.array([[1.0, 2.0], [3.0, 4.0]])
+        aligned = align_capacitance(matrix, ["b", "a"], ["a", "b"])
+        np.testing.assert_array_equal(aligned, np.array([[4.0, 3.0], [2.0, 1.0]]))
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError, match="conductor sets differ"):
+            align_capacitance(REFERENCE, ["a", "b"], ["a", "x"])

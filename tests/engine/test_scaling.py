@@ -9,6 +9,7 @@ import pytest
 from repro.engine.cli import main
 from repro.engine.scaling import (
     SCALING_BACKENDS,
+    SWEEP_WORKLOAD,
     run_compress_bench,
     run_scaling_bench,
     write_compress_json,
@@ -62,6 +63,17 @@ class TestRunScalingBench:
             run_scaling_bench(worker_counts=(0, 2), sizes=(2,))
         with pytest.raises(ValueError, match="bus sizes"):
             run_scaling_bench(worker_counts=(1, 2), sizes=(0,))
+
+    def test_sweep_consumes_the_workload_registry(self, quick_report):
+        # The ad-hoc layout builder is retired: the sweeps size the
+        # registered bus_crossing family through its size knob.
+        from repro.workloads import get_workload
+
+        workload = get_workload(SWEEP_WORKLOAD)
+        assert workload.size_params  # the sweep needs a size knob
+        layout = workload.sized_layout(2)
+        entry = quick_report.data["backends"]["galerkin-shared"]["bus2x2"]
+        assert entry["num_conductors"] == layout.num_conductors
 
 
 class TestWriteScalingJson:

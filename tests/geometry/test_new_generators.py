@@ -1,0 +1,162 @@
+"""Edge-case tests of the generators behind the new workload families.
+
+Covers the ``_require_positive`` rejection paths, degenerate comb/bus
+parameters and the seeded-random reproducibility contract the golden
+references depend on (same seed -> identical panels).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import find_crossings, generators
+from repro.geometry.generators import _require_positive
+
+UM = generators.UM
+
+
+def _panel_signature(layout):
+    """A hashable description of every surface panel of a layout."""
+    return [
+        (p.conductor, p.normal_axis, p.outward, p.offset, p.u_range, p.v_range)
+        for p in layout.surface_panels()
+    ]
+
+
+class TestRequirePositive:
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf"), -math.inf])
+    def test_rejects_non_positive_and_non_finite(self, bad):
+        with pytest.raises(ValueError, match="knob must be a positive finite number"):
+            _require_positive(knob=bad)
+
+    def test_accepts_positive_finite(self):
+        _require_positive(a=1.0, b=1e-9)  # no exception
+
+    def test_names_the_offending_parameter(self):
+        with pytest.raises(ValueError, match="spacing"):
+            generators.wire_array(spacing=0.0)
+
+
+class TestDegenerateCombAndBus:
+    def test_comb_needs_two_fingers(self):
+        with pytest.raises(ValueError, match="at least 2 fingers"):
+            generators.comb_capacitor(n_fingers=1)
+
+    @pytest.mark.parametrize("kwargs", [{"n_lower": 0}, {"n_upper": -1}])
+    def test_bus_needs_positive_counts(self, kwargs):
+        with pytest.raises(ValueError, match=">= 1"):
+            generators.bus_crossing(**kwargs)
+
+    @pytest.mark.parametrize(
+        "name", ["width", "spacing", "thickness", "separation", "margin"]
+    )
+    def test_bus_rejects_non_positive_dimensions(self, name):
+        with pytest.raises(ValueError, match=name):
+            generators.bus_crossing(**{name: 0.0})
+
+    def test_comb_bus_hybrid_needs_a_bus_wire(self):
+        with pytest.raises(ValueError, match="at least one bus wire"):
+            generators.comb_bus_hybrid(n_bus=0)
+
+    def test_comb_bus_hybrid_propagates_comb_degeneracy(self):
+        with pytest.raises(ValueError, match="at least 2 fingers"):
+            generators.comb_bus_hybrid(n_fingers=1)
+
+
+class TestViaStack:
+    def test_structure(self):
+        layout = generators.via_stack(n_stacks=3)
+        layout.validate()
+        assert layout.names == ["rail", "stack_0", "stack_1", "stack_2"]
+        # Every pillar crosses the rail vertically (each of its three
+        # stacked boxes overlaps the rail in plan view).
+        crossings = find_crossings(layout)
+        assert {c.upper for c in crossings if c.lower == 0} == {1, 2, 3}
+
+    def test_buried_faces_removed(self):
+        layout = generators.via_stack(n_stacks=1)
+        stack = layout.conductors[1]
+        # Three stacked boxes expose fewer than 3 x 6 faces: the pad/via
+        # interfaces are interior.
+        assert len(stack.boxes) == 3
+        assert len(stack.surface_panels()) < 18
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="at least one via stack"):
+            generators.via_stack(n_stacks=0)
+        with pytest.raises(ValueError, match="must not exceed pad_side"):
+            generators.via_stack(via_side=2.0 * UM, pad_side=1.0 * UM)
+        with pytest.raises(ValueError, match="rail_gap"):
+            generators.via_stack(rail_gap=-1.0)
+
+
+class TestGuardRing:
+    def test_structure(self):
+        layout = generators.guard_ring()
+        layout.validate()
+        assert layout.names == ["victim", "guard", "aggressor"]
+        victim_bb = layout.conductors[0].bounding_box
+        guard_bb = layout.conductors[1].bounding_box
+        # The ring encloses the victim in plan view.
+        assert guard_bb.lo[0] < victim_bb.lo[0] and guard_bb.hi[0] > victim_bb.hi[0]
+        assert guard_bb.lo[1] < victim_bb.lo[1] and guard_bb.hi[1] > victim_bb.hi[1]
+
+    def test_ring_is_four_touching_boxes(self):
+        guard = generators.guard_ring().conductors[1]
+        assert len(guard.boxes) == 4
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="ring_clearance"):
+            generators.guard_ring(ring_clearance=0.0)
+        with pytest.raises(ValueError, match="aggressor_clearance"):
+            generators.guard_ring(aggressor_clearance=float("nan"))
+
+
+class TestRandomManhattan:
+    def test_same_seed_identical_panels(self):
+        first = generators.random_manhattan(n_wires=6, seed=42)
+        second = generators.random_manhattan(n_wires=6, seed=42)
+        assert _panel_signature(first) == _panel_signature(second)
+
+    def test_different_seed_differs(self):
+        base = generators.random_manhattan(n_wires=6, seed=42)
+        other = generators.random_manhattan(n_wires=6, seed=43)
+        assert _panel_signature(base) != _panel_signature(other)
+
+    @pytest.mark.parametrize("seed", [0, 7, 12345])
+    def test_layouts_are_always_valid(self, seed):
+        layout = generators.random_manhattan(n_wires=6, seed=seed)
+        layout.validate()
+        assert layout.num_conductors == 6
+        assert layout.names == [f"net_{i}" for i in range(6)]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="at least two wires"):
+            generators.random_manhattan(n_wires=1)
+        with pytest.raises(ValueError, match="tracks"):
+            generators.random_manhattan(n_wires=40, region=6.0 * UM)
+        with pytest.raises(ValueError, match="min_length_fraction"):
+            generators.random_manhattan(min_length_fraction=1.5)
+        with pytest.raises(ValueError, match="region"):
+            generators.random_manhattan(region=-1.0)
+
+
+class TestCombBusHybrid:
+    def test_structure(self):
+        layout = generators.comb_bus_hybrid(n_fingers=2, n_bus=2)
+        layout.validate()
+        assert layout.names == ["comb_a", "comb_b", "bus_0", "bus_1"]
+        # Each bus wire crosses the comb layer below it.
+        crossings = find_crossings(layout)
+        assert len(crossings) >= 2
+        bus_indices = {layout.conductor_index("bus_0"), layout.conductor_index("bus_1")}
+        assert all(c.upper in bus_indices for c in crossings)
+
+    def test_bus_spans_the_comb(self):
+        layout = generators.comb_bus_hybrid(n_fingers=3, n_bus=1)
+        comb_bb = layout.conductors[0].bounding_box
+        bus_bb = layout.conductors[-1].bounding_box
+        assert bus_bb.lo[1] < comb_bb.lo[1]
+        assert bus_bb.lo[2] > comb_bb.hi[2]  # strictly above the comb layer

@@ -1,0 +1,222 @@
+"""Tests of the golden store and the accuracy harness."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.cli import main
+from repro.workloads import (
+    get_workload,
+    golden_capacitance,
+    golden_entry,
+    golden_path,
+    load_golden,
+    run_accuracy_suite,
+    update_golden,
+    write_accuracy_json,
+)
+
+WORKLOAD = "crossing_wires"
+BACKENDS = ["pwc-dense", "instantiable"]
+
+
+@pytest.fixture(scope="module")
+def golden_dir(tmp_path_factory):
+    """A temporary golden store holding the quick crossing-wires reference."""
+    directory = tmp_path_factory.mktemp("golden")
+    update_golden(get_workload(WORKLOAD), golden_dir=directory, modes=("quick",))
+    return directory
+
+
+class TestGoldenStore:
+    def test_update_writes_document(self, golden_dir):
+        path = golden_path(WORKLOAD, golden_dir)
+        assert path.exists()
+        document = load_golden(WORKLOAD, golden_dir)
+        assert document["workload"] == WORKLOAD
+        assert document["reference_backend"] == "pwc-dense"
+        assert set(document["modes"]) == {"quick"}
+
+    def test_entry_roundtrip(self, golden_dir):
+        entry = golden_entry(get_workload(WORKLOAD), quick=True, golden_dir=golden_dir)
+        matrix = golden_capacitance(entry)
+        assert matrix.shape == (2, 2)
+        assert entry["conductor_names"] == ["source", "target"]
+        assert entry["num_unknowns"] > 0
+        # Short-circuit capacitance matrices are diagonally dominant with
+        # negative couplings.
+        assert matrix[0, 0] > 0.0 and matrix[0, 1] < 0.0
+
+    def test_missing_mode_raises(self, golden_dir):
+        with pytest.raises(FileNotFoundError, match="update-golden"):
+            golden_entry(get_workload(WORKLOAD), quick=False, golden_dir=golden_dir)
+
+    def test_missing_family_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no golden reference"):
+            golden_entry(get_workload(WORKLOAD), quick=True, golden_dir=tmp_path)
+
+    def test_stale_params_detected(self, golden_dir, tmp_path):
+        # Copy the golden, then tamper with its stored parameters.
+        path = golden_path(WORKLOAD, golden_dir)
+        document = json.loads(path.read_text())
+        document["modes"]["quick"]["params"] = {"separation": 123.0}
+        stale = tmp_path / f"{WORKLOAD}.json"
+        stale.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="stale"):
+            golden_entry(get_workload(WORKLOAD), quick=True, golden_dir=tmp_path)
+
+    def test_changed_generator_defaults_detected(self, golden_dir, tmp_path):
+        # The explicit params of a family can be unchanged while a
+        # generator *default* moved; the stored layout fingerprint
+        # catches that. Simulate by tampering the fingerprint.
+        path = golden_path(WORKLOAD, golden_dir)
+        document = json.loads(path.read_text())
+        document["modes"]["quick"]["layout_fingerprint"] = "0" * 64
+        (tmp_path / f"{WORKLOAD}.json").write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="geometry changed"):
+            golden_entry(get_workload(WORKLOAD), quick=True, golden_dir=tmp_path)
+
+    def test_partial_update_preserves_other_mode(self, tmp_path):
+        workload = get_workload(WORKLOAD)
+        update_golden(workload, golden_dir=tmp_path, modes=("quick",))
+        before = load_golden(WORKLOAD, tmp_path)["modes"]["quick"]
+        # A second quick-only refresh must not drop or alter anything else.
+        update_golden(workload, golden_dir=tmp_path, modes=("quick",))
+        document = load_golden(WORKLOAD, tmp_path)
+        assert set(document["modes"]) == {"quick"}
+        np.testing.assert_allclose(
+            document["modes"]["quick"]["capacitance_farad"],
+            before["capacitance_farad"],
+        )
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown golden modes"):
+            update_golden(get_workload(WORKLOAD), golden_dir=tmp_path, modes=("nightly",))
+
+
+class TestAccuracySuite:
+    def test_suite_passes_against_fresh_goldens(self, golden_dir):
+        report = run_accuracy_suite(
+            quick=True,
+            workloads=[WORKLOAD],
+            backends=BACKENDS,
+            golden_dir=golden_dir,
+        )
+        data = report.data
+        assert data["all_within_tolerance"] is True
+        assert data["failures"] == []
+        assert data["backends"] == BACKENDS
+        records = data["workloads"][WORKLOAD]["backends"]
+        assert set(records) == set(BACKENDS)
+        for record in records.values():
+            assert record["within_tolerance"] is True
+            assert 0.0 <= record["frobenius_relative_error"] <= record["tolerance"]
+        # The reference backend at the reference mesh should be the closest.
+        worst = data["worst"]
+        assert worst["workload"] == WORKLOAD
+        assert "rel error" in report.text and "ok" in report.text
+
+    def test_corrupted_golden_fails_the_gate(self, golden_dir, tmp_path):
+        path = golden_path(WORKLOAD, golden_dir)
+        document = json.loads(path.read_text())
+        matrix = np.asarray(document["modes"]["quick"]["capacitance_farad"])
+        document["modes"]["quick"]["capacitance_farad"] = (matrix * 1.5).tolist()
+        (tmp_path / f"{WORKLOAD}.json").write_text(json.dumps(document))
+        report = run_accuracy_suite(
+            quick=True, workloads=[WORKLOAD], backends=BACKENDS, golden_dir=tmp_path
+        )
+        assert report.data["all_within_tolerance"] is False
+        assert any("exceeds" in failure for failure in report.data["failures"])
+        assert "FAIL" in report.text
+
+    def test_missing_golden_is_a_failure_not_a_crash(self, tmp_path):
+        report = run_accuracy_suite(
+            quick=True, workloads=[WORKLOAD], backends=BACKENDS, golden_dir=tmp_path
+        )
+        assert report.data["all_within_tolerance"] is False
+        assert report.data["workloads"][WORKLOAD]["golden_error"] is not None
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError, match="no workloads"):
+            run_accuracy_suite(workloads=[])
+        with pytest.raises(ValueError, match="no backends"):
+            run_accuracy_suite(workloads=[WORKLOAD], backends=[])
+
+    def test_write_accuracy_json(self, golden_dir, tmp_path):
+        report = run_accuracy_suite(
+            quick=True, workloads=[WORKLOAD], backends=["pwc-dense"], golden_dir=golden_dir
+        )
+        target = write_accuracy_json(report, tmp_path / "BENCH_accuracy.json")
+        payload = json.loads(target.read_text())
+        assert payload["all_within_tolerance"] is True
+        assert payload["num_workloads"] == 1
+
+
+class TestAccuracyCLI:
+    def test_update_then_gate_roundtrip(self, tmp_path, capsys):
+        golden = tmp_path / "golden"
+        exit_code = main(
+            [
+                "accuracy",
+                "--quick",
+                "--update-golden",
+                "--workload",
+                WORKLOAD,
+                "--golden-dir",
+                str(golden),
+            ]
+        )
+        assert exit_code == 0
+        assert "wrote" in capsys.readouterr().out
+        output = tmp_path / "BENCH_accuracy.json"
+        exit_code = main(
+            [
+                "accuracy",
+                "--quick",
+                "--workload",
+                WORKLOAD,
+                "--backend",
+                "pwc-dense",
+                "--backend",
+                "instantiable",
+                "--golden-dir",
+                str(golden),
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        assert output.exists()
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_gate_exits_nonzero_without_goldens(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "accuracy",
+                "--workload",
+                WORKLOAD,
+                "--backend",
+                "pwc-dense",
+                "--golden-dir",
+                str(tmp_path / "empty"),
+                "--output",
+                str(tmp_path / "out.json"),
+            ]
+        )
+        assert exit_code == 1
+        assert "FAILURES" in capsys.readouterr().out
+
+    def test_workloads_subcommand_lists_families(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "guard_ring" in out and "crossing_wires" in out
+        assert main(["workloads", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert any(e["name"] == "random_manhattan" and e["new_geometry"] for e in entries)
+
+    def test_unknown_workload_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no workload named"):
+            main(["accuracy", "--workload", "nope", "--golden-dir", str(tmp_path)])

@@ -1,0 +1,134 @@
+"""Tests of the workload registry and the stock catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import generators
+from repro.geometry.layout import Layout
+from repro.workloads import (
+    Workload,
+    all_workloads,
+    available_workloads,
+    get_workload,
+    register_workload,
+    unregister_workload,
+)
+
+EXPECTED_FAMILIES = {
+    "crossing_wires",
+    "bus_crossing",
+    "transistor_interconnect",
+    "parallel_plates",
+    "plate_over_ground",
+    "single_plate",
+    "comb_capacitor",
+    "wire_array",
+    "via_stack",
+    "guard_ring",
+    "random_manhattan",
+    "comb_bus_hybrid",
+}
+
+
+class TestStockCatalog:
+    def test_at_least_eight_families_three_new(self):
+        families = all_workloads()
+        assert len(families) >= 8
+        assert sum(1 for w in families if w.is_new_geometry) >= 3
+
+    def test_expected_families_registered(self):
+        assert EXPECTED_FAMILIES <= set(available_workloads())
+
+    def test_every_family_builds_a_valid_quick_layout(self):
+        for workload in all_workloads():
+            layout = workload.layout()
+            assert isinstance(layout, Layout)
+            layout.validate()
+            assert layout.num_conductors >= 1
+
+    def test_full_params_merge_over_quick(self):
+        bus = get_workload("bus_crossing")
+        assert bus.params_for(full=False)["n_lower"] == 2
+        assert bus.params_for(full=True)["n_lower"] == 4
+        quick = bus.layout()
+        full = bus.layout(full=True)
+        assert full.num_conductors > quick.num_conductors
+
+    def test_sized_layout_scales_the_size_knob(self):
+        bus = get_workload("bus_crossing")
+        assert bus.sized_layout(3).num_conductors == 6
+        assert bus.sized_layout(5).num_conductors == 10
+
+    def test_sized_layout_rejects_bad_sizes(self):
+        bus = get_workload("bus_crossing")
+        with pytest.raises(ValueError, match=">= 1"):
+            bus.sized_layout(0)
+
+    def test_sized_layout_requires_a_size_knob(self):
+        with pytest.raises(ValueError, match="size knob"):
+            get_workload("crossing_wires").sized_layout(3)
+
+    def test_tolerances_and_options(self):
+        wires = get_workload("crossing_wires")
+        assert wires.tolerance_for("fastcap") == pytest.approx(0.15)
+        assert wires.tolerance_for("pwc-dense") == pytest.approx(wires.default_tolerance)
+        assert wires.options_for("pwc-dense") == {"cells_per_edge": 2}
+        assert wires.options_for("no-such-backend") == {}
+
+    def test_new_geometry_tagging(self):
+        assert get_workload("guard_ring").is_new_geometry
+        assert not get_workload("crossing_wires").is_new_geometry
+
+
+class TestRegistry:
+    def _workload(self, name: str = "test-family") -> Workload:
+        return Workload(
+            name=name,
+            description="test family",
+            factory=generators.crossing_wires,
+        )
+
+    def test_register_and_get(self):
+        workload = self._workload()
+        try:
+            register_workload(workload)
+            assert get_workload("test-family") is workload
+            assert "test-family" in available_workloads()
+        finally:
+            unregister_workload("test-family")
+        assert "test-family" not in available_workloads()
+
+    def test_duplicate_registration_rejected(self):
+        workload = self._workload()
+        try:
+            register_workload(workload)
+            with pytest.raises(ValueError, match="already registered"):
+                register_workload(self._workload())
+            register_workload(self._workload(), replace=True)  # explicit replace ok
+        finally:
+            unregister_workload("test-family")
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="available workloads"):
+            get_workload("no-such-family")
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Workload(name="", description="", factory=generators.crossing_wires)
+        with pytest.raises(ValueError, match="callable"):
+            Workload(name="x", description="", factory="not-callable")  # type: ignore[arg-type]
+        with pytest.raises(ValueError, match="default_tolerance"):
+            Workload(
+                name="x",
+                description="",
+                factory=generators.crossing_wires,
+                default_tolerance=0.0,
+            )
+        with pytest.raises(ValueError, match="tolerance for backend"):
+            Workload(
+                name="x",
+                description="",
+                factory=generators.crossing_wires,
+                backend_tolerances={"fastcap": -1.0},
+            )
