@@ -54,6 +54,17 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
 SCALING_BACKENDS = ("galerkin-shared", "galerkin-distributed")
 
 
+def _total_seconds(entry) -> float | None:
+    """The numeric ``total_seconds`` of a benchmark entry, or None if malformed."""
+    if not isinstance(entry, dict):
+        return None
+    value = entry.get("total_seconds")
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
 def compare_backends(
     baseline_totals: dict,
     current_backends: dict,
@@ -67,6 +78,8 @@ def compare_backends(
     A backend regresses when ``total > baseline * (1 + threshold) + floor``.
     A backend on either side only (dropped from the bench, or added without
     refreshing the baseline) also fails: new backends must enter the gate.
+    Malformed entries (no numeric ``total_seconds`` on either side) fail
+    with an explicit message instead of crashing the gate with a KeyError.
     """
     failures = []
     for name, base_total in sorted(baseline_totals.items()):
@@ -74,7 +87,21 @@ def compare_backends(
         if entry is None:
             failures.append(f"backend {name!r} is missing from the current benchmark")
             continue
-        total = float(entry["total_seconds"])
+        total = _total_seconds(entry)
+        if total is None:
+            failures.append(
+                f"backend {name!r} entry in the current benchmark is malformed: "
+                "no numeric 'total_seconds' field"
+            )
+            continue
+        try:
+            base_total = float(base_total)
+        except (TypeError, ValueError):
+            failures.append(
+                f"backend {name!r} baseline entry is malformed "
+                f"({base_total!r}); refresh with --update-baseline"
+            )
+            continue
         allowed = float(base_total) * (1.0 + threshold) + floor_seconds
         if total > allowed:
             failures.append(
@@ -133,7 +160,11 @@ def write_summary(
     for name in sorted(set(baseline_totals) | set(current_backends)):
         base = baseline_totals.get(name)
         entry = current_backends.get(name)
-        total = float(entry["total_seconds"]) if entry is not None else None
+        total = _total_seconds(entry)
+        try:
+            base = float(base) if base is not None else None
+        except (TypeError, ValueError):
+            base = None
         if base is None or total is None:
             status = "❌ FAIL"
             allowed_text = "-"
@@ -248,6 +279,17 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     baseline = _load(args.baseline, "baseline")
+    baseline_backends = baseline.get("backends")
+    if not isinstance(baseline_backends, dict) or not baseline_backends:
+        # A baseline without a backends section would otherwise flag every
+        # backend as "new", burying the real problem; fail it explicitly.
+        message = (
+            f"baseline at {args.baseline} is malformed: missing or empty "
+            "'backends' section; refresh with "
+            "`python benchmarks/check_regression.py --update-baseline`"
+        )
+        append_step_summary(["## Perf-regression gate: FAILED ❌", "", message])
+        raise SystemExit(f"error: {message}")
     threshold = (
         args.threshold
         if args.threshold is not None
@@ -273,9 +315,11 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     for name, entry in sorted(current_backends.items()):
-        base = baseline.get("backends", {}).get(name)
+        base = baseline_backends.get(name)
         base_text = f"{float(base):.3f} s baseline" if base is not None else "no baseline"
-        print(f"  {name:<22} {float(entry['total_seconds']):.3f} s  ({base_text})")
+        total = _total_seconds(entry)
+        total_text = f"{total:.3f} s" if total is not None else "malformed"
+        print(f"  {name:<22} {total_text}  ({base_text})")
     if failures:
         print("\nperf-regression gate FAILED:")
         for failure in failures:

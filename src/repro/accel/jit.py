@@ -1,0 +1,192 @@
+"""Optional numba JIT compilations of the innermost kernel closed forms.
+
+The batched kernel core (:mod:`repro.greens.batched`) evaluates the corner
+function of the collocation integral and the 4-fold antiderivative of the
+parallel-panel Galerkin integral over large flat arrays.  Both are
+transcendental-heavy, so when :mod:`numba` is available they can be compiled
+to machine code; when it is not, the pure-NumPy closed forms are used and
+nothing changes.  The selection is explicit and graceful:
+
+* ``use_numba=None`` (the default everywhere) consults the
+  ``REPRO_NUMBA`` environment variable (``1``/``true`` enables the JIT
+  path) and falls back to NumPy when numba is missing;
+* ``use_numba=True`` requests the JIT path and *warns once* (then degrades
+  to NumPy) when numba is not importable, so a flag typo or a slim
+  container never breaks an extraction;
+* ``use_numba=False`` always uses NumPy.
+
+The compiled kernels reproduce the guard logic of
+:func:`repro.greens.collocation.collocation_corner` and
+:func:`repro.greens.indefinite.indefinite_integral` term by term; their
+agreement (to round-off) with the NumPy forms is asserted in
+``tests/accel/test_jit.py`` (skipped when numba is unavailable).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import warnings
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "resolve_use_numba",
+    "select_kernels",
+    "jit_collocation_from_deltas",
+    "jit_indefinite_integral",
+]
+
+try:  # pragma: no cover - exercised only on the numba CI leg
+    import numba
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the default container has no numba
+    numba = None  # type: ignore[assignment]
+    NUMBA_AVAILABLE = False
+
+_TINY = 1e-300
+_WARNED = False
+
+
+def resolve_use_numba(use_numba: bool | None) -> bool:
+    """Resolve the three-state numba flag against availability.
+
+    ``None`` defers to the ``REPRO_NUMBA`` environment variable; an explicit
+    ``True`` without numba installed warns once and degrades to ``False``.
+    """
+    global _WARNED
+    if use_numba is None:
+        use_numba = os.environ.get("REPRO_NUMBA", "").lower() in ("1", "true", "yes")
+        if use_numba and not NUMBA_AVAILABLE:
+            return False
+    if use_numba and not NUMBA_AVAILABLE:
+        if not _WARNED:
+            warnings.warn(
+                "use_numba=True requested but numba is not installed; "
+                "falling back to the NumPy kernel core",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _WARNED = True
+        return False
+    return bool(use_numba)
+
+
+# ----------------------------------------------------------------------
+# Compiled kernels (defined only when numba imports).
+# ----------------------------------------------------------------------
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only on the numba CI leg
+
+    @numba.njit(cache=True)
+    def _corner_scalar(a: float, b: float, c: float) -> float:
+        den_a = math.sqrt(a * a + c * c)
+        den_b = math.sqrt(b * b + c * c)
+        if den_a == 0.0 and den_b == 0.0:
+            return 0.0
+        r = math.sqrt(a * a + b * b + c * c)
+        term_a = a * math.asinh(b / max(den_a, _TINY))
+        term_b = b * math.asinh(a / max(den_b, _TINY))
+        if c == 0.0:
+            term_c = 0.0
+        else:
+            term_c = -c * math.atan(a * b / (c * r))
+        return term_a + term_b + term_c
+
+    @numba.njit(cache=True)
+    def _collocation_from_deltas_flat(a1, a2, b1, b2, c, out):
+        for k in range(out.size):
+            out[k] = (
+                _corner_scalar(a1[k], b1[k], c[k])
+                - _corner_scalar(a2[k], b1[k], c[k])
+                - _corner_scalar(a1[k], b2[k], c[k])
+                + _corner_scalar(a2[k], b2[k], c[k])
+            )
+
+    @numba.njit(cache=True)
+    def _indefinite_flat(a, b, c, out):
+        for k in range(out.size):
+            ak = a[k]
+            bk = b[k]
+            ck = abs(c[k])
+            r = math.sqrt(ak * ak + bk * bk + ck * ck)
+            pref_a = bk * bk - ck * ck
+            pref_b = ak * ak - ck * ck
+            if pref_a * ak == 0.0:
+                term_log_a = 0.0
+            else:
+                term_log_a = 0.5 * ak * pref_a * math.log(max(ak + r, _TINY))
+            if pref_b * bk == 0.0:
+                term_log_b = 0.0
+            else:
+                term_log_b = 0.5 * bk * pref_b * math.log(max(bk + r, _TINY))
+            term_r = 0.5 * ck * ck * r - (r * r * r) / 6.0
+            if ck == 0.0 or ak * bk == 0.0:
+                term_atan = 0.0
+            else:
+                # max() covers subnormal ck where ck * ck underflows and a
+                # touching corner makes r (hence ck * r) exactly 0.
+                term_atan = -ak * bk * ck * math.atan(ak * bk / max(ck * r, _TINY))
+            out[k] = term_log_a + term_log_b + term_r + term_atan
+
+    def jit_collocation_from_deltas(a1, a2, b1, b2, c) -> np.ndarray:
+        """JIT-compiled definite rectangle potential (drop-in for the NumPy form)."""
+        a1, a2, b1, b2, c = np.broadcast_arrays(
+            np.asarray(a1, dtype=float),
+            np.asarray(a2, dtype=float),
+            np.asarray(b1, dtype=float),
+            np.asarray(b2, dtype=float),
+            np.asarray(c, dtype=float),
+        )
+        out = np.empty(a1.size)
+        _collocation_from_deltas_flat(
+            np.ascontiguousarray(a1).ravel(),
+            np.ascontiguousarray(a2).ravel(),
+            np.ascontiguousarray(b1).ravel(),
+            np.ascontiguousarray(b2).ravel(),
+            np.ascontiguousarray(c).ravel(),
+            out,
+        )
+        return out.reshape(a1.shape)
+
+    def jit_indefinite_integral(a, b, c) -> np.ndarray:
+        """JIT-compiled 4-fold antiderivative (drop-in for the NumPy form)."""
+        a, b, c = np.broadcast_arrays(
+            np.asarray(a, dtype=float),
+            np.asarray(b, dtype=float),
+            np.asarray(c, dtype=float),
+        )
+        out = np.empty(a.size)
+        _indefinite_flat(
+            np.ascontiguousarray(a).ravel(),
+            np.ascontiguousarray(b).ravel(),
+            np.ascontiguousarray(c).ravel(),
+            out,
+        )
+        return out.reshape(a.shape)
+
+else:
+    # Placeholders keep the module importable; callers must gate on
+    # NUMBA_AVAILABLE (resolve_use_numba does) before using these.
+    def jit_collocation_from_deltas(a1, a2, b1, b2, c) -> np.ndarray:
+        raise RuntimeError("numba is not available; gate on NUMBA_AVAILABLE")
+
+    def jit_indefinite_integral(a, b, c) -> np.ndarray:
+        raise RuntimeError("numba is not available; gate on NUMBA_AVAILABLE")
+
+
+def select_kernels(use_numba: bool | None) -> tuple[Callable, Callable, bool]:
+    """Return ``(collocation_from_deltas, indefinite_integral, jit_active)``.
+
+    The resolved pair of kernel implementations for a requested numba flag:
+    the JIT-compiled versions when numba is available and requested, the
+    NumPy closed forms otherwise.
+    """
+    from repro.greens.collocation import collocation_from_deltas
+    from repro.greens.indefinite import indefinite_integral
+
+    if resolve_use_numba(use_numba):  # pragma: no cover - numba CI leg only
+        return jit_collocation_from_deltas, jit_indefinite_integral, True
+    return collocation_from_deltas, indefinite_integral, False

@@ -4,18 +4,23 @@ The per-pair reference assembler (:mod:`repro.assembly.serial`) evaluates one
 template pair at a time, which is faithful to Algorithm 1 but slow in pure
 Python.  This module performs the *same* computation -- the same
 approximation-distance decisions, the same closed forms, the same
-condensation -- but groups the template pairs of a partition into numpy
-batches by evaluation category:
+condensation -- but evaluates the template pairs of a partition through the
+batched kernel core (:class:`repro.greens.batched.BatchedKernelCore`), which
+groups them into numpy batches by evaluation category:
 
 * ``point``        -- monopole reduction (far pairs),
 * ``collocation``  -- midpoint-rule reduction,
 * ``parallel``     -- exact 16-corner closed form (parallel panels),
 * ``orthogonal``   -- outer Gauss quadrature over the inner closed form,
-* ``profiled``     -- pairs involving arch templates (delegated per pair to
-  the reference integrator; they are a small fraction of all pairs).
+* ``profiled``     -- pairs involving arch templates (batched tensor-Gauss
+  quadrature with vectorised arch weights; non-arch shaped templates fall
+  back per pair to the reference integrator).
 
-Equivalence with the reference assembler is asserted (to floating-point
-round-off) in ``tests/assembly/test_batch_equivalence.py``.
+Every engine backend flows through this assembler (directly, through the
+shared/distributed parallel flows, or through the compression entry oracle),
+so they all share the one kernel core.  Equivalence with the reference
+assembler is asserted (to floating-point round-off) in
+``tests/assembly/test_batch_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -27,11 +32,8 @@ import numpy as np
 
 from repro.assembly.mapping import TemplateArrays, triangular_index_to_pair
 from repro.basis.functions import BasisSet
-from repro.greens.collocation import collocation_from_deltas
-from repro.greens.galerkin import GalerkinIntegrator
-from repro.greens.indefinite import indefinite_integral
+from repro.greens.batched import BatchedKernelCore
 from repro.greens.policy import ApproximationPolicy
-from repro.greens.quadrature import gauss_legendre
 
 __all__ = ["ChunkResult", "BatchGalerkinAssembler", "symmetrize_upper"]
 
@@ -45,11 +47,6 @@ def symmetrize_upper(upper: np.ndarray) -> np.ndarray:
     """
     upper = np.asarray(upper, dtype=float)
     return upper + upper.T - np.diag(np.diag(upper))
-
-
-def _count(counts: dict[str, int], category: str, mask: np.ndarray) -> None:
-    """Accumulate the pair count of one evaluation category."""
-    counts[category] = counts.get(category, 0) + int(np.count_nonzero(mask))
 
 
 @dataclass
@@ -94,7 +91,8 @@ class BatchGalerkinAssembler:
 
     Parameters mirror :class:`~repro.assembly.serial.SerialAssembler`; the
     additional ``batch_size`` bounds the temporary memory used per numpy
-    batch.
+    batch, and ``near_field`` / ``use_numba`` select the optional kernel-core
+    acceleration layers (see :class:`repro.greens.batched.BatchedKernelCore`).
     """
 
     def __init__(
@@ -106,31 +104,32 @@ class BatchGalerkinAssembler:
         order_near: int = 6,
         order_far: int = 3,
         batch_size: int = 200_000,
+        near_field: str = "exact",
+        use_numba: bool | None = None,
     ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.basis_set = basis_set
-        self.arrays = TemplateArrays.from_basis_set(basis_set)
-        self.permittivity = float(permittivity)
-        self.policy = policy if policy is not None else ApproximationPolicy()
-        self.collocation_fn = (
-            collocation_fn if collocation_fn is not None else collocation_from_deltas
-        )
-        self.order_near = int(order_near)
-        self.order_far = int(order_far)
-        self.batch_size = int(batch_size)
-        # The per-pair fallback integrator shares every numerical choice so
-        # the profiled pairs are bit-identical with the reference assembler.
-        self.integrator = GalerkinIntegrator(
-            permittivity,
-            policy=self.policy,
-            collocation_fn=self.collocation_fn,
+        self.core = BatchedKernelCore(
+            arrays=TemplateArrays.from_basis_set(basis_set),
+            permittivity=permittivity,
+            policy=policy,
+            collocation_fn=collocation_fn,
             order_near=order_near,
             order_far=order_far,
+            near_field=near_field,
+            use_numba=use_numba,
         )
-        u_axis, v_axis = self.arrays.tangential_axes()
-        self._u_axis = u_axis
-        self._v_axis = v_axis
+        self.arrays = self.core.arrays
+        self.permittivity = self.core.permittivity
+        self.policy = self.core.policy
+        self.collocation_fn = self.core.collocation_fn
+        self.order_near = self.core.order_near
+        self.order_far = self.core.order_far
+        self.batch_size = int(batch_size)
+        # The per-pair fallback integrator shares every numerical choice so
+        # the profiled-pair fallback stays bit-identical with the reference.
+        self.integrator = self.core.integrator
 
     # ------------------------------------------------------------------
     @property
@@ -146,7 +145,7 @@ class BatchGalerkinAssembler:
     @property
     def prefactor(self) -> float:
         """``1 / (4 pi eps)``."""
-        return 1.0 / (4.0 * np.pi * self.permittivity)
+        return self.core.prefactor
 
     # ------------------------------------------------------------------
     def assemble(self, out: np.ndarray | None = None) -> np.ndarray:
@@ -241,74 +240,7 @@ class BatchGalerkinAssembler:
         round-off) with per-pair :meth:`GalerkinIntegrator.template_pair`
         calls.
         """
-        i = np.asarray(i, dtype=np.int64)
-        j = np.asarray(j, dtype=np.int64)
-        if counts is None:
-            counts = {}
-        arrays = self.arrays
-        values = np.zeros(i.size)
-
-        centroid_i = arrays.centroid[i]
-        centroid_j = arrays.centroid[j]
-        distance = np.linalg.norm(centroid_i - centroid_j, axis=1)
-        rho_i = 0.5 * arrays.diagonal[i]
-        rho_j = 0.5 * arrays.diagonal[j]
-        rho_max = np.maximum(rho_i, rho_j)
-        rho_min = np.minimum(rho_i, rho_j)
-
-        is_point = distance >= self.policy.point_distance_factor * rho_max
-        is_colloc = (~is_point) & (
-            distance >= self.policy.collocation_distance_factor * rho_min
-        )
-        profiled = arrays.has_profile[i] | arrays.has_profile[j]
-
-        # --- point level (applies to flat and profiled templates alike) ----
-        point_mask = is_point
-        if np.any(point_mask):
-            values[point_mask] = (
-                arrays.moment[i[point_mask]]
-                * arrays.moment[j[point_mask]]
-                / distance[point_mask]
-            )
-            _count(counts, "point", point_mask)
-
-        # --- profiled pairs below the point distance: per-pair fallback ----
-        profiled_near = profiled & ~is_point
-        if np.any(profiled_near):
-            self._profiled_pairs(i[profiled_near], j[profiled_near], values, profiled_near)
-            _count(counts, "profiled", profiled_near)
-
-        flat = ~profiled & ~is_point
-
-        # --- collocation level ---------------------------------------------
-        colloc_mask = flat & is_colloc
-        if np.any(colloc_mask):
-            values[colloc_mask] = self._collocation_level(i[colloc_mask], j[colloc_mask])
-            _count(counts, "collocation", colloc_mask)
-
-        # --- exact level -----------------------------------------------------
-        exact_mask = flat & ~is_colloc
-        if np.any(exact_mask):
-            same_normal = arrays.normal_axis[i] == arrays.normal_axis[j]
-            parallel_mask = exact_mask & same_normal
-            orthogonal_mask = exact_mask & ~same_normal
-            if np.any(parallel_mask):
-                values[parallel_mask] = self._parallel_exact(
-                    i[parallel_mask], j[parallel_mask]
-                )
-                _count(counts, "parallel", parallel_mask)
-            if np.any(orthogonal_mask):
-                values[orthogonal_mask] = self._orthogonal_exact(
-                    i[orthogonal_mask], j[orthogonal_mask]
-                )
-                _count(counts, "orthogonal", orthogonal_mask)
-
-        # --- prefactor -------------------------------------------------------
-        # Profiled near pairs already include the prefactor (the fallback
-        # integrator applies it); every vectorised category does not.
-        needs_prefactor = ~profiled_near
-        values[needs_prefactor] *= self.prefactor
-        return values
+        return self.core.evaluate_pairs(i, j, counts=counts)
 
     def _condense(
         self,
@@ -331,164 +263,3 @@ class BatchGalerkinAssembler:
             # diagonal of P contribute twice.
             doubled = np.where(off_diagonal & (rows == cols), 2.0 * values, values)
             np.add.at(out, (rows, cols), doubled)
-
-    # ------------------------------------------------------------------
-    def _profiled_pairs(
-        self, i: np.ndarray, j: np.ndarray, values: np.ndarray, mask: np.ndarray
-    ) -> None:
-        """Evaluate profiled template pairs one by one with the reference integrator."""
-        templates = self.arrays.templates
-        results = np.empty(i.size)
-        for index, (ti, tj) in enumerate(zip(i, j)):
-            template_i = templates[int(ti)]
-            template_j = templates[int(tj)]
-            results[index] = self.integrator.template_pair(
-                template_i.panel, template_j.panel, template_i.profile, template_j.profile
-            )
-        values[mask] = results
-
-    # ------------------------------------------------------------------
-    def _gather_axis(self, data: np.ndarray, rows: np.ndarray, axis_index: np.ndarray) -> np.ndarray:
-        """Gather ``data[rows, axis_index]`` for per-row axis selections."""
-        return data[rows, axis_index]
-
-    def _collocation_level(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
-        """Midpoint-rule reduction: the smaller panel collapses to its centroid."""
-        arrays = self.arrays
-        smaller_is_i = arrays.diagonal[i] <= arrays.diagonal[j]
-        small = np.where(smaller_is_i, i, j)
-        large = np.where(smaller_is_i, j, i)
-
-        centroid_small = arrays.centroid[small]
-        u_axis = self._u_axis[large]
-        v_axis = self._v_axis[large]
-        normal = arrays.normal_axis[large]
-
-        x = self._gather_axis(centroid_small, np.arange(small.size), u_axis)
-        y = self._gather_axis(centroid_small, np.arange(small.size), v_axis)
-        z = self._gather_axis(centroid_small, np.arange(small.size), normal) - arrays.offset[large]
-
-        u_lo = self._gather_axis(arrays.lo[large], np.arange(large.size), u_axis)
-        u_hi = self._gather_axis(arrays.hi[large], np.arange(large.size), u_axis)
-        v_lo = self._gather_axis(arrays.lo[large], np.arange(large.size), v_axis)
-        v_hi = self._gather_axis(arrays.hi[large], np.arange(large.size), v_axis)
-
-        potential = self.collocation_fn(x - u_lo, x - u_hi, y - v_lo, y - v_hi, z)
-        return arrays.area[small] * potential
-
-    # ------------------------------------------------------------------
-    def _parallel_exact(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
-        """Exact 16-corner closed form for parallel flat panels."""
-        arrays = self.arrays
-        rows = np.arange(i.size)
-        u_axis = self._u_axis[i]
-        v_axis = self._v_axis[i]
-
-        ui = (
-            self._gather_axis(arrays.lo[i], rows, u_axis),
-            self._gather_axis(arrays.hi[i], rows, u_axis),
-        )
-        uj = (
-            self._gather_axis(arrays.lo[j], rows, u_axis),
-            self._gather_axis(arrays.hi[j], rows, u_axis),
-        )
-        vi = (
-            self._gather_axis(arrays.lo[i], rows, v_axis),
-            self._gather_axis(arrays.hi[i], rows, v_axis),
-        )
-        vj = (
-            self._gather_axis(arrays.lo[j], rows, v_axis),
-            self._gather_axis(arrays.hi[j], rows, v_axis),
-        )
-        separation = arrays.offset[i] - arrays.offset[j]
-
-        total = np.zeros(i.size)
-        for p in range(2):
-            for q in range(2):
-                for s in range(2):
-                    for t in range(2):
-                        sign = (-1) ** (p + q + s + t)
-                        total += sign * indefinite_integral(
-                            ui[p] - uj[q], vi[s] - vj[t], separation
-                        )
-        return total
-
-    # ------------------------------------------------------------------
-    def _orthogonal_exact(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
-        """Outer Gauss quadrature over the exact collocation potential."""
-        arrays = self.arrays
-        values = np.empty(i.size)
-
-        # Pick the smaller panel as the quadrature (outer) panel.
-        smaller_is_i = arrays.diagonal[i] <= arrays.diagonal[j]
-        small = np.where(smaller_is_i, i, j)
-        large = np.where(smaller_is_i, j, i)
-
-        # Quadrature order depends on the bounding-box separation, mirroring
-        # GalerkinIntegrator._quadrature_order.
-        gap = np.maximum(0.0, np.maximum(arrays.lo[i] - arrays.hi[j], arrays.lo[j] - arrays.hi[i]))
-        separation = np.linalg.norm(gap, axis=1)
-        scale = np.maximum(arrays.diagonal[i], arrays.diagonal[j])
-        near = separation < scale
-
-        for order, mask in ((self.order_near, near), (self.order_far, ~near)):
-            if np.any(mask):
-                values[mask] = self._orthogonal_quadrature(small[mask], large[mask], order)
-        return values
-
-    def _orthogonal_quadrature(self, small: np.ndarray, large: np.ndarray, order: int) -> np.ndarray:
-        """Tensor Gauss quadrature over ``small`` of the potential of ``large``."""
-        arrays = self.arrays
-        count = small.size
-        rows = np.arange(count)
-        ref_nodes, ref_weights = gauss_legendre(order)
-
-        su_axis = self._u_axis[small]
-        sv_axis = self._v_axis[small]
-        s_normal = arrays.normal_axis[small]
-
-        su_lo = self._gather_axis(arrays.lo[small], rows, su_axis)
-        su_hi = self._gather_axis(arrays.hi[small], rows, su_axis)
-        sv_lo = self._gather_axis(arrays.lo[small], rows, sv_axis)
-        sv_hi = self._gather_axis(arrays.hi[small], rows, sv_axis)
-
-        mid_u = 0.5 * (su_lo + su_hi)
-        half_u = 0.5 * (su_hi - su_lo)
-        mid_v = 0.5 * (sv_lo + sv_hi)
-        half_v = 0.5 * (sv_hi - sv_lo)
-
-        nodes_u = mid_u[:, None] + half_u[:, None] * ref_nodes[None, :]
-        nodes_v = mid_v[:, None] + half_v[:, None] * ref_nodes[None, :]
-        weights = (
-            (half_u[:, None] * ref_weights[None, :])[:, :, None]
-            * (half_v[:, None] * ref_weights[None, :])[:, None, :]
-        ).reshape(count, -1)
-
-        one_hot_u = (np.arange(3)[None, :] == su_axis[:, None]).astype(float)
-        one_hot_v = (np.arange(3)[None, :] == sv_axis[:, None]).astype(float)
-        one_hot_n = (np.arange(3)[None, :] == s_normal[:, None]).astype(float)
-
-        points = (
-            nodes_u[:, :, None, None] * one_hot_u[:, None, None, :]
-            + nodes_v[:, None, :, None] * one_hot_v[:, None, None, :]
-            + arrays.offset[small][:, None, None, None] * one_hot_n[:, None, None, :]
-        ).reshape(count, -1, 3)
-
-        lu_axis = self._u_axis[large]
-        lv_axis = self._v_axis[large]
-        l_normal = arrays.normal_axis[large]
-
-        x = np.take_along_axis(points, lu_axis[:, None, None], axis=2)[:, :, 0]
-        y = np.take_along_axis(points, lv_axis[:, None, None], axis=2)[:, :, 0]
-        z = (
-            np.take_along_axis(points, l_normal[:, None, None], axis=2)[:, :, 0]
-            - arrays.offset[large][:, None]
-        )
-
-        lu_lo = self._gather_axis(arrays.lo[large], rows, lu_axis)[:, None]
-        lu_hi = self._gather_axis(arrays.hi[large], rows, lu_axis)[:, None]
-        lv_lo = self._gather_axis(arrays.lo[large], rows, lv_axis)[:, None]
-        lv_hi = self._gather_axis(arrays.hi[large], rows, lv_axis)[:, None]
-
-        potentials = self.collocation_fn(x - lu_lo, x - lu_hi, y - lv_lo, y - lv_hi, z)
-        return np.sum(weights * potentials, axis=1)

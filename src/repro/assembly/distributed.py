@@ -61,7 +61,18 @@ class PartialMatrix:
 
 def _distributed_worker(args) -> tuple[PartialMatrix, ChunkResult]:
     """Worker process: assemble one partition into a column-restricted block."""
-    basis_set, permittivity, policy, order_near, order_far, batch_size, start, stop = args
+    (
+        basis_set,
+        permittivity,
+        policy,
+        order_near,
+        order_far,
+        batch_size,
+        near_field,
+        use_numba,
+        start,
+        stop,
+    ) = args
     assembler = BatchGalerkinAssembler(
         basis_set,
         permittivity,
@@ -69,6 +80,8 @@ def _distributed_worker(args) -> tuple[PartialMatrix, ChunkResult]:
         order_near=order_near,
         order_far=order_far,
         batch_size=batch_size,
+        near_field=near_field,
+        use_numba=use_numba,
     )
     full, result = assembler.assemble_chunk(start, stop, condense_mode="upper")
     first, last = assembler.chunk_column_range(start, stop)
@@ -88,6 +101,8 @@ class DistributedAssembler:
         order_near: int = 6,
         order_far: int = 3,
         batch_size: int = 200_000,
+        near_field: str = "exact",
+        use_numba: bool | None = None,
         use_processes: bool = False,
     ):
         if num_nodes < 1:
@@ -99,6 +114,8 @@ class DistributedAssembler:
         self.order_near = int(order_near)
         self.order_far = int(order_far)
         self.batch_size = int(batch_size)
+        self.near_field = str(near_field)
+        self.use_numba = use_numba
         self.use_processes = bool(use_processes)
         self.assembler = BatchGalerkinAssembler(
             basis_set,
@@ -108,6 +125,8 @@ class DistributedAssembler:
             order_near=order_near,
             order_far=order_far,
             batch_size=batch_size,
+            near_field=near_field,
+            use_numba=use_numba,
         )
 
     # ------------------------------------------------------------------
@@ -171,6 +190,8 @@ class DistributedAssembler:
                 self.order_near,
                 self.order_far,
                 self.batch_size,
+                self.near_field,
+                self.use_numba,
                 part.start,
                 part.stop,
             )

@@ -3,9 +3,11 @@
 This is Algorithm 1 written as plainly as possible: loop over the linear
 index ``k``, convert to the template pair, evaluate the Galerkin integral
 with :class:`~repro.greens.galerkin.GalerkinIntegrator`, and condense into
-``P``.  It is used as the correctness oracle for the vectorised
-:class:`~repro.assembly.batch.BatchGalerkinAssembler` and for small
-problems; large problems use the batch assembler.
+``P``.  It deliberately shares no code with the batched kernel core of
+:mod:`repro.greens.batched` above the innermost closed forms, which makes
+it the independent per-pair correctness oracle for the vectorised
+:class:`~repro.assembly.batch.BatchGalerkinAssembler` (and for every
+backend built on it); large problems use the batch assembler.
 """
 
 from __future__ import annotations

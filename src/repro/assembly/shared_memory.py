@@ -78,7 +78,18 @@ class ParallelSetupResult:
 
 def _shared_worker(args) -> tuple[np.ndarray, ChunkResult]:
     """Process-pool worker: assemble one partition into a private matrix."""
-    basis_set, permittivity, policy, order_near, order_far, batch_size, start, stop = args
+    (
+        basis_set,
+        permittivity,
+        policy,
+        order_near,
+        order_far,
+        batch_size,
+        near_field,
+        use_numba,
+        start,
+        stop,
+    ) = args
     assembler = BatchGalerkinAssembler(
         basis_set,
         permittivity,
@@ -86,6 +97,8 @@ def _shared_worker(args) -> tuple[np.ndarray, ChunkResult]:
         order_near=order_near,
         order_far=order_far,
         batch_size=batch_size,
+        near_field=near_field,
+        use_numba=use_numba,
     )
     return assembler.assemble_chunk(start, stop)
 
@@ -116,6 +129,8 @@ class SharedMemoryAssembler:
         order_near: int = 6,
         order_far: int = 3,
         batch_size: int = 200_000,
+        near_field: str = "exact",
+        use_numba: bool | None = None,
         use_processes: bool = False,
     ):
         if num_nodes < 1:
@@ -127,6 +142,8 @@ class SharedMemoryAssembler:
         self.order_near = int(order_near)
         self.order_far = int(order_far)
         self.batch_size = int(batch_size)
+        self.near_field = str(near_field)
+        self.use_numba = use_numba
         self.use_processes = bool(use_processes)
         self.assembler = BatchGalerkinAssembler(
             basis_set,
@@ -136,6 +153,8 @@ class SharedMemoryAssembler:
             order_near=order_near,
             order_far=order_far,
             batch_size=batch_size,
+            near_field=near_field,
+            use_numba=use_numba,
         )
 
     # ------------------------------------------------------------------
@@ -175,6 +194,8 @@ class SharedMemoryAssembler:
                 self.order_near,
                 self.order_far,
                 self.batch_size,
+                self.near_field,
+                self.use_numba,
                 part.start,
                 part.stop,
             )

@@ -158,10 +158,16 @@ def _induced_templates(
         u_range=_clip_interval(overlaps["u"], extents["u"]),
         v_range=_clip_interval(overlaps["v"], extents["v"]),
     )
+    covers_host = (
+        flat_panel.u_range == extents["u"] and flat_panel.v_range == extents["v"]
+    )
     templates.append(make_flat_template(flat_panel))
 
     if not config.include_arches:
-        return templates
+        # A flat-only induced function spanning the whole host face is a
+        # linear combination of the face basis (exactly, at any refinement)
+        # and would make the condensed system exactly singular.
+        return [] if covers_host else templates
 
     params = config.library.parameters(
         separation=crossing.separation,
@@ -201,6 +207,12 @@ def _induced_templates(
             else:
                 panel = replace(host_face, u_range=cross_range, v_range=support)
             templates.append(make_arch_template(panel, arch))
+    if len(templates) == 1 and covers_host:
+        # Every arch was skipped (the overlap edges coincide with the host
+        # face edges — e.g. a plate fully inside the crossing footprint) and
+        # the flat template covers the whole face: the function duplicates
+        # the face basis exactly and would make the system singular.
+        return []
     return templates
 
 

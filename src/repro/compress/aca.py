@@ -107,6 +107,7 @@ def aca_partial_pivoting(
     col_used = np.zeros(n, dtype=bool)
     norm2 = 0.0  # ||U_k V_k||_F^2, updated incrementally
     next_row = 0
+    last_u: np.ndarray | None = None  # residual column of the last cross
 
     for _ in range(min(m, n, max_rank)):
         # --- residual row with a usable pivot --------------------------
@@ -121,11 +122,20 @@ def aca_partial_pivoting(
             pivot_col = int(np.argmax(candidates))
             if candidates[pivot_col] > 0.0:
                 break
+            # Dead pivot: the sampled row's residual vanishes on every
+            # unused column (a zero row of a rank-deficient but nonzero
+            # block).  Skip it and retry with the unused row carrying the
+            # next-largest residual entry of the last accepted column —
+            # not the arbitrary first unused row, which on blocks with
+            # many dead rows degenerates into a full linear scan.
             remaining = np.flatnonzero(~row_used)
             if remaining.size == 0:
                 pivot_col = -1
                 break
-            next_row = int(remaining[0])
+            if last_u is not None:
+                next_row = int(remaining[np.argmax(np.abs(last_u[remaining]))])
+            else:
+                next_row = int(remaining[0])
         if pivot_col < 0:
             break
 
@@ -144,6 +154,7 @@ def aca_partial_pivoting(
         norm2 = max(0.0, norm2 + (u_norm * v_norm) ** 2 + 2.0 * cross)
         us.append(u_new)
         vs.append(v_new)
+        last_u = u_new
 
         if u_norm * v_norm <= epsilon * math.sqrt(norm2):
             break

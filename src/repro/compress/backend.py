@@ -45,6 +45,8 @@ class GalerkinACABackend:
         tolerance: float = 0.01,
         order_near: int = 6,
         order_far: int = 3,
+        near_field: str = "exact",
+        use_numba: bool | None = None,
         gmres_tolerance: float = 1e-12,
         max_iterations: int = 500,
     ) -> ExtractionResult:
@@ -69,6 +71,14 @@ class GalerkinACABackend:
             functions — the knob that scales ``N`` for compression studies.
         tolerance, order_near, order_far:
             Integration accuracy knobs, as in the other Galerkin backends.
+        near_field:
+            Near/singular pair evaluation mode of the batched kernel core:
+            ``"exact"`` (closed forms, default) or ``"table"`` (precomputed
+            normalized-geometry integral tables, faster but approximate).
+        use_numba:
+            Force the numba JIT kernels on/off; ``None`` defers to the
+            ``REPRO_NUMBA`` environment variable and degrades gracefully
+            when numba is unavailable.
         gmres_tolerance, max_iterations:
             Controls of the iterative solve.
         """
@@ -86,6 +96,8 @@ class GalerkinACABackend:
                 policy=ApproximationPolicy(tolerance=tolerance),
                 order_near=order_near,
                 order_far=order_far,
+                near_field=near_field,
+                use_numba=use_numba,
             )
             hmatrix = build_hmatrix(
                 entries,
@@ -134,6 +146,8 @@ class GalerkinACABackend:
                 "num_far_blocks": len(hmatrix.lowrank_blocks),
                 "worker_assembly_seconds": list(hmatrix.worker_seconds),
                 "entries_sampled": entries.entries_sampled,
+                "near_field": near_field,
+                "jit_active": entries.assembler.core.jit_active,
                 "gmres_tolerance": gmres_tolerance,
             },
         )

@@ -45,6 +45,8 @@ class GalerkinEntries:
         order_near: int = 6,
         order_far: int = 3,
         vectorized: bool = True,
+        near_field: str = "exact",
+        use_numba: bool | None = None,
     ):
         self.assembler = BatchGalerkinAssembler(
             basis_set,
@@ -53,6 +55,8 @@ class GalerkinEntries:
             collocation_fn=collocation_fn,
             order_near=order_near,
             order_far=order_far,
+            near_field=near_field,
+            use_numba=use_numba,
         )
         self.vectorized = bool(vectorized)
         arrays = self.assembler.arrays

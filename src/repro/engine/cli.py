@@ -12,6 +12,8 @@ Run as ``python -m repro``:
 * ``python -m repro scale --backend galerkin-aca`` -- sweep bus sizes over
   the compressed backend and write ``BENCH_compress.json`` (stored entries
   vs dense ``N^2`` and the fitted storage growth exponent).
+* ``python -m repro kernel`` -- benchmark the entry-wise vs batched
+  panel-integral paths and write ``BENCH_kernel.json``.
 * ``python -m repro workloads`` -- list the registered workload families.
 * ``python -m repro accuracy --quick`` -- extract every workload family
   with every backend, gate the relative errors against the golden
@@ -178,6 +180,31 @@ def _command_scale(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: {exc}") from None
     print(report.text)
     target = writer(report, args.output if args.output is not None else default_output)
+    print(f"\nwrote {target}")
+    return 0
+
+
+def _command_kernel(args: argparse.Namespace) -> int:
+    from repro.engine.kernel_bench import (
+        BENCH_KERNEL_FILENAME,
+        run_kernel_bench,
+        write_kernel_json,
+    )
+
+    try:
+        report = run_kernel_bench(
+            quick=not args.full,
+            sizes=args.sizes,
+            sample_pairs=args.sample,
+            include_table=not args.no_table,
+            use_numba=args.numba if args.numba is not None else None,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(report.text)
+    target = write_kernel_json(
+        report, args.output if args.output is not None else BENCH_KERNEL_FILENAME
+    )
     print(f"\nwrote {target}")
     return 0
 
@@ -409,6 +436,56 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     scale_parser.set_defaults(handler=_command_scale)
+
+    kernel_parser = subparsers.add_parser(
+        "kernel",
+        help="benchmark entry-wise vs batched panel-integral evaluation",
+    )
+    kernel_quickness = kernel_parser.add_mutually_exclusive_group()
+    kernel_quickness.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the reduced bus sizes (the default)",
+    )
+    kernel_quickness.add_argument(
+        "--full", action="store_true", help="use the larger bus sizes"
+    )
+    kernel_parser.add_argument(
+        "--sizes",
+        type=_parse_int_list,
+        default=None,
+        metavar="N1,N2,...",
+        help="comma-separated crossing-bus sizes overriding the quick/full defaults",
+    )
+    kernel_parser.add_argument(
+        "--sample",
+        type=int,
+        default=4000,
+        metavar="PAIRS",
+        help="template pairs sampled for the entry-wise timing (default: 4000)",
+    )
+    kernel_parser.add_argument(
+        "--no-table",
+        action="store_true",
+        help="skip timing the approximate near_field='table' mode",
+    )
+    numba_group = kernel_parser.add_mutually_exclusive_group()
+    numba_group.add_argument(
+        "--numba",
+        action="store_true",
+        default=None,
+        help="force the numba JIT kernels on (warns and degrades if unavailable)",
+    )
+    numba_group.add_argument(
+        "--no-numba", dest="numba", action="store_false", help="force them off"
+    )
+    kernel_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="where to write the machine-readable report (default: BENCH_kernel.json)",
+    )
+    kernel_parser.set_defaults(handler=_command_kernel)
 
     workloads_parser = subparsers.add_parser(
         "workloads", help="list the registered workload families"

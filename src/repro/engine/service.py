@@ -12,6 +12,7 @@ Failures are contained: a backend raising on one request marks that request
 
 from __future__ import annotations
 
+import copy
 import os
 import time
 from collections import OrderedDict
@@ -99,15 +100,21 @@ class ExtractionService:
         self._cache_misses = 0
 
     def _cache_get(self, fingerprint: str) -> ExtractionResult | None:
+        # Hand out a deep copy: results hold mutable arrays (capacitance,
+        # charges, metadata), and a caller mutating a cache hit must not
+        # corrupt what later identical requests are served.
         result = self._cache.get(fingerprint)
-        if result is not None:
-            self._cache.move_to_end(fingerprint)
-        return result
+        if result is None:
+            return None
+        self._cache.move_to_end(fingerprint)
+        return copy.deepcopy(result)
 
     def _cache_put(self, fingerprint: str, result: ExtractionResult) -> None:
         if self.cache_capacity == 0:
             return
-        self._cache[fingerprint] = result
+        # Store a deep copy for the same reason _cache_get returns one: the
+        # freshly computed result object is also returned to the caller.
+        self._cache[fingerprint] = copy.deepcopy(result)
         self._cache.move_to_end(fingerprint)
         while len(self._cache) > self.cache_capacity:
             self._cache.popitem(last=False)

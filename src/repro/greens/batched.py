@@ -1,0 +1,601 @@
+"""Batched panel-integral kernel core shared by every assembly path.
+
+This module is the vectorised heart of the system-setup step: it evaluates
+Galerkin template-pair integrals over *arrays* of pairs at once, replacing
+the per-pair pure-Python loop that dominated setup time (the profiled
+arch-template pairs alone accounted for ~90 % of the ``galerkin-aca`` setup
+at N≈464).  One :class:`BatchedKernelCore` instance serves all six engine
+backends: the dense assemblers
+(:class:`~repro.assembly.batch.BatchGalerkinAssembler` and the
+shared/distributed flows built on it), the PWC substrate, and the
+hierarchical compression's entry oracle
+(:class:`~repro.compress.entries.GalerkinEntries`).
+
+Evaluation strategy (identical decisions to
+:class:`~repro.greens.galerkin.GalerkinIntegrator`, to round-off):
+
+* ``point``        -- monopole reduction of far pairs (moments / distance);
+* ``collocation``  -- midpoint-rule reduction (smaller panel collapsed);
+* ``parallel``     -- exact 16-corner closed form for parallel flat panels;
+* ``orthogonal``   -- tensor-Gauss outer quadrature over the inner closed
+  form for orthogonal flat panels;
+* ``profiled``     -- pairs involving arch templates, evaluated by batched
+  tensor-Gauss quadrature with vectorised arch-profile weights (and the
+  analytic strip integral when *both* templates carry a profile).  Only
+  templates with profiles outside the stock
+  :class:`~repro.basis.templates.BoundArchProfile` family fall back to the
+  per-pair reference integrator.
+
+Two optional acceleration layers sit behind feature flags:
+
+* ``near_field="table"`` swaps the exact near/singular closed forms for the
+  precomputed integral tables of :mod:`repro.accel.tabulation` (the
+  collocation-integral table plus the new Galerkin indefinite-integral
+  table), both keyed by normalised pair geometry through degree-one/-three
+  homogeneity.  This trades ~1e-3 relative accuracy for table lookups.
+* ``use_numba=True`` (or ``REPRO_NUMBA=1``) JIT-compiles the innermost
+  transcendental kernels through :mod:`repro.accel.jit`, degrading
+  gracefully to NumPy when numba is absent.
+
+Agreement of the default (``near_field="exact"``, NumPy) configuration with
+the entry-wise ``template_pair`` reference is asserted to 1e-10 by the
+hypothesis property suite in ``tests/greens/test_batched_property.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.accel.jit import select_kernels
+from repro.basis.templates import BoundArchProfile, TemplateInstance
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.assembly
+    from repro.assembly.mapping import TemplateArrays
+from repro.greens.galerkin import GalerkinIntegrator
+from repro.greens.policy import ApproximationPolicy
+from repro.greens.quadrature import gauss_legendre
+from repro.greens.collocation import strip_integral
+
+__all__ = ["ArchProfileArrays", "BatchedKernelCore", "NEAR_FIELD_MODES"]
+
+#: Supported near-field evaluation modes.
+NEAR_FIELD_MODES = ("exact", "table")
+
+#: Temporary-array budget (in doubles) of one quadrature chunk.  Sized so
+#: the handful of (pairs, order^2)-shaped temporaries of a chunk stay within
+#: the L2 cache: the closed forms are memory-bandwidth bound, and evaluating
+#: them over cache-resident slices is measurably faster than one huge sweep
+#: (it also bounds the peak memory of the (pairs, order^2, order) strip
+#: tensors of the doubly-profiled path).
+_CHUNK_DOUBLES = 262_144
+
+
+def _count(counts: dict[str, int], category: str, amount: int) -> None:
+    """Accumulate the pair count of one evaluation category."""
+    if amount:
+        counts[category] = counts.get(category, 0) + int(amount)
+
+
+@dataclass
+class ArchProfileArrays:
+    """Structure-of-arrays view of the arch profiles of a template list.
+
+    Attributes
+    ----------
+    is_arch:
+        Whether the template carries a stock
+        :class:`~repro.basis.templates.BoundArchProfile` (templates with
+        other :class:`~repro.greens.galerkin.ShapeProfile` implementations
+        keep the per-pair fallback).
+    axis:
+        Global coordinate axis (0/1/2) the profile varies along; 0 for flat
+        templates (never read for them).
+    edge, ingrowing, extension, sign:
+        The :class:`~repro.basis.templates.ArchProfile` parameters.
+    """
+
+    is_arch: np.ndarray
+    axis: np.ndarray
+    edge: np.ndarray
+    ingrowing: np.ndarray
+    extension: np.ndarray
+    sign: np.ndarray
+
+    @classmethod
+    def from_templates(
+        cls,
+        templates: Sequence[TemplateInstance],
+        u_axis: np.ndarray,
+        v_axis: np.ndarray,
+    ) -> "ArchProfileArrays":
+        """Extract the arch parameters of every template.
+
+        ``u_axis`` / ``v_axis`` are the per-template global tangential axis
+        indices (from :meth:`TemplateArrays.tangential_axes`), used to map
+        the profile's panel-local ``"u"``/``"v"`` axis onto a coordinate.
+        """
+        count = len(templates)
+        is_arch = np.zeros(count, dtype=bool)
+        axis = np.zeros(count, dtype=np.intp)
+        edge = np.zeros(count)
+        ingrowing = np.ones(count)
+        extension = np.ones(count)
+        sign = np.ones(count)
+        for t, template in enumerate(templates):
+            profile = template.profile
+            if profile is None or not isinstance(profile, BoundArchProfile):
+                continue
+            arch = profile.arch
+            is_arch[t] = True
+            axis[t] = u_axis[t] if arch.axis == "u" else v_axis[t]
+            edge[t] = arch.edge
+            ingrowing[t] = arch.ingrowing_length
+            extension[t] = arch.extension_length
+            sign[t] = float(arch.inward_sign)
+        return cls(
+            is_arch=is_arch,
+            axis=axis,
+            edge=edge,
+            ingrowing=ingrowing,
+            extension=extension,
+            sign=sign,
+        )
+
+    def values(self, t: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        """Vectorised arch evaluation ``A_{t[p]}(coords[p, ...])``.
+
+        ``t`` selects one template per leading row of ``coords``; trailing
+        dimensions of ``coords`` are the evaluation points.  Reproduces
+        :meth:`repro.basis.templates.ArchProfile.__call__` arithmetic
+        exactly.
+        """
+        expand = (slice(None),) + (None,) * (coords.ndim - 1)
+        offset = (coords - self.edge[t][expand]) * self.sign[t][expand]
+        inside = np.exp(-offset / self.ingrowing[t][expand])
+        outside = np.exp(offset / self.extension[t][expand])
+        return np.where(offset >= 0.0, inside, outside)
+
+
+class BatchedKernelCore:
+    """Vectorised Galerkin template-pair kernel over template arrays.
+
+    Parameters
+    ----------
+    arrays:
+        Flattened template geometry (:class:`TemplateArrays`).
+    permittivity:
+        Absolute permittivity of the uniform medium.
+    policy:
+        Approximation-distance policy; defaults to the paper's 1 %.
+    collocation_fn:
+        Override of the definite rectangle-potential evaluator (the
+        Section 4.2 acceleration techniques plug in here).  When given it
+        takes precedence over both ``near_field`` and ``use_numba`` for the
+        collocation-integral evaluations.
+    order_near, order_far:
+        Gauss-Legendre orders for nearby / well-separated outer quadratures.
+    near_field:
+        ``"exact"`` (default) evaluates near/singular pairs with the exact
+        closed forms; ``"table"`` uses the precomputed normalised-geometry
+        integral tables of :mod:`repro.accel.tabulation`.
+    use_numba:
+        Three-state JIT flag (see :func:`repro.accel.jit.resolve_use_numba`).
+    """
+
+    def __init__(
+        self,
+        arrays: TemplateArrays,
+        permittivity: float,
+        policy: ApproximationPolicy | None = None,
+        collocation_fn: Callable | None = None,
+        order_near: int = 6,
+        order_far: int = 3,
+        near_field: str = "exact",
+        use_numba: bool | None = None,
+    ):
+        if permittivity <= 0.0:
+            raise ValueError(f"permittivity must be positive, got {permittivity}")
+        if near_field not in NEAR_FIELD_MODES:
+            raise ValueError(
+                f"near_field must be one of {NEAR_FIELD_MODES}, got {near_field!r}"
+            )
+        if order_near < 1 or order_far < 1:
+            raise ValueError("quadrature orders must be >= 1")
+        self.arrays = arrays
+        self.permittivity = float(permittivity)
+        self.policy = policy if policy is not None else ApproximationPolicy()
+        self.order_near = int(order_near)
+        self.order_far = int(order_far)
+        self.near_field = near_field
+
+        default_collocation, indefinite_fn, self.jit_active = select_kernels(use_numba)
+        self.indefinite_fn = indefinite_fn
+        if collocation_fn is None and near_field == "table":
+            from repro.accel.tabulation import (
+                DirectTableEvaluator,
+                GalerkinIndefiniteTableEvaluator,
+            )
+
+            # 13 points/dim on the 5-D collocation table (the Table 1
+            # micro-benchmark default of 9 dominates the assembly error);
+            # the 3-D indefinite table is cheap enough at its default.
+            collocation_fn = DirectTableEvaluator(points_per_dim=13)
+            self.indefinite_fn = GalerkinIndefiniteTableEvaluator()
+        self.collocation_fn = (
+            collocation_fn if collocation_fn is not None else default_collocation
+        )
+
+        u_axis, v_axis = arrays.tangential_axes()
+        self._u_axis = u_axis
+        self._v_axis = v_axis
+        self.profiles = ArchProfileArrays.from_templates(arrays.templates, u_axis, v_axis)
+        # The per-pair reference integrator backs templates whose profile is
+        # not a stock arch (the ShapeProfile protocol admits arbitrary
+        # shapes); it shares every numerical choice with the batched paths.
+        self.integrator = GalerkinIntegrator(
+            permittivity,
+            policy=self.policy,
+            collocation_fn=self.collocation_fn,
+            order_near=order_near,
+            order_far=order_far,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def prefactor(self) -> float:
+        """The ``1 / (4 pi eps)`` kernel prefactor."""
+        return 1.0 / (4.0 * math.pi * self.permittivity)
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def evaluate_pairs(
+        self, i: np.ndarray, j: np.ndarray, counts: dict[str, int] | None = None
+    ) -> np.ndarray:
+        """Galerkin integrals (prefactor included) of template pairs ``(i[p], j[p])``.
+
+        The pairs may come from anywhere in the iteration space — the dense
+        assemblers pass triangular chunks, the compression oracle scattered
+        rows/columns.  Values match per-pair
+        :meth:`~repro.greens.galerkin.GalerkinIntegrator.template_pair`
+        calls to round-off (asserted at 1e-10 by the property suite).
+        """
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        if counts is None:
+            counts = {}
+        arrays = self.arrays
+        values = np.zeros(i.size)
+
+        centroid_i = arrays.centroid[i]
+        centroid_j = arrays.centroid[j]
+        distance = np.linalg.norm(centroid_i - centroid_j, axis=1)
+        rho_i = 0.5 * arrays.diagonal[i]
+        rho_j = 0.5 * arrays.diagonal[j]
+        rho_max = np.maximum(rho_i, rho_j)
+        rho_min = np.minimum(rho_i, rho_j)
+
+        is_point = distance >= self.policy.point_distance_factor * rho_max
+        is_colloc = (~is_point) & (
+            distance >= self.policy.collocation_distance_factor * rho_min
+        )
+        profiled = arrays.has_profile[i] | arrays.has_profile[j]
+
+        # --- point level (flat and profiled templates alike) ---------------
+        if np.any(is_point):
+            values[is_point] = (
+                arrays.moment[i[is_point]]
+                * arrays.moment[j[is_point]]
+                / distance[is_point]
+            )
+            _count(counts, "point", int(np.count_nonzero(is_point)))
+
+        # --- profiled pairs below the point distance -----------------------
+        profiled_near = profiled & ~is_point
+        # Pairs whose every profiled member is a stock arch run batched;
+        # anything else (custom ShapeProfile implementations) falls back.
+        arch_ok = (~arrays.has_profile[i] | self.profiles.is_arch[i]) & (
+            ~arrays.has_profile[j] | self.profiles.is_arch[j]
+        )
+        batched_mask = profiled_near & arch_ok
+        fallback_mask = profiled_near & ~arch_ok
+        if np.any(batched_mask):
+            values[batched_mask] = self._profiled_batch(i[batched_mask], j[batched_mask])
+            _count(counts, "profiled", int(np.count_nonzero(batched_mask)))
+        needs_prefactor = ~fallback_mask
+        if np.any(fallback_mask):
+            # The reference integrator includes the prefactor already.
+            values[fallback_mask] = self._profiled_fallback(
+                i[fallback_mask], j[fallback_mask]
+            )
+            _count(counts, "profiled", int(np.count_nonzero(fallback_mask)))
+
+        flat = ~profiled & ~is_point
+
+        # --- collocation level ---------------------------------------------
+        colloc_mask = flat & is_colloc
+        if np.any(colloc_mask):
+            values[colloc_mask] = self._collocation_level(i[colloc_mask], j[colloc_mask])
+            _count(counts, "collocation", int(np.count_nonzero(colloc_mask)))
+
+        # --- exact level -----------------------------------------------------
+        exact_mask = flat & ~is_colloc
+        if np.any(exact_mask):
+            same_normal = arrays.normal_axis[i] == arrays.normal_axis[j]
+            parallel_mask = exact_mask & same_normal
+            orthogonal_mask = exact_mask & ~same_normal
+            if np.any(parallel_mask):
+                values[parallel_mask] = self._parallel_exact(
+                    i[parallel_mask], j[parallel_mask]
+                )
+                _count(counts, "parallel", int(np.count_nonzero(parallel_mask)))
+            if np.any(orthogonal_mask):
+                values[orthogonal_mask] = self._orthogonal_exact(
+                    i[orthogonal_mask], j[orthogonal_mask]
+                )
+                _count(counts, "orthogonal", int(np.count_nonzero(orthogonal_mask)))
+
+        values[needs_prefactor] *= self.prefactor
+        return values
+
+    # ------------------------------------------------------------------
+    # Shared geometric helpers
+    # ------------------------------------------------------------------
+    def _box_separation(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Bounding-box gap of each pair (``Panel.separation`` vectorised)."""
+        arrays = self.arrays
+        gap = np.maximum(
+            0.0, np.maximum(arrays.lo[i] - arrays.hi[j], arrays.lo[j] - arrays.hi[i])
+        )
+        return np.linalg.norm(gap, axis=1)
+
+    def _near_mask(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Pairs whose outer quadrature uses ``order_near`` (policy of
+        :meth:`GalerkinIntegrator._quadrature_order`)."""
+        arrays = self.arrays
+        scale = np.maximum(arrays.diagonal[i], arrays.diagonal[j])
+        return self._box_separation(i, j) < scale
+
+    def _interval_nodes(
+        self, lo: np.ndarray, hi: np.ndarray, order: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pair Gauss-Legendre nodes/weights mapped onto ``[lo, hi]``.
+
+        Reproduces :func:`gauss_legendre_interval` arithmetic per row.
+        """
+        ref_nodes, ref_weights = gauss_legendre(order)
+        half = 0.5 * (hi - lo)
+        mid = 0.5 * (hi + lo)
+        nodes = mid[:, None] + half[:, None] * ref_nodes[None, :]
+        weights = half[:, None] * ref_weights[None, :]
+        return nodes, weights
+
+    def _tensor_points(
+        self, t: np.ndarray, order: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Tensor-Gauss 3-D points and weights over panels ``t``.
+
+        Returns ``(points, weights, uu, vv)`` with ``points`` of shape
+        ``(len(t), order**2, 3)`` and the flattened in-plane node
+        coordinate grids (u varying slowest, matching the per-pair
+        ``meshgrid(indexing="ij")`` layout).
+        """
+        arrays = self.arrays
+        u_ax = self._u_axis[t]
+        v_ax = self._v_axis[t]
+        nodes_u, w_u = self._interval_nodes(arrays.lo[t, u_ax], arrays.hi[t, u_ax], order)
+        nodes_v, w_v = self._interval_nodes(arrays.lo[t, v_ax], arrays.hi[t, v_ax], order)
+        count = t.size
+        uu = np.broadcast_to(nodes_u[:, :, None], (count, order, order)).reshape(count, -1)
+        vv = np.broadcast_to(nodes_v[:, None, :], (count, order, order)).reshape(count, -1)
+        weights = (w_u[:, :, None] * w_v[:, None, :]).reshape(count, -1)
+
+        one_u = (np.arange(3)[None, :] == u_ax[:, None]).astype(float)
+        one_v = (np.arange(3)[None, :] == v_ax[:, None]).astype(float)
+        one_n = (np.arange(3)[None, :] == arrays.normal_axis[t][:, None]).astype(float)
+        points = (
+            uu[:, :, None] * one_u[:, None, :]
+            + vv[:, :, None] * one_v[:, None, :]
+            + arrays.offset[t][:, None, None] * one_n[:, None, :]
+        )
+        return points, weights, uu, vv
+
+    def _coordinate(self, points: np.ndarray, axis: np.ndarray) -> np.ndarray:
+        """Gather ``points[p, :, axis[p]]`` for per-row axis selections."""
+        return np.take_along_axis(points, axis[:, None, None], axis=2)[:, :, 0]
+
+    def _panel_potential(self, t: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """Rectangle potential of panels ``t`` at per-pair field points."""
+        arrays = self.arrays
+        u_ax = self._u_axis[t]
+        v_ax = self._v_axis[t]
+        x = self._coordinate(points, u_ax)
+        y = self._coordinate(points, v_ax)
+        z = self._coordinate(points, arrays.normal_axis[t]) - arrays.offset[t][:, None]
+        return self.collocation_fn(
+            x - arrays.lo[t, u_ax][:, None],
+            x - arrays.hi[t, u_ax][:, None],
+            y - arrays.lo[t, v_ax][:, None],
+            y - arrays.hi[t, v_ax][:, None],
+            z,
+        )
+
+    # ------------------------------------------------------------------
+    # Flat-pair categories
+    # ------------------------------------------------------------------
+    def _collocation_level(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Midpoint-rule reduction: the smaller panel collapses to its centroid."""
+        arrays = self.arrays
+        smaller_is_i = arrays.diagonal[i] <= arrays.diagonal[j]
+        small = np.where(smaller_is_i, i, j)
+        large = np.where(smaller_is_i, j, i)
+
+        centroid = arrays.centroid[small]
+        u_ax = self._u_axis[large]
+        v_ax = self._v_axis[large]
+        normal = arrays.normal_axis[large]
+        rows = np.arange(small.size)
+
+        x = centroid[rows, u_ax]
+        y = centroid[rows, v_ax]
+        z = centroid[rows, normal] - arrays.offset[large]
+        potential = self.collocation_fn(
+            x - arrays.lo[large, u_ax],
+            x - arrays.hi[large, u_ax],
+            y - arrays.lo[large, v_ax],
+            y - arrays.hi[large, v_ax],
+            z,
+        )
+        return arrays.area[small] * potential
+
+    def _parallel_exact(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Exact 16-corner closed form for parallel flat panels."""
+        arrays = self.arrays
+        u_ax = self._u_axis[i]
+        v_ax = self._v_axis[i]
+
+        ui = (arrays.lo[i, u_ax], arrays.hi[i, u_ax])
+        uj = (arrays.lo[j, u_ax], arrays.hi[j, u_ax])
+        vi = (arrays.lo[i, v_ax], arrays.hi[i, v_ax])
+        vj = (arrays.lo[j, v_ax], arrays.hi[j, v_ax])
+        separation = arrays.offset[i] - arrays.offset[j]
+
+        total = np.zeros(i.size)
+        for p in range(2):
+            for q in range(2):
+                for s in range(2):
+                    for t in range(2):
+                        sign = (-1) ** (p + q + s + t)
+                        total += sign * self.indefinite_fn(
+                            ui[p] - uj[q], vi[s] - vj[t], separation
+                        )
+        return total
+
+    def _orthogonal_exact(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Outer tensor-Gauss quadrature over the exact collocation potential."""
+        arrays = self.arrays
+        values = np.empty(i.size)
+
+        # The smaller panel carries the outer quadrature.
+        smaller_is_i = arrays.diagonal[i] <= arrays.diagonal[j]
+        small = np.where(smaller_is_i, i, j)
+        large = np.where(smaller_is_i, j, i)
+
+        near = self._near_mask(i, j)
+        for order, mask in ((self.order_near, near), (self.order_far, ~near)):
+            if np.any(mask):
+                values[mask] = self._orthogonal_quadrature(small[mask], large[mask], order)
+        return values
+
+    def _orthogonal_quadrature(
+        self, small: np.ndarray, large: np.ndarray, order: int
+    ) -> np.ndarray:
+        """Tensor Gauss quadrature over ``small`` of the potential of ``large``."""
+        chunk = max(1, _CHUNK_DOUBLES // (order * order))
+        values = np.empty(small.size)
+        for start in range(0, small.size, chunk):
+            stop = min(start + chunk, small.size)
+            points, weights, _, _ = self._tensor_points(small[start:stop], order)
+            potentials = self._panel_potential(large[start:stop], points)
+            values[start:stop] = np.sum(weights * potentials, axis=1)
+        return values
+
+    # ------------------------------------------------------------------
+    # Profiled (arch-template) pairs
+    # ------------------------------------------------------------------
+    def _profiled_batch(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Batched tensor-Gauss evaluation of arch-template pairs.
+
+        Mirrors :meth:`GalerkinIntegrator._profiled_pair`: the template
+        carrying a profile hosts the outer quadrature (the first operand
+        when both do), weighted by its arch values; the other template
+        contributes either the closed-form rectangle potential (flat) or
+        the strip-integral quadrature (arch).
+        """
+        arrays = self.arrays
+        # Orient so "outer" always carries a profile, like the reference's
+        # operand swap.
+        outer_is_i = arrays.has_profile[i]
+        outer = np.where(outer_is_i, i, j)
+        inner = np.where(outer_is_i, j, i)
+
+        near = self._near_mask(i, j)
+        both = arrays.has_profile[inner]
+        values = np.empty(i.size)
+        for order, order_mask in ((self.order_near, near), (self.order_far, ~near)):
+            for shaped_inner in (False, True):
+                mask = order_mask & (both == shaped_inner)
+                if not np.any(mask):
+                    continue
+                values[mask] = self._profiled_group(
+                    outer[mask], inner[mask], order, shaped_inner
+                )
+        return values
+
+    def _profiled_group(
+        self, outer: np.ndarray, inner: np.ndarray, order: int, shaped_inner: bool
+    ) -> np.ndarray:
+        """One (order, inner-kind) group, chunked to bound temporary memory."""
+        per_pair = order * order * (order if shaped_inner else 1)
+        chunk = max(1, _CHUNK_DOUBLES // max(per_pair, 1))
+        values = np.empty(outer.size)
+        for start in range(0, outer.size, chunk):
+            stop = min(start + chunk, outer.size)
+            values[start:stop] = self._profiled_chunk(
+                outer[start:stop], inner[start:stop], order, shaped_inner
+            )
+        return values
+
+    def _profiled_chunk(
+        self, outer: np.ndarray, inner: np.ndarray, order: int, shaped_inner: bool
+    ) -> np.ndarray:
+        arrays = self.arrays
+        profiles = self.profiles
+
+        points, weights, uu, vv = self._tensor_points(outer, order)
+        # Outer weights include the arch profile along its varying axis.
+        on_u = profiles.axis[outer] == self._u_axis[outer]
+        coords = np.where(on_u[:, None], uu, vv)
+        weights = weights * profiles.values(outer, coords)
+
+        if not shaped_inner:
+            potentials = self._panel_potential(inner, points)
+            return np.sum(weights * potentials, axis=1)
+
+        # Inner arch template: Gauss quadrature along its profile axis of
+        # the analytic strip integral along the other tangential axis.
+        p_ax = profiles.axis[inner]
+        s_ax = np.where(p_ax == self._u_axis[inner], self._v_axis[inner], self._u_axis[inner])
+        nodes_in, w_in = self._interval_nodes(
+            arrays.lo[inner, p_ax], arrays.hi[inner, p_ax], order
+        )
+        shape_in = profiles.values(inner, nodes_in)
+
+        cp = self._coordinate(points, p_ax)
+        cs = self._coordinate(points, s_ax)
+        cz = self._coordinate(points, arrays.normal_axis[inner]) - arrays.offset[inner][:, None]
+
+        dp = cp[:, :, None] - nodes_in[:, None, :]
+        dz = np.broadcast_to(cz[:, :, None], dp.shape)
+        b1 = (cs - arrays.lo[inner, s_ax][:, None])[:, :, None]
+        b2 = (cs - arrays.hi[inner, s_ax][:, None])[:, :, None]
+        strips = strip_integral(b1, b2, dp, dz)
+        inner_weights = w_in * shape_in
+        potentials = np.einsum("pqk,pk->pq", strips, inner_weights)
+        return np.sum(weights * potentials, axis=1)
+
+    def _profiled_fallback(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Per-pair reference evaluation for non-arch shaped templates."""
+        templates = self.arrays.templates
+        results = np.empty(i.size)
+        for index, (ti, tj) in enumerate(zip(i, j)):
+            template_i = templates[int(ti)]
+            template_j = templates[int(tj)]
+            results[index] = self.integrator.template_pair(
+                template_i.panel, template_j.panel, template_i.profile, template_j.profile
+            )
+        return results

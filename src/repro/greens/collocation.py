@@ -57,10 +57,12 @@ def collocation_corner(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarra
     term_a = a * np.arcsinh(b / np.maximum(den_a, _TINY))
     term_b = b * np.arcsinh(a / np.maximum(den_b, _TINY))
     # The arctangent of the ratio (rather than atan2) keeps the corner
-    # function even in c, as the underlying integral is; the term vanishes
-    # with its prefactor when c == 0.
-    ratio = a * b / np.where(c == 0.0, np.inf, c * r)
-    term_c = -c * np.arctan(ratio)
+    # function even in c, as the underlying integral is (oddness of atan
+    # lets |c| replace c); the term vanishes with its prefactor when c == 0,
+    # and the _TINY floor covers subnormal c where c * c underflows and a
+    # touching corner makes r exactly 0.
+    ratio = a * b / np.where(c == 0.0, np.inf, np.maximum(np.abs(c) * r, _TINY))
+    term_c = -np.abs(c) * np.arctan(ratio)
     # When the corner coincides with the field point (a = b = c = 0) every
     # term has a vanishing prefactor; force exact zeros there.
     zero = (den_a == 0.0) & (den_b == 0.0)
@@ -83,13 +85,56 @@ def collocation_from_deltas(
     and ``c`` is the out-of-plane offset.  This is the signature shared by
     the acceleration techniques of Section 4, which replace the corner
     function (or the whole definite integral) with cheaper approximations.
+
+    Algebraically this is the signed 4-corner sum of
+    :func:`collocation_corner`, but evaluated in a fused form that shares
+    the squares, the in-plane denominators and the corner distances across
+    the four corners: 8 square roots and 8 ``asinh`` instead of the 12 and
+    8 of four independent corner evaluations, and roughly half the cheap
+    elementwise traffic -- which matters because this function sits at the
+    bottom of the assembly hot path and is memory-bandwidth bound there.
+    Agreement with the corner-sum form is exact to round-off (asserted in
+    the greens test suite).
     """
-    return (
-        collocation_corner(a1, b1, c)
-        - collocation_corner(a2, b1, c)
-        - collocation_corner(a1, b2, c)
-        + collocation_corner(a2, b2, c)
+    a1 = np.asarray(a1, dtype=float)
+    a2 = np.asarray(a2, dtype=float)
+    b1 = np.asarray(b1, dtype=float)
+    b2 = np.asarray(b2, dtype=float)
+    c = np.asarray(c, dtype=float)
+
+    c2 = c * c
+    a1s = a1 * a1
+    a2s = a2 * a2
+    b1s = b1 * b1
+    b2s = b2 * b2
+    # In-plane denominators, floored like the corner function's guard (the
+    # multiplying prefactor vanishes wherever the floor engages).
+    da1 = np.maximum(np.sqrt(a1s + c2), _TINY)
+    da2 = np.maximum(np.sqrt(a2s + c2), _TINY)
+    db1 = np.maximum(np.sqrt(b1s + c2), _TINY)
+    db2 = np.maximum(np.sqrt(b2s + c2), _TINY)
+
+    term = a1 * (np.arcsinh(b1 / da1) - np.arcsinh(b2 / da1)) - a2 * (
+        np.arcsinh(b1 / da2) - np.arcsinh(b2 / da2)
     )
+    term += b1 * (np.arcsinh(a1 / db1) - np.arcsinh(a2 / db1)) - b2 * (
+        np.arcsinh(a1 / db2) - np.arcsinh(a2 / db2)
+    )
+
+    # The arctangent of the ratio (rather than atan2) keeps the integral
+    # even in c (oddness of atan lets |c| replace c throughout); the whole
+    # term vanishes with its prefactor when c == 0 (the final where also
+    # discards the 0 * inf corner-distance NaNs that only arise in that
+    # plane).  The _TINY floor covers subnormal c where c * c underflows,
+    # making a corner distance exactly 0 at a touching corner (0/0).
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        cr = np.where(c == 0.0, np.inf, np.abs(c))
+        atan_sum = np.arctan(a1 * b1 / np.maximum(cr * np.sqrt(a1s + b1s + c2), _TINY))
+        atan_sum -= np.arctan(a2 * b1 / np.maximum(cr * np.sqrt(a2s + b1s + c2), _TINY))
+        atan_sum -= np.arctan(a1 * b2 / np.maximum(cr * np.sqrt(a1s + b2s + c2), _TINY))
+        atan_sum += np.arctan(a2 * b2 / np.maximum(cr * np.sqrt(a2s + b2s + c2), _TINY))
+        term_c = np.where(c == 0.0, 0.0, -np.abs(c) * atan_sum)
+    return term + term_c
 
 
 def collocation_potential(panel: Panel, points: np.ndarray) -> np.ndarray:

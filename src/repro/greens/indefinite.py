@@ -66,8 +66,13 @@ def indefinite_integral(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarr
     term_log_b = np.where((a * a - c * c) * b == 0.0, 0.0, term_log_b)
 
     term_r = 0.5 * c * c * r - (r * r * r) / 6.0
-    ratio = a * b / np.where(c == 0.0, np.inf, c * r)
-    term_atan = -a * b * c * np.arctan(ratio)
+    # The denominator floor covers subnormal separations where ``c * c``
+    # underflows (making ``r = 0`` at touching corners, hence 0/0); the
+    # prefactor guard forces the exact limit wherever any factor vanishes.
+    den = np.where(c == 0.0, np.inf, np.maximum(c * r, _TINY))
+    with np.errstate(over="ignore"):
+        ratio = a * b / den
+    term_atan = np.where(a * b * c == 0.0, 0.0, -a * b * c * np.arctan(ratio))
     return term_log_a + term_log_b + term_r + term_atan
 
 

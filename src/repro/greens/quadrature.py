@@ -15,11 +15,17 @@ import numpy as np
 __all__ = ["gauss_legendre", "gauss_legendre_interval", "tensor_grid"]
 
 
-@lru_cache(maxsize=64)
+@lru_cache(maxsize=None)
 def gauss_legendre(order: int) -> tuple[np.ndarray, np.ndarray]:
     """Return cached Gauss-Legendre nodes and weights on ``[-1, 1]``.
 
     The returned arrays are read-only views; copy before modifying.
+
+    The cache is unbounded: only a handful of distinct orders ever occur
+    (the near/far orders of the integrators plus a few test values), and a
+    bounded LRU would silently thrash — evicting and recomputing rules
+    millions of times — if the distinct-order count ever crossed the bound
+    mid-assembly.
     """
     if order < 1:
         raise ValueError(f"quadrature order must be >= 1, got {order}")

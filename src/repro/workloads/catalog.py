@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
-from repro.basis.instantiate import InstantiationConfig
 from repro.geometry import generators
 from repro.workloads.registry import (
     NEW_GEOMETRY_TAG,
@@ -123,14 +122,9 @@ _STOCK_WORKLOADS: tuple[Workload, ...] = (
         "Two facing square plates (parallel-plate bound check)",
         generators.parallel_plates,
         full_params={"side": 14.0 * UM},
-        # The full-face overlap makes the induced flat template linearly
-        # dependent with the face basis, which the direct solve cannot
-        # tolerate: run the instantiable backend face-only here.
-        backend_options={
-            "instantiable": {
-                "instantiation": InstantiationConfig(include_induced=False)
-            }
-        },
+        # Basis instantiation drops induced functions whose flat template
+        # would cover the whole host face (they duplicate the face basis
+        # exactly), so the full-face overlap here needs no special-casing.
     ),
     _workload(
         "plate_over_ground",

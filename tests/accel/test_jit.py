@@ -1,0 +1,156 @@
+"""The optional numba JIT shim: flag resolution, graceful degradation, parity.
+
+The kernel-equivalence tests are skipped when numba is unavailable (the
+default container); the degradation tests are skipped when it *is*
+available.  The CI numba matrix leg runs the former, the stock leg the
+latter, so every branch of the shim is exercised somewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel import jit
+from repro.greens.collocation import collocation_from_deltas
+from repro.greens.indefinite import indefinite_integral
+
+requires_numba = pytest.mark.skipif(
+    not jit.NUMBA_AVAILABLE, reason="numba is not installed"
+)
+requires_no_numba = pytest.mark.skipif(
+    jit.NUMBA_AVAILABLE, reason="numba is installed; degradation path unreachable"
+)
+
+
+@pytest.fixture(autouse=True)
+def reset_warned_flag():
+    """Each test observes the one-shot warning fresh."""
+    jit._WARNED = False
+    yield
+    jit._WARNED = False
+
+
+class TestFlagResolution:
+    def test_false_is_always_false(self):
+        assert jit.resolve_use_numba(False) is False
+
+    def test_none_defers_to_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NUMBA", raising=False)
+        assert jit.resolve_use_numba(None) is False
+        monkeypatch.setenv("REPRO_NUMBA", "1")
+        assert jit.resolve_use_numba(None) is jit.NUMBA_AVAILABLE
+        monkeypatch.setenv("REPRO_NUMBA", "off")
+        assert jit.resolve_use_numba(None) is False
+
+    @requires_no_numba
+    def test_env_request_degrades_silently(self, monkeypatch):
+        """REPRO_NUMBA=1 on a numba-less host is not worth a warning."""
+        monkeypatch.setenv("REPRO_NUMBA", "true")
+        with warnings_as_errors():
+            assert jit.resolve_use_numba(None) is False
+
+    @requires_no_numba
+    def test_explicit_request_warns_once_and_degrades(self):
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert jit.resolve_use_numba(True) is False
+        # The warning is one-shot; a second resolution stays quiet.
+        with warnings_as_errors():
+            assert jit.resolve_use_numba(True) is False
+
+    @requires_no_numba
+    def test_placeholders_raise(self):
+        with pytest.raises(RuntimeError, match="NUMBA_AVAILABLE"):
+            jit.jit_collocation_from_deltas(1.0, 0.0, 1.0, 0.0, 0.5)
+        with pytest.raises(RuntimeError, match="NUMBA_AVAILABLE"):
+            jit.jit_indefinite_integral(1.0, 1.0, 0.5)
+
+
+class TestKernelSelection:
+    def test_numpy_kernels_selected_by_default(self):
+        collocation_fn, indefinite_fn, active = jit.select_kernels(False)
+        assert collocation_fn is collocation_from_deltas
+        assert indefinite_fn is indefinite_integral
+        assert active is False
+
+    @requires_no_numba
+    def test_degraded_request_selects_numpy_kernels(self):
+        with pytest.warns(RuntimeWarning):
+            collocation_fn, indefinite_fn, active = jit.select_kernels(True)
+        assert collocation_fn is collocation_from_deltas
+        assert indefinite_fn is indefinite_integral
+        assert active is False
+
+    @requires_no_numba
+    def test_assembly_degrades_to_numpy_identically(self, crossing_layout, permittivity):
+        from repro.assembly.batch import BatchGalerkinAssembler
+        from repro.basis import build_basis_set
+
+        basis_set = build_basis_set(crossing_layout)
+        numpy_matrix = BatchGalerkinAssembler(basis_set, permittivity).assemble()
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            degraded = BatchGalerkinAssembler(basis_set, permittivity, use_numba=True)
+        assert degraded.core.jit_active is False
+        np.testing.assert_array_equal(degraded.assemble(), numpy_matrix)
+
+
+@requires_numba
+class TestCompiledKernelParity:
+    """The compiled kernels must match the NumPy closed forms to round-off."""
+
+    def _deltas(self, rng, size=2000):
+        a1 = rng.uniform(-2.0, 2.0, size)
+        a2 = rng.uniform(-2.0, 2.0, size)
+        b1 = rng.uniform(-2.0, 2.0, size)
+        b2 = rng.uniform(-2.0, 2.0, size)
+        c = rng.uniform(-1.0, 1.0, size)
+        c[:100] = 0.0  # the in-plane branch
+        return a1, a2, b1, b2, c
+
+    def test_collocation_parity(self, rng):
+        args = self._deltas(rng)
+        expected = collocation_from_deltas(*args)
+        compiled = jit.jit_collocation_from_deltas(*args)
+        np.testing.assert_allclose(compiled, expected, rtol=0.0, atol=1e-12 * np.abs(expected).max())
+
+    def test_indefinite_parity(self, rng):
+        a = rng.uniform(-2.0, 2.0, 2000)
+        b = rng.uniform(-2.0, 2.0, 2000)
+        c = rng.uniform(0.0, 1.0, 2000)
+        c[:100] = 0.0
+        a[:50] = 0.0
+        expected = indefinite_integral(a, b, c)
+        compiled = jit.jit_indefinite_integral(a, b, c)
+        np.testing.assert_allclose(compiled, expected, rtol=0.0, atol=1e-12 * np.abs(expected).max())
+
+    def test_select_kernels_activates_jit(self):
+        collocation_fn, indefinite_fn, active = jit.select_kernels(True)
+        assert collocation_fn is jit.jit_collocation_from_deltas
+        assert indefinite_fn is jit.jit_indefinite_integral
+        assert active is True
+
+    def test_jit_assembly_matches_numpy(self, crossing_layout, permittivity):
+        from repro.assembly.batch import BatchGalerkinAssembler
+        from repro.basis import build_basis_set
+
+        basis_set = build_basis_set(crossing_layout)
+        numpy_matrix = BatchGalerkinAssembler(basis_set, permittivity).assemble()
+        jit_assembler = BatchGalerkinAssembler(basis_set, permittivity, use_numba=True)
+        assert jit_assembler.core.jit_active is True
+        scale = np.max(np.abs(numpy_matrix))
+        assert np.max(np.abs(jit_assembler.assemble() - numpy_matrix)) / scale < 1e-12
+
+
+class warnings_as_errors:
+    """Context manager asserting no warning is emitted inside the block."""
+
+    def __enter__(self):
+        import warnings
+
+        self._catcher = warnings.catch_warnings()
+        self._catcher.__enter__()
+        warnings.simplefilter("error")
+        return self
+
+    def __exit__(self, *exc):
+        return self._catcher.__exit__(*exc)

@@ -231,3 +231,23 @@ class TestAcceleratedAssembly:
         # so the matrices agree to well below the 1 % technique error.
         scale = np.max(np.abs(exact))
         assert np.max(np.abs(exact - accelerated)) / scale < 0.01
+
+
+class TestQuadratureRuleCache:
+    def test_assembly_does_not_thrash_the_rule_cache(self, crossing_layout, permittivity):
+        """The Gauss-Legendre cache must be unbounded and eviction-free.
+
+        A bounded LRU here would silently recompute rules millions of times
+        once the distinct-order count crossed the bound mid-assembly.
+        """
+        from repro.greens.quadrature import gauss_legendre
+
+        gauss_legendre.cache_clear()
+        basis_set = build_basis_set(crossing_layout)
+        BatchGalerkinAssembler(basis_set, permittivity).assemble()
+        info = gauss_legendre.cache_info()
+        assert info.maxsize is None
+        # One miss per distinct order (near/far plus any interval variants);
+        # everything else must be served from the cache.
+        assert info.misses <= 8
+        assert info.currsize == info.misses

@@ -215,3 +215,32 @@ class TestInstantiation:
             InstantiationConfig(face_refinement=0)
         with pytest.raises(ValueError):
             InstantiationConfig(min_arch_support=2.0)
+
+    def test_full_face_induced_function_is_dropped(self):
+        """A face fully inside the crossing footprint gets no induced function.
+
+        When the overlap covers the whole host face, every arch is skipped
+        (the overlap edges coincide with the face edges) and the flat
+        template would duplicate the face basis function exactly, making the
+        condensed system exactly singular (two identical matrix rows).
+        """
+        from repro.workloads.registry import get_workload
+
+        layout = get_workload("plate_over_ground").layout()
+        basis_set = build_basis_set(layout)
+        rows = {}
+        for function in basis_set:
+            key = tuple(
+                (t.panel.normal_axis, t.panel.offset, t.panel.u_range, t.panel.v_range,
+                 t.profile is None)
+                for t in function.templates
+            )
+            assert key not in rows, (
+                f"{function.label} duplicates {rows[key]}: identical template sets"
+            )
+            rows[key] = function.label
+        # The plate side (fully covered) is dropped; the ground side keeps
+        # its arch-carrying induced function.
+        induced = [f for f in basis_set if f.kind is BasisKind.INDUCED]
+        assert len(induced) == 1
+        assert induced[0].num_templates > 1

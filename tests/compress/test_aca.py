@@ -46,6 +46,27 @@ class TestSyntheticMatrices:
         assert factors.rank == 5
         assert factors.stored_entries == 5 * 60
 
+    def test_rank_deficient_block_with_dead_rows_is_recovered(self, rng):
+        # Rank-2 but with zero rows, including row 0: the pivot search hits
+        # dead residual rows and must skip them (retrying with the
+        # next-largest residual row) instead of exiting early.
+        u1 = np.array([0.0, 0.0, 1.0, 2.0, 0.0, 3.0])
+        u2 = np.array([0.0, 1.0, 0.0, 4.0, 0.0, 0.0])
+        matrix = np.outer(u1, rng.normal(size=5)) + np.outer(u2, rng.normal(size=5))
+        row_calls: list[int] = []
+        factors = aca_partial_pivoting(
+            lambda i: (row_calls.append(i), matrix[i, :])[1],
+            lambda j: matrix[:, j],
+            matrix.shape,
+            epsilon=1e-10,
+        )
+        # One extra cross may be spent observing convergence, as in the
+        # dense low-rank test above.
+        assert factors.rank <= 3
+        np.testing.assert_allclose(factors.dense(), matrix, atol=1e-12 * np.abs(matrix).max())
+        # The dead rows were skipped cheaply, not scanned over and over.
+        assert len(row_calls) <= 5
+
     def test_zero_block_yields_rank_zero(self):
         matrix = np.zeros((12, 7))
         factors = aca_partial_pivoting(*_oracles(matrix), matrix.shape)

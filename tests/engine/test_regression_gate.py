@@ -69,6 +69,27 @@ class TestCompareBackends:
         )
         assert failures == []
 
+    def test_malformed_current_entry_fails_loudly(self):
+        # A bench entry without a numeric total_seconds used to KeyError out
+        # of the gate; it must surface as a normal failure message instead.
+        failures = gate.compare_backends(
+            {"instantiable": 1.0}, {"instantiable": {"wall": 1.0}}
+        )
+        assert len(failures) == 1
+        assert "malformed" in failures[0]
+        failures = gate.compare_backends(
+            {"instantiable": 1.0}, {"instantiable": {"total_seconds": "fast"}}
+        )
+        assert failures and "malformed" in failures[0]
+
+    def test_malformed_baseline_value_fails_loudly(self):
+        failures = gate.compare_backends(
+            {"instantiable": None}, _engine_payload({"instantiable": 1.0})["backends"]
+        )
+        assert len(failures) == 1
+        assert "malformed" in failures[0]
+        assert "--update-baseline" in failures[0]
+
 
 class TestCheckScaling:
     def test_wellformed_report_passes(self):
@@ -159,3 +180,17 @@ class TestMain:
         engine.unlink()
         with pytest.raises(SystemExit, match="not found"):
             self._run(baseline, engine, scaling)
+
+    def test_baseline_without_backends_section_is_an_error(self, artifacts):
+        baseline, engine, scaling = artifacts
+        baseline.write_text(json.dumps({"threshold": 0.25}))
+        with pytest.raises(SystemExit, match="malformed"):
+            self._run(baseline, engine, scaling)
+
+    def test_malformed_engine_entry_fails_without_crashing(self, artifacts, capsys):
+        baseline, engine, scaling = artifacts
+        engine.write_text(json.dumps({"backends": {"instantiable": {"wall": 1.0}}}))
+        assert self._run(baseline, engine, scaling) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "malformed" in out

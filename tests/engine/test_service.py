@@ -106,6 +106,26 @@ class TestExtractionService:
         )
         assert report.statuses[0].status == "completed"
 
+    def test_cache_hit_is_isolated_from_mutation(self, crossing_layout):
+        """Mutating a served result must not corrupt later cache hits."""
+        service = ExtractionService(executor="serial")
+        first = service.extract(crossing_layout, backend="pwc-dense", cells_per_edge=2)
+        pristine = first.capacitance.copy()
+        # Mutate the freshly computed result (aliases the cache if the
+        # service stores the object it returned)...
+        first.capacitance[:] = -1.0
+        first.metadata["poison"] = True
+        # ...and mutate a cache hit as well.
+        hit = service.extract(crossing_layout, backend="pwc-dense", cells_per_edge=2)
+        assert hit is not first
+        hit.capacitance[:] = 99.0
+        # A re-fetch still serves the pristine values.
+        again = service.extract(crossing_layout, backend="pwc-dense", cells_per_edge=2)
+        assert again is not hit
+        np.testing.assert_array_equal(again.capacitance, pristine)
+        assert "poison" not in again.metadata
+        assert service.cache_info()["hits"] >= 2
+
     def test_invalid_construction(self):
         with pytest.raises(ValueError):
             ExtractionService(executor="fibers")
