@@ -9,6 +9,10 @@ the quick workloads finish in tens of milliseconds, where cross-machine
 and scheduler variance dwarf 25 %).  It also checks
 ``BENCH_scaling.json`` structurally: both parallel backends must report
 speedup and parallel-efficiency entries for at least two worker counts.
+``BENCH_solver.json`` is gated structurally too: the parallel H-matrix
+assembly must be bit-identical to the serial build at every worker count,
+and the blocked multi-RHS solve must agree with the per-column loop to
+``1e-10`` without using more operator traversals.
 
 Escape hatches:
 
@@ -148,6 +152,59 @@ def check_scaling(scaling_data: dict, expected_backends=SCALING_BACKENDS) -> lis
     return failures
 
 
+#: Upper bound on the blocked-vs-column solution disagreement (the bench
+#: itself targets <= 1e-12; the gate allows head-room for platform noise).
+SOLVER_SOLVE_TOLERANCE = 1e-10
+
+
+def check_solver(solver_data: dict) -> list[str]:
+    """Structural checks of ``BENCH_solver.json``.
+
+    Every swept layout must show (a) parallel assembly bit-identical to the
+    serial build for at least two worker counts, and (b) a blocked solve
+    that matches the per-column loop to ``SOLVER_SOLVE_TOLERANCE`` while
+    sharing operator traversals (never exceeding the column loop's count).
+    """
+    failures = []
+    entries = solver_data.get("entries", {})
+    if not entries:
+        return ["solver report has no entries"]
+    for label, entry in sorted(entries.items()):
+        workers = (entry.get("assembly") or {}).get("workers") or {}
+        if len(workers) < 2:
+            failures.append(
+                f"solver/{label}: needs assembly entries for >= 2 worker "
+                f"counts, got {len(workers)}"
+            )
+        for count, record in sorted(workers.items()):
+            diff = record.get("max_abs_diff")
+            if diff != 0.0:
+                failures.append(
+                    f"solver/{label}: parallel assembly at {count} workers is "
+                    f"not bit-identical to the serial build (max_abs_diff={diff!r})"
+                )
+        solve = entry.get("solve") or {}
+        diff = solve.get("max_abs_diff")
+        if not isinstance(diff, (int, float)) or diff > SOLVER_SOLVE_TOLERANCE:
+            failures.append(
+                f"solver/{label}: blocked solve disagrees with the column "
+                f"loop (max_abs_diff={diff!r} > {SOLVER_SOLVE_TOLERANCE})"
+            )
+        column = (solve.get("column") or {}).get("operator_traversals")
+        blocked = (solve.get("blocked") or {}).get("operator_traversals")
+        if not isinstance(column, int) or not isinstance(blocked, int):
+            failures.append(
+                f"solver/{label}: missing operator_traversals "
+                f"(column={column!r}, blocked={blocked!r})"
+            )
+        elif blocked > column:
+            failures.append(
+                f"solver/{label}: blocked solve used MORE operator "
+                f"traversals than the column loop ({blocked} > {column})"
+            )
+    return failures
+
+
 def write_summary(
     baseline_totals: dict,
     current_backends: dict,
@@ -233,6 +290,12 @@ def main(argv: list[str] | None = None) -> int:
         help="fresh scaling benchmark artifact",
     )
     parser.add_argument(
+        "--solver",
+        type=Path,
+        default=REPO_ROOT / "BENCH_solver.json",
+        help="fresh solve-phase benchmark artifact",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=None,
@@ -310,6 +373,10 @@ def main(argv: list[str] | None = None) -> int:
         failures += check_scaling(json.loads(args.scaling.read_text()))
     else:
         failures.append(f"scaling benchmark not found at {args.scaling}")
+    if args.solver.exists():
+        failures += check_solver(json.loads(args.solver.read_text()))
+    else:
+        failures.append(f"solver benchmark not found at {args.solver}")
     write_summary(
         baseline.get("backends", {}), current_backends, threshold, floor_seconds, failures
     )

@@ -2,10 +2,14 @@
 
 Instantiates the paper's basis set, compresses the condensed Galerkin matrix
 into an :class:`~repro.compress.hmatrix.HMatrix` (dense near field, ACA
-low-rank far field — never materialising ``N x N``), and solves with the
-Jacobi-preconditioned GMRES shared by every iterative backend.  The returned
-result carries the compression statistics (``stored_entries``,
-``compression_ratio``, ``max_block_rank``) alongside the usual timings.
+low-rank far field — never materialising ``N x N``; block assembly runs on
+the parallel executor selected by ``num_workers``/``executor``), and solves
+with the Jacobi-preconditioned GMRES shared by every iterative backend —
+by default in *blocked* multi-right-hand-side mode, where every stored
+block is traversed once per lockstep iteration instead of once per
+conductor.  The returned result carries the compression statistics
+(``stored_entries``, ``compression_ratio``, ``max_block_rank``) alongside
+the usual timings and the solver telemetry.
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ class GalerkinACABackend:
         leaf_size: int = 32,
         eta: float = 2.0,
         num_workers: int = 1,
+        executor: str = "thread",
         face_refinement: int = 1,
         tolerance: float = 0.01,
         order_near: int = 6,
@@ -49,6 +54,7 @@ class GalerkinACABackend:
         use_numba: bool | None = None,
         gmres_tolerance: float = 1e-12,
         max_iterations: int = 500,
+        block_size: int | None = None,
     ) -> ExtractionResult:
         """Extract ``layout`` through the compressed pipeline.
 
@@ -64,8 +70,13 @@ class GalerkinACABackend:
             Admissibility parameter; larger admits more (coarser) far
             blocks.
         num_workers:
-            Partitions of the block-assembly work (per-worker times are
-            recorded in the result metadata).
+            Partitions of the block-assembly work, each assembled by one
+            worker of ``executor`` (per-worker times are recorded in the
+            result metadata).
+        executor:
+            Block-assembly executor: ``"serial"``, ``"thread"`` (default)
+            or ``"process"`` — see :func:`repro.compress.hmatrix.build_hmatrix`.
+            The operator is bit-identical across executors.
         face_refinement:
             Subdivision of every conductor face into ``r x r`` face basis
             functions — the knob that scales ``N`` for compression studies.
@@ -81,6 +92,10 @@ class GalerkinACABackend:
             when numba is unavailable.
         gmres_tolerance, max_iterations:
             Controls of the iterative solve.
+        block_size:
+            Conductor columns per blocked-GMRES traversal group: ``None``
+            (default) solves all right-hand sides in one lockstep block,
+            ``1`` falls back to the historical per-column loop.
         """
         basis_set = build_basis_set(
             layout, InstantiationConfig(face_refinement=face_refinement)
@@ -106,6 +121,7 @@ class GalerkinACABackend:
                 leaf_size=leaf_size,
                 eta=eta,
                 num_workers=num_workers,
+                executor=executor,
             )
             phi = basis_set.incidence_matrix(layout.num_conductors)
             diagonal = hmatrix.diagonal()
@@ -118,6 +134,8 @@ class GalerkinACABackend:
                 tolerance=gmres_tolerance,
                 max_iterations=max_iterations,
                 diagonal=diagonal,
+                matmat=hmatrix.matmat,
+                block_size=block_size,
             )
             capacitance = capacitance_from_solution(phi, rho)
 
@@ -141,6 +159,7 @@ class GalerkinACABackend:
                 "leaf_size": leaf_size,
                 "eta": eta,
                 "num_workers": num_workers,
+                "executor": executor,
                 "face_refinement": face_refinement,
                 "num_near_blocks": len(hmatrix.dense_blocks),
                 "num_far_blocks": len(hmatrix.lowrank_blocks),
@@ -149,5 +168,7 @@ class GalerkinACABackend:
                 "near_field": near_field,
                 "jit_active": entries.assembler.core.jit_active,
                 "gmres_tolerance": gmres_tolerance,
+                "solver_mode": stats.mode,
+                "operator_traversals": stats.operator_traversals,
             },
         )

@@ -20,6 +20,8 @@ evaluation paths produce identical values (to round-off):
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.assembly.batch import BatchGalerkinAssembler
@@ -59,6 +61,18 @@ class GalerkinEntries:
             use_numba=use_numba,
         )
         self.vectorized = bool(vectorized)
+        self._custom_collocation = collocation_fn is not None
+        self._constructor_args = (
+            basis_set,
+            float(permittivity),
+            policy,
+            int(order_near),
+            int(order_far),
+            bool(vectorized),
+            str(near_field),
+            use_numba,
+        )
+        self._count_lock = threading.Lock()
         arrays = self.assembler.arrays
         count = self.assembler.num_basis_functions
         # Templates are flattened in basis order, so each basis function owns
@@ -74,6 +88,27 @@ class GalerkinEntries:
     def num_unknowns(self) -> int:
         """Dimension ``N`` of the condensed matrix."""
         return self.assembler.num_basis_functions
+
+    def worker_tuple(self) -> tuple:
+        """Constructor arguments for rebuilding the oracle in a worker process.
+
+        The same idiom as the parallel Galerkin assemblers: the tuple is
+        pickled to a ``fork`` worker, which reconstructs an arithmetically
+        identical oracle (all evaluation choices are deterministic).  A
+        custom ``collocation_fn`` is a closure the pipe cannot carry, so it
+        is rejected here rather than silently dropped.
+        """
+        if self._custom_collocation:
+            raise ValueError(
+                "a custom collocation_fn cannot be sent to worker processes; "
+                "use the thread executor instead"
+            )
+        return self._constructor_args
+
+    def _count(self, num_entries: int) -> None:
+        """Thread-safe bump of the ``entries_sampled`` diagnostic counter."""
+        with self._count_lock:
+            self.entries_sampled += num_entries
 
     def support_bounds(self) -> tuple[np.ndarray, np.ndarray]:
         """Per-basis-function support bounding boxes (``(N, 3)`` lo/hi).
@@ -103,7 +138,7 @@ class GalerkinEntries:
                 total += integrator.template_pair(
                     ta.panel, tb.panel, ta.profile, tb.profile
                 )
-        self.entries_sampled += 1
+        self._count(1)
         return total
 
     def block(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
@@ -169,5 +204,5 @@ class GalerkinEntries:
         )
         out = np.zeros(num_entries)
         np.add.at(out, entry_of_pair, values)
-        self.entries_sampled += num_entries
+        self._count(num_entries)
         return out

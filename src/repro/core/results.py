@@ -182,6 +182,10 @@ class ExtractionResult:
         }
         if self.iterations is not None:
             summary["total_iterations"] = self.iterations.total_iterations
+            summary["iterations_per_rhs"] = list(self.iterations.iterations_per_rhs)
+            summary["max_iterations"] = self.iterations.max_iterations
+            summary["solver_mode"] = self.iterations.mode
+            summary["operator_traversals"] = self.iterations.operator_traversals
         if self.compression_ratio is not None:
             summary["stored_entries"] = self.stored_entries
             summary["compression_ratio"] = self.compression_ratio

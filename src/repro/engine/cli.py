@@ -14,6 +14,9 @@ Run as ``python -m repro``:
   vs dense ``N^2`` and the fitted storage growth exponent).
 * ``python -m repro kernel`` -- benchmark the entry-wise vs batched
   panel-integral paths and write ``BENCH_kernel.json``.
+* ``python -m repro solver`` -- benchmark the parallel H-matrix assembly
+  and the blocked multi-RHS GMRES against their serial/per-column
+  baselines and write ``BENCH_solver.json``.
 * ``python -m repro workloads`` -- list the registered workload families.
 * ``python -m repro accuracy --quick`` -- extract every workload family
   with every backend, gate the relative errors against the golden
@@ -204,6 +207,30 @@ def _command_kernel(args: argparse.Namespace) -> int:
     print(report.text)
     target = write_kernel_json(
         report, args.output if args.output is not None else BENCH_KERNEL_FILENAME
+    )
+    print(f"\nwrote {target}")
+    return 0
+
+
+def _command_solver(args: argparse.Namespace) -> int:
+    from repro.engine.solver_bench import (
+        BENCH_SOLVER_FILENAME,
+        run_solver_bench,
+        write_solver_json,
+    )
+
+    try:
+        report = run_solver_bench(
+            quick=not args.full,
+            sizes=args.sizes,
+            worker_counts=args.workers if args.workers is not None else (1, 2, 4),
+            executor=args.executor,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(report.text)
+    target = write_solver_json(
+        report, args.output if args.output is not None else BENCH_SOLVER_FILENAME
     )
     print(f"\nwrote {target}")
     return 0
@@ -486,6 +513,47 @@ def main(argv: list[str] | None = None) -> int:
         help="where to write the machine-readable report (default: BENCH_kernel.json)",
     )
     kernel_parser.set_defaults(handler=_command_kernel)
+
+    solver_parser = subparsers.add_parser(
+        "solver",
+        help="benchmark parallel H-matrix assembly and blocked multi-RHS GMRES",
+    )
+    solver_quickness = solver_parser.add_mutually_exclusive_group()
+    solver_quickness.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the reduced bus sizes (the default)",
+    )
+    solver_quickness.add_argument(
+        "--full", action="store_true", help="use the larger bus sizes"
+    )
+    solver_parser.add_argument(
+        "--sizes",
+        type=_parse_int_list,
+        default=None,
+        metavar="N1,N2,...",
+        help="comma-separated crossing-bus sizes overriding the quick/full defaults",
+    )
+    solver_parser.add_argument(
+        "--workers",
+        type=_parse_int_list,
+        default=None,
+        metavar="D1,D2,...",
+        help="comma-separated assembly worker counts to sweep (default: 1,2,4)",
+    )
+    solver_parser.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="parallel-assembly executor of the multi-worker builds (default: thread)",
+    )
+    solver_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="where to write the machine-readable report (default: BENCH_solver.json)",
+    )
+    solver_parser.set_defaults(handler=_command_solver)
 
     workloads_parser = subparsers.add_parser(
         "workloads", help="list the registered workload families"

@@ -4,8 +4,10 @@ These backends expose the paper's parallel system-setup flows (Sections
 5.1-5.2) through the unified engine API.  Both instantiate the compact basis,
 fill the condensed Galerkin matrix through one of the parallel assembly
 flows in :mod:`repro.assembly`, and solve the assembled system with the
-Jacobi-preconditioned GMRES of :mod:`repro.solver.iterative` (one right-hand
-side per conductor):
+Jacobi-preconditioned GMRES of :mod:`repro.solver.iterative` — by default
+in blocked multi-right-hand-side mode, sharing each matrix traversal across
+all conductor columns (``block_size=1`` restores the per-conductor column
+loop):
 
 ==================== ===================================== ==================
 name                 assembly flow                         communication
@@ -30,6 +32,9 @@ tolerance, order_near, order_far, batch_size:
     :class:`~repro.core.config.ExtractionConfig`.
 gmres_tolerance, max_iterations:
     Controls of the iterative solve.
+block_size:
+    Conductor columns per blocked-GMRES traversal group (``None`` = all in
+    one lockstep block, ``1`` = the historical per-column loop).
 
 The returned :class:`~repro.core.results.ExtractionResult` carries the full
 :class:`~repro.assembly.shared_memory.ParallelSetupResult` — per-worker setup
@@ -83,6 +88,7 @@ class _ParallelGalerkinBackend:
         batch_size: int = 200_000,
         gmres_tolerance: float = 1e-12,
         max_iterations: int = 500,
+        block_size: int | None = None,
     ) -> ExtractionResult:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -124,6 +130,8 @@ class _ParallelGalerkinBackend:
                 tolerance=gmres_tolerance,
                 max_iterations=max_iterations,
                 diagonal=np.diag(matrix),
+                matmat=lambda block: matrix @ block,
+                block_size=block_size,
             )
             capacitance = capacitance_from_solution(phi, rho)
 
@@ -147,6 +155,8 @@ class _ParallelGalerkinBackend:
                 "workers": workers,
                 "executor": executor,
                 "gmres_tolerance": gmres_tolerance,
+                "solver_mode": stats.mode,
+                "operator_traversals": stats.operator_traversals,
             },
         )
 

@@ -176,8 +176,37 @@ class MultipoleOperator:
         for near in self.near_blocks:
             potentials[near.target_indices] += near.block @ densities[near.source_indices]
 
-        # Far field: multipole expansions of total charges (only the moment
-        # levels the configured expansion order reads are computed).
+        self._add_far_field(densities, potentials)
+        return potentials
+
+    def matmat(self, densities: np.ndarray) -> np.ndarray:
+        """Apply the operator to a block of charge-density columns.
+
+        The dominant near-field blocks are traversed ONCE and applied to
+        every column together (the multi-right-hand-side sharing the
+        blocked GMRES relies on); the far-field multipole pass keeps
+        per-column moments on the tree nodes, so it runs once per column.
+        """
+        densities = np.asarray(densities, dtype=float)
+        if densities.ndim == 1:
+            return self.matvec(densities)
+        if densities.shape[0] != self.size:
+            raise ValueError(
+                f"expected {self.size} rows, got {densities.shape[0]}"
+            )
+        potentials = np.zeros_like(densities)
+        for near in self.near_blocks:
+            potentials[near.target_indices] += near.block @ densities[near.source_indices]
+        for column in range(densities.shape[1]):
+            self._add_far_field(densities[:, column], potentials[:, column])
+        return potentials
+
+    def _add_far_field(self, densities: np.ndarray, potentials: np.ndarray) -> None:
+        """Accumulate the far-field multipole contribution of one column.
+
+        Multipole expansions of total charges; only the moment levels the
+        configured expansion order reads are computed.
+        """
         charges = densities * self.areas
         self.tree.compute_moments(charges, order=self.expansion_order)
         for interaction in self.far_interactions:
@@ -197,7 +226,6 @@ class MultipoleOperator:
                 trace = np.trace(node.quadrupole)
                 value += 0.5 * (3.0 * quad - dist2 * trace) / (dist2 * dist2 * dist)
             potentials[targets] += self.prefactor * value
-        return potentials
 
     # ------------------------------------------------------------------
     def dense_reference(self) -> np.ndarray:

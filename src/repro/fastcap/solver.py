@@ -58,6 +58,10 @@ class FastCapSolver:
         Cluster-tree leaf size.
     tolerance:
         GMRES relative residual tolerance.
+    block_size:
+        Conductor columns per blocked-GMRES traversal group (``None`` =
+        all conductors iterate in one lockstep block sharing each
+        near-field traversal, ``1`` = one GMRES solve per conductor).
     """
 
     def __init__(
@@ -70,6 +74,7 @@ class FastCapSolver:
         tolerance: float = 1e-5,
         max_iterations: int = 300,
         expansion_order: int = 2,
+        block_size: int | None = None,
     ):
         self.cells_per_edge = int(cells_per_edge)
         self.grading_ratio = float(grading_ratio)
@@ -79,6 +84,7 @@ class FastCapSolver:
         self.tolerance = float(tolerance)
         self.max_iterations = int(max_iterations)
         self.expansion_order = int(expansion_order)
+        self.block_size = None if block_size is None else int(block_size)
 
     # ------------------------------------------------------------------
     def discretize(self, layout: Layout) -> list[Panel]:
@@ -118,6 +124,8 @@ class FastCapSolver:
                 tolerance=self.tolerance,
                 max_iterations=self.max_iterations,
                 diagonal=diagonal,
+                matmat=operator.matmat,
+                block_size=self.block_size,
             )
             # C[k, l] = total charge on conductor k when conductor l is at 1 V.
             capacitance = np.zeros((num_conductors, num_conductors))
@@ -140,6 +148,8 @@ class FastCapSolver:
                 "num_panels": len(panels),
                 "theta": self.theta,
                 "expansion_order": self.expansion_order,
+                "solver_mode": stats.mode,
+                "operator_traversals": stats.operator_traversals,
                 "tree_depth": operator.tree.depth,
                 "num_leaves": len(operator.tree.leaves),
                 "far_interactions": len(operator.far_interactions),

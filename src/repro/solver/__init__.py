@@ -3,11 +3,18 @@
 With instantiable basis functions the system is small and dense, so the
 solve is a direct factorisation (paper Section 3: "we will resort to the
 standard direct method implemented in multithreaded linear algebra
-libraries"); the PWC baselines additionally use Krylov iterative solvers.
+libraries").  The matrix-free backends (compressed H-matrix, multipole
+PWC, parallel Galerkin) use the Jacobi-preconditioned GMRES of
+:mod:`repro.solver.iterative` instead — by default in *blocked*
+multi-right-hand-side mode, where all conductor excitations iterate in
+lockstep and every operator traversal is shared across the columns
+(``block_size=1`` restores the historical one-solve-per-conductor loop).
+Per-column iteration counts and the number of operator traversals are
+reported through :class:`~repro.solver.iterative.IterativeStats`.
 """
 
 from repro.solver.dense import solve_dense, cholesky_solve
-from repro.solver.iterative import gmres_solve, IterativeStats
+from repro.solver.iterative import gmres_solve, jacobi_preconditioner, IterativeStats
 from repro.solver.capacitance import (
     capacitance_from_solution,
     capacitance_matrix,
@@ -19,6 +26,7 @@ __all__ = [
     "solve_dense",
     "cholesky_solve",
     "gmres_solve",
+    "jacobi_preconditioner",
     "IterativeStats",
     "capacitance_from_solution",
     "capacitance_matrix",

@@ -1,20 +1,41 @@
-"""Krylov iterative solves for the PWC baselines.
+"""Krylov iterative solves shared by every iterative backend.
 
-The FASTCAP-like and pFFT baselines follow their originals and solve the
-(large) piecewise-constant system with GMRES, using a fast approximate
-matrix-vector product.  This module wraps scipy's GMRES with iteration
-counting and a simple diagonal (panel self-term) preconditioner.
+The FASTCAP-like baseline, the parallel Galerkin flows and the compressed
+``galerkin-aca`` path all solve their (possibly multi-right-hand-side)
+systems through :func:`gmres_solve`.  Two execution modes exist:
+
+* **column mode** — one scipy GMRES solve per right-hand side, the
+  historical path.  Every iteration of every column traverses the full
+  operator once.
+* **blocked mode** — when the caller supplies a ``matmat`` (a multi-vector
+  operator product), all right-hand sides iterate in lockstep: each outer
+  iteration applies the operator ONCE to the matrix of current Krylov
+  vectors of every still-unconverged column.  Each column keeps its own
+  Arnoldi basis, Hessenberg factorisation and Givens-rotation residual
+  tracking, so convergence is still monitored per column and columns drop
+  out of the block as they converge.  For an operator whose cost is
+  dominated by traversing stored blocks (the H-matrix, a dense matrix, the
+  multipole near field), this shares one traversal across the whole block
+  instead of paying one per column — the number of operator *traversals*
+  drops from ``sum_j iterations_j`` to ``max_j iterations_j``.
+
+Both modes use the same Jacobi (diagonal-scaling) left preconditioner built
+by :func:`jacobi_preconditioner`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 from scipy.sparse.linalg import LinearOperator, gmres
 
 __all__ = ["IterativeStats", "jacobi_preconditioner", "gmres_solve"]
+
+#: Multi-vector operator product ``A @ X`` for an ``(n, k)`` block ``X``.
+MatMat = Callable[[np.ndarray], np.ndarray]
 
 
 def jacobi_preconditioner(diagonal: np.ndarray) -> LinearOperator:
@@ -24,17 +45,55 @@ def jacobi_preconditioner(diagonal: np.ndarray) -> LinearOperator:
     baseline and the compressed ``galerkin-aca`` path — builds its GMRES
     preconditioner through this one helper (directly or by passing
     ``diagonal=`` to :func:`gmres_solve`).
+
+    Raises
+    ------
+    ValueError
+        If any diagonal entry is zero or non-finite: inverting it would
+        inject ``inf``/``nan`` scaling and let GMRES diverge with no hint of
+        the cause, so the offending index is reported up front.
     """
-    inverse_diagonal = 1.0 / np.asarray(diagonal, dtype=float)
+    diagonal = np.asarray(diagonal, dtype=float)
+    bad = np.flatnonzero(~np.isfinite(diagonal) | (diagonal == 0.0))
+    if bad.size:
+        index = int(bad[0])
+        raise ValueError(
+            "jacobi_preconditioner requires finite nonzero diagonal entries; "
+            f"entry {index} is {float(diagonal[index])!r}"
+            + (f" ({bad.size} offending entries in total)" if bad.size > 1 else "")
+        )
+    inverse_diagonal = 1.0 / diagonal
     size = inverse_diagonal.size
     return LinearOperator((size, size), matvec=lambda x: inverse_diagonal * x)
 
 
 @dataclass
 class IterativeStats:
-    """Iteration counts of a multi-right-hand-side GMRES solve."""
+    """Iteration statistics of a (multi-right-hand-side) GMRES solve.
+
+    Attributes
+    ----------
+    iterations_per_rhs:
+        Krylov iterations taken by each right-hand side.
+    mode:
+        ``"column"`` (one solve per right-hand side) or ``"blocked"``
+        (lockstep multi-vector iteration).
+    operator_traversals:
+        Number of times the solve traversed the stored operator: one
+        single-vector application per column iteration in column mode, one
+        multi-vector application per lockstep iteration in blocked mode.
+        The blocked win is exactly ``total_iterations -
+        operator_traversals``.
+    """
 
     iterations_per_rhs: list[int]
+    mode: str = "column"
+    operator_traversals: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.operator_traversals < 0:
+            # Column-mode default: every iteration is one full traversal.
+            self.operator_traversals = int(sum(self.iterations_per_rhs))
 
     @property
     def total_iterations(self) -> int:
@@ -54,8 +113,10 @@ def gmres_solve(
     tolerance: float = 1e-6,
     max_iterations: int = 500,
     diagonal: np.ndarray | None = None,
+    matmat: MatMat | None = None,
+    block_size: int | None = None,
 ) -> tuple[np.ndarray, IterativeStats]:
-    """Solve ``A x = b`` (column by column) with GMRES.
+    """Solve ``A x = b`` with GMRES, column by column or blocked.
 
     Parameters
     ----------
@@ -66,24 +127,83 @@ def gmres_solve(
     size:
         System dimension.
     tolerance:
-        Relative residual tolerance.
+        Relative residual tolerance (per column, against the preconditioned
+        right-hand-side norm, like scipy's ``rtol``).
     max_iterations:
         Iteration cap per right-hand side.
     diagonal:
         Optional diagonal of ``A`` used as a Jacobi preconditioner.
+    matmat:
+        Optional multi-vector product ``A @ X``.  When provided (and the
+        right-hand side has more than one column), the solve runs in
+        blocked mode: one operator traversal per lockstep iteration is
+        shared by every still-active column.
+    block_size:
+        Columns per lockstep block.  ``None`` (default) solves all columns
+        in one block; ``1`` falls back to the per-column scipy loop even
+        when ``matmat`` is available; intermediate values chunk the columns.
 
     Returns
     -------
     (solution, stats):
         The solution with the same shape as ``rhs`` and the per-column
-        iteration counts.
+        iteration statistics (including the operator-traversal count).
     """
     rhs = np.asarray(rhs, dtype=float)
     single_column = rhs.ndim == 1
     columns = rhs[:, None] if single_column else rhs
     if columns.shape[0] != size:
         raise ValueError(f"rhs has {columns.shape[0]} rows, expected {size}")
+    if block_size is not None and block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
 
+    num_columns = columns.shape[1]
+    blocked = matmat is not None and num_columns > 1 and block_size != 1
+    if not blocked:
+        solution, stats = _column_gmres(
+            matvec, columns, size, tolerance, max_iterations, diagonal
+        )
+    else:
+        chunk = num_columns if block_size is None else min(int(block_size), num_columns)
+        inverse_diagonal = None
+        if diagonal is not None:
+            jacobi_preconditioner(diagonal)  # shared validation
+            inverse_diagonal = 1.0 / np.asarray(diagonal, dtype=float)
+        solution = np.empty_like(columns)
+        iterations: list[int] = []
+        traversals = 0
+        assert matmat is not None
+        for start in range(0, num_columns, chunk):
+            stop = min(start + chunk, num_columns)
+            block, block_iterations, block_traversals = _blocked_gmres(
+                matmat,
+                columns[:, start:stop],
+                tolerance,
+                max_iterations,
+                inverse_diagonal,
+                rhs_offset=start,
+            )
+            solution[:, start:stop] = block
+            iterations.extend(block_iterations)
+            traversals += block_traversals
+        stats = IterativeStats(
+            iterations_per_rhs=iterations,
+            mode="blocked",
+            operator_traversals=traversals,
+        )
+    return (solution[:, 0] if single_column else solution), stats
+
+
+# ----------------------------------------------------------------------
+def _column_gmres(
+    matvec: Callable[[np.ndarray], np.ndarray],
+    columns: np.ndarray,
+    size: int,
+    tolerance: float,
+    max_iterations: int,
+    diagonal: np.ndarray | None,
+) -> tuple[np.ndarray, IterativeStats]:
+    """The historical per-column scipy GMRES loop."""
     operator = LinearOperator((size, size), matvec=matvec)
     preconditioner = jacobi_preconditioner(diagonal) if diagonal is not None else None
 
@@ -100,6 +220,13 @@ def gmres_solve(
             callback=counter,
             callback_type="pr_norm",
         )
+        if info < 0:
+            # scipy signals illegal input or an unrecoverable breakdown with
+            # a negative code — silently accepting x would return garbage.
+            raise RuntimeError(
+                f"GMRES failed with illegal input or breakdown "
+                f"(right-hand side {column}, error code {info})"
+            )
         if info > 0:
             raise RuntimeError(
                 f"GMRES did not converge within {max_iterations} iterations "
@@ -107,8 +234,7 @@ def gmres_solve(
             )
         solution[:, column] = x
         iterations.append(counter.count)
-    stats = IterativeStats(iterations_per_rhs=iterations)
-    return (solution[:, 0] if single_column else solution), stats
+    return solution, IterativeStats(iterations_per_rhs=iterations, mode="column")
 
 
 class _IterationCounter:
@@ -119,3 +245,121 @@ class _IterationCounter:
 
     def __call__(self, _residual_norm: float) -> None:
         self.count += 1
+
+
+# ----------------------------------------------------------------------
+def _blocked_gmres(
+    matmat: MatMat,
+    block_rhs: np.ndarray,
+    tolerance: float,
+    max_iterations: int,
+    inverse_diagonal: np.ndarray | None,
+    rhs_offset: int = 0,
+) -> tuple[np.ndarray, list[int], int]:
+    """Lockstep multi-right-hand-side GMRES on one column block.
+
+    All columns share each operator traversal: iteration ``m`` applies
+    ``matmat`` once to the ``(n, active)`` matrix of the columns' current
+    Arnoldi vectors.  Every column owns an independent Krylov basis,
+    Hessenberg matrix (kept upper-triangular through Givens rotations) and
+    residual estimate, so a column that converges simply leaves the block.
+
+    Returns ``(solution, iterations_per_column, operator_traversals)``.
+    """
+    n, k = block_rhs.shape
+    solution = np.zeros((n, k))
+    iterations = [0] * k
+
+    def precondition(block: np.ndarray) -> np.ndarray:
+        if inverse_diagonal is None:
+            return block
+        return block * inverse_diagonal[:, None]
+
+    residual0 = precondition(block_rhs)
+    beta = np.linalg.norm(residual0, axis=0)
+    targets = tolerance * beta
+
+    # Per-column Arnoldi state: basis vectors, rotated Hessenberg columns,
+    # Givens rotations and the rotated residual vector g.
+    basis: list[list[np.ndarray]] = [[] for _ in range(k)]
+    hessenberg: list[list[np.ndarray]] = [[] for _ in range(k)]
+    givens: list[list[tuple[float, float]]] = [[] for _ in range(k)]
+    g: list[list[float]] = [[] for _ in range(k)]
+
+    active: list[int] = []
+    for j in range(k):
+        if beta[j] > 0.0:
+            basis[j].append(residual0[:, j] / beta[j])
+            g[j].append(float(beta[j]))
+            active.append(j)
+        # A zero right-hand side is solved by the zero vector at no cost.
+
+    traversals = 0
+    for m in range(max_iterations):
+        if not active:
+            break
+        block = np.column_stack([basis[j][m] for j in active])
+        applied = precondition(np.asarray(matmat(block), dtype=float))
+        if applied.shape != (n, len(active)):
+            raise ValueError(
+                f"matmat returned shape {applied.shape}, expected {(n, len(active))}"
+            )
+        traversals += 1
+        still_active: list[int] = []
+        for position, j in enumerate(active):
+            w = applied[:, position].copy()
+            applied_norm = float(np.linalg.norm(w))
+            # Modified Gram-Schmidt against the column's basis.
+            h = np.empty(m + 2)
+            for i, v in enumerate(basis[j]):
+                h[i] = float(v @ w)
+                w -= h[i] * v
+            w_norm = float(np.linalg.norm(w))
+            h[m + 1] = w_norm
+            # Previous rotations keep the Hessenberg column triangular.
+            for i, (c, s) in enumerate(givens[j]):
+                h[i], h[i + 1] = c * h[i] + s * h[i + 1], -s * h[i] + c * h[i + 1]
+            denom = math.hypot(h[m], h[m + 1])
+            c, s = (1.0, 0.0) if denom == 0.0 else (h[m] / denom, h[m + 1] / denom)
+            givens[j].append((c, s))
+            h[m], h[m + 1] = denom, 0.0
+            hessenberg[j].append(h)
+            g[j].append(-s * g[j][m])
+            g[j][m] = c * g[j][m]
+            iterations[j] = m + 1
+
+            happy_breakdown = w_norm <= np.finfo(float).eps * applied_norm
+            if abs(g[j][m + 1]) <= targets[j] or happy_breakdown:
+                solution[:, j] = _assemble_solution(basis[j], hessenberg[j], g[j])
+            else:
+                basis[j].append(w / w_norm)
+                still_active.append(j)
+        active = still_active
+
+    if active:
+        residuals = ", ".join(
+            f"rhs {rhs_offset + j}: |r|={abs(g[j][iterations[j]]):.3e}" for j in active
+        )
+        raise RuntimeError(
+            f"blocked GMRES did not converge within {max_iterations} iterations "
+            f"({residuals})"
+        )
+    return solution, iterations, traversals
+
+
+def _assemble_solution(
+    basis: list[np.ndarray],
+    hessenberg: list[np.ndarray],
+    g: list[float],
+) -> np.ndarray:
+    """Back-substitute the rotated least-squares system and expand in the basis."""
+    m = len(hessenberg)
+    y = np.zeros(m)
+    for i in range(m - 1, -1, -1):
+        accumulated = g[i] - sum(hessenberg[col][i] * y[col] for col in range(i + 1, m))
+        diagonal = hessenberg[i][i]
+        y[i] = accumulated / diagonal if diagonal != 0.0 else 0.0
+    x = np.zeros_like(basis[0])
+    for i in range(m):
+        x += y[i] * basis[i]
+    return x

@@ -100,16 +100,57 @@ class TestHMatrix:
         assert stats["num_near_blocks"] == len(hmatrix.dense_blocks)
         assert 0.0 < stats["compression_ratio"] < 1.0
 
-    @pytest.mark.parametrize("num_workers", [2, 4])
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    @pytest.mark.parametrize("num_workers", [1, 2, 4])
     def test_worker_partitions_do_not_change_the_operator(
-        self, entries, hmatrix, num_workers
+        self, entries, hmatrix, executor, num_workers
     ):
         partitioned = build_hmatrix(
-            entries, epsilon=1e-6, leaf_size=12, eta=2.0, num_workers=num_workers
+            entries,
+            epsilon=1e-6,
+            leaf_size=12,
+            eta=2.0,
+            num_workers=num_workers,
+            executor=executor,
         )
         np.testing.assert_array_equal(partitioned.dense(), hmatrix.dense())
         assert len(partitioned.worker_seconds) == num_workers
         assert all(seconds >= 0.0 for seconds in partitioned.worker_seconds)
+
+    @pytest.mark.multiprocess
+    @pytest.mark.parametrize("num_workers", [2, 4])
+    def test_process_executor_is_bit_identical(self, entries, hmatrix, num_workers):
+        partitioned = build_hmatrix(
+            entries,
+            epsilon=1e-6,
+            leaf_size=12,
+            eta=2.0,
+            num_workers=num_workers,
+            executor="process",
+        )
+        np.testing.assert_array_equal(partitioned.dense(), hmatrix.dense())
+        assert len(partitioned.worker_seconds) == num_workers
+
+    def test_matmat_matches_per_column_matvec(self, hmatrix, rng):
+        x = rng.normal(size=(hmatrix.shape[1], 4))
+        columns = np.column_stack([hmatrix.matvec(x[:, j]) for j in range(4)])
+        np.testing.assert_allclose(hmatrix.matmat(x), columns, rtol=1e-12, atol=0)
+
+    def test_matmat_matches_dense(self, hmatrix, dense_reference, rng):
+        x = rng.normal(size=(hmatrix.shape[1], 3))
+        np.testing.assert_allclose(
+            hmatrix.matmat(x), dense_reference @ x, rtol=1e-5, atol=0
+        )
+
+    def test_custom_collocation_cannot_cross_processes(self, refined_bus):
+        layout, basis_set = refined_bus
+        custom = GalerkinEntries(
+            basis_set,
+            layout.permittivity,
+            collocation_fn=lambda rows, cols: np.zeros(len(rows)),
+        )
+        with pytest.raises(ValueError, match="collocation_fn"):
+            build_hmatrix(custom, num_workers=2, executor="process")
 
     def test_validation(self, entries):
         with pytest.raises(ValueError, match="num_workers"):
@@ -118,6 +159,8 @@ class TestHMatrix:
             build_hmatrix(entries, epsilon=1.5)
         with pytest.raises(ValueError, match="max_rank"):
             build_hmatrix(entries, max_rank=0)
+        with pytest.raises(ValueError, match="executor"):
+            build_hmatrix(entries, executor="gpu")
 
     def test_epsilon_controls_the_error(self, entries, dense_reference):
         norm = np.linalg.norm(dense_reference)

@@ -27,6 +27,47 @@ def _scaling_payload(speedups=(1.0, 1.4), efficiencies=(1.0, 0.7)) -> dict:
     }
 
 
+def _solver_payload(
+    worker_counts=(1, 2, 4),
+    assembly_diff=0.0,
+    solve_diff=1e-14,
+    column_traversals=60,
+    blocked_traversals=20,
+) -> dict:
+    workers = {
+        str(count): {
+            "wall_seconds": 1.0,
+            "worker_seconds": [1.0],
+            "partition_seconds": [1.0],
+            "critical_path_seconds": 1.0,
+            "wall_speedup": 1.0,
+            "critical_path_speedup": float(count),
+            "max_abs_diff": assembly_diff,
+        }
+        for count in worker_counts
+    }
+    return {
+        "entries": {
+            "bus2x2": {
+                "assembly": {"serial_seconds": 1.0, "workers": workers},
+                "solve": {
+                    "column": {
+                        "seconds": 1.0,
+                        "iterations_per_rhs": [20, 20, 20],
+                        "operator_traversals": column_traversals,
+                    },
+                    "blocked": {
+                        "seconds": 0.4,
+                        "iterations_per_rhs": [20, 20, 20],
+                        "operator_traversals": blocked_traversals,
+                    },
+                    "max_abs_diff": solve_diff,
+                },
+            }
+        }
+    }
+
+
 class TestCompareBackends:
     def test_within_threshold_passes(self):
         failures = gate.compare_backends(
@@ -117,6 +158,39 @@ class TestCheckScaling:
         assert tuple(gate.SCALING_BACKENDS) == tuple(SCALING_BACKENDS)
 
 
+class TestCheckSolver:
+    def test_green_payload_passes(self):
+        assert gate.check_solver(_solver_payload()) == []
+
+    def test_empty_report_fails(self):
+        failures = gate.check_solver({"entries": {}})
+        assert failures and "no entries" in failures[0]
+
+    def test_non_bit_identical_assembly_fails(self):
+        failures = gate.check_solver(_solver_payload(assembly_diff=1e-15))
+        assert failures and "not bit-identical" in failures[0]
+
+    def test_single_worker_count_fails(self):
+        failures = gate.check_solver(_solver_payload(worker_counts=(1,)))
+        assert failures and ">= 2 worker" in failures[0]
+
+    def test_solve_disagreement_fails(self):
+        failures = gate.check_solver(_solver_payload(solve_diff=1e-6))
+        assert failures and "disagrees" in failures[0]
+
+    def test_blocked_solve_must_not_use_more_traversals(self):
+        failures = gate.check_solver(
+            _solver_payload(column_traversals=20, blocked_traversals=60)
+        )
+        assert failures and "MORE operator" in failures[0]
+
+    def test_missing_traversal_counts_fail(self):
+        payload = _solver_payload()
+        del payload["entries"]["bus2x2"]["solve"]["blocked"]["operator_traversals"]
+        failures = gate.check_solver(payload)
+        assert failures and "operator_traversals" in failures[0]
+
+
 class TestMain:
     @pytest.fixture(autouse=True)
     def _clear_escape_hatch(self, monkeypatch):
@@ -129,17 +203,20 @@ class TestMain:
         baseline = tmp_path / "baseline.json"
         engine = tmp_path / "BENCH_engine.json"
         scaling = tmp_path / "BENCH_scaling.json"
+        solver = tmp_path / "BENCH_solver.json"
         baseline.write_text(json.dumps({"backends": {"instantiable": 1.0}}))
         engine.write_text(json.dumps(_engine_payload({"instantiable": 1.1})))
         scaling.write_text(json.dumps(_scaling_payload()))
-        return baseline, engine, scaling
+        solver.write_text(json.dumps(_solver_payload()))
+        return baseline, engine, scaling, solver
 
-    def _run(self, baseline, engine, scaling) -> int:
+    def _run(self, baseline, engine, scaling, solver) -> int:
         return gate.main(
             [
                 "--baseline", str(baseline),
                 "--engine", str(engine),
                 "--scaling", str(scaling),
+                "--solver", str(solver),
             ]
         )
 
@@ -148,25 +225,38 @@ class TestMain:
         assert "passed" in capsys.readouterr().out
 
     def test_regression_fails(self, artifacts, capsys):
-        baseline, engine, scaling = artifacts
+        baseline, engine, scaling, solver = artifacts
         engine.write_text(json.dumps(_engine_payload({"instantiable": 5.0})))
-        assert self._run(baseline, engine, scaling) == 1
+        assert self._run(baseline, engine, scaling, solver) == 1
         assert "FAILED" in capsys.readouterr().out
 
+    def test_solver_artifact_is_gated(self, artifacts, capsys):
+        baseline, engine, scaling, solver = artifacts
+        solver.write_text(json.dumps(_solver_payload(assembly_diff=1e-12)))
+        assert self._run(baseline, engine, scaling, solver) == 1
+        assert "not bit-identical" in capsys.readouterr().out
+
+    def test_missing_solver_artifact_fails(self, artifacts, capsys):
+        baseline, engine, scaling, solver = artifacts
+        solver.unlink()
+        assert self._run(baseline, engine, scaling, solver) == 1
+        assert "solver benchmark not found" in capsys.readouterr().out
+
     def test_escape_hatch_env(self, artifacts, capsys, monkeypatch):
-        baseline, engine, scaling = artifacts
+        baseline, engine, scaling, solver = artifacts
         engine.write_text(json.dumps(_engine_payload({"instantiable": 5.0})))
         monkeypatch.setenv("BENCH_GATE_SKIP", "1")
-        assert self._run(baseline, engine, scaling) == 0
+        assert self._run(baseline, engine, scaling, solver) == 0
         assert "skipped" in capsys.readouterr().out
 
     def test_update_baseline_writes_file(self, artifacts, capsys):
-        baseline, engine, scaling = artifacts
+        baseline, engine, scaling, solver = artifacts
         code = gate.main(
             [
                 "--baseline", str(baseline),
                 "--engine", str(engine),
                 "--scaling", str(scaling),
+                "--solver", str(solver),
                 "--update-baseline",
             ]
         )
@@ -176,21 +266,21 @@ class TestMain:
         assert written["threshold"] == gate.DEFAULT_THRESHOLD
 
     def test_missing_artifact_is_an_error(self, artifacts):
-        baseline, engine, scaling = artifacts
+        baseline, engine, scaling, solver = artifacts
         engine.unlink()
         with pytest.raises(SystemExit, match="not found"):
-            self._run(baseline, engine, scaling)
+            self._run(baseline, engine, scaling, solver)
 
     def test_baseline_without_backends_section_is_an_error(self, artifacts):
-        baseline, engine, scaling = artifacts
+        baseline, engine, scaling, solver = artifacts
         baseline.write_text(json.dumps({"threshold": 0.25}))
         with pytest.raises(SystemExit, match="malformed"):
-            self._run(baseline, engine, scaling)
+            self._run(baseline, engine, scaling, solver)
 
     def test_malformed_engine_entry_fails_without_crashing(self, artifacts, capsys):
-        baseline, engine, scaling = artifacts
+        baseline, engine, scaling, solver = artifacts
         engine.write_text(json.dumps({"backends": {"instantiable": {"wall": 1.0}}}))
-        assert self._run(baseline, engine, scaling) == 1
+        assert self._run(baseline, engine, scaling, solver) == 1
         out = capsys.readouterr().out
         assert "FAILED" in out
         assert "malformed" in out

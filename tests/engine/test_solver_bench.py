@@ -1,0 +1,83 @@
+"""Tests of the solve-phase bench (``repro.engine.solver_bench`` / ``python -m repro solver``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.cli import main
+from repro.engine.solver_bench import run_solver_bench, write_solver_json
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    """A minimal sweep: the 2x2 bus at 1 and 2 workers, coarse basis."""
+    return run_solver_bench(
+        quick=True, sizes=(2,), worker_counts=(1, 2), face_refinement=2
+    )
+
+
+class TestRunSolverBench:
+    def test_assembly_is_bit_identical_across_workers(self, quick_report):
+        workers = quick_report.data["entries"]["bus2x2"]["assembly"]["workers"]
+        assert set(workers) == {"1", "2"}
+        for record in workers.values():
+            assert record["max_abs_diff"] == 0.0
+            assert record["wall_seconds"] > 0.0
+            assert record["critical_path_seconds"] > 0.0
+
+    def test_worker_and_partition_times_match_counts(self, quick_report):
+        workers = quick_report.data["entries"]["bus2x2"]["assembly"]["workers"]
+        for count, record in workers.items():
+            assert len(record["worker_seconds"]) == int(count)
+            assert len(record["partition_seconds"]) == int(count)
+
+    def test_blocked_solve_agrees_and_shares_traversals(self, quick_report):
+        solve = quick_report.data["entries"]["bus2x2"]["solve"]
+        assert solve["max_abs_diff"] <= 1e-12
+        assert solve["blocked"]["operator_traversals"] <= solve["column"]["operator_traversals"]
+        assert solve["traversal_ratio"] >= 1.0
+        num_rhs = quick_report.data["entries"]["bus2x2"]["num_conductors"]
+        assert len(solve["column"]["iterations_per_rhs"]) == num_rhs
+        assert len(solve["blocked"]["iterations_per_rhs"]) == num_rhs
+
+    def test_report_text_is_tabular(self, quick_report):
+        assert "bus2x2" in quick_report.text
+        assert "traversals" in quick_report.text
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError, match="executor"):
+            run_solver_bench(executor="gpu")
+        with pytest.raises(ValueError, match="bus sizes"):
+            run_solver_bench(sizes=(0,))
+        with pytest.raises(ValueError, match="worker counts"):
+            run_solver_bench(sizes=(2,), worker_counts=(0,))
+
+    def test_write_solver_json(self, quick_report, tmp_path):
+        target = write_solver_json(quick_report, tmp_path / "BENCH_solver.json")
+        data = json.loads(target.read_text())
+        assert data["workload"] == "bus_crossing"
+        assert "bus2x2" in data["entries"]
+
+
+class TestSolverCommand:
+    def test_solver_writes_json(self, capsys, tmp_path):
+        target = tmp_path / "BENCH_solver.json"
+        code = main(
+            ["solver", "--quick", "--sizes", "2", "--workers", "1,2", "--output", str(target)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "traversals" in output
+        assert str(target) in output
+        data = json.loads(target.read_text())
+        assert set(data["entries"]["bus2x2"]["assembly"]["workers"]) == {"1", "2"}
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["solver", "--executor", "gpu"])
+
+    def test_invalid_workers_list_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["solver", "--workers", "two,four"])

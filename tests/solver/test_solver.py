@@ -7,11 +7,13 @@ import pytest
 
 from repro.solver import (
     CapacitanceComparison,
+    IterativeStats,
     capacitance_from_solution,
     capacitance_matrix,
     cholesky_solve,
     compare_capacitance,
     gmres_solve,
+    jacobi_preconditioner,
     solve_dense,
 )
 
@@ -69,6 +71,149 @@ class TestGMRES:
         matrix, rhs = _spd_system(rng)
         with pytest.raises(ValueError):
             gmres_solve(lambda x: matrix @ x, rhs, size=matrix.shape[0] + 1)
+
+    def test_negative_info_raises_distinct_error(self, rng, monkeypatch):
+        # Regression: scipy signals illegal input / breakdown with info < 0;
+        # that used to be silently treated as success.
+        matrix, rhs = _spd_system(rng)
+        import repro.solver.iterative as iterative
+
+        def failing_gmres(op, b, **kwargs):
+            return np.zeros_like(b), -1
+
+        monkeypatch.setattr(iterative, "gmres", failing_gmres)
+        with pytest.raises(RuntimeError, match="illegal input or breakdown"):
+            gmres_solve(lambda x: matrix @ x, rhs, size=matrix.shape[0])
+
+    def test_positive_info_raises_nonconvergence(self, rng):
+        matrix, rhs = _spd_system(rng)
+        # An impossible tolerance within one iteration cannot converge.
+        with pytest.raises(RuntimeError, match="did not converge"):
+            gmres_solve(
+                lambda x: matrix @ x, rhs, size=matrix.shape[0],
+                tolerance=1e-300, max_iterations=1,
+            )
+
+
+class TestJacobiPreconditioner:
+    def test_applies_inverse_diagonal(self):
+        preconditioner = jacobi_preconditioner(np.asarray([2.0, 4.0]))
+        np.testing.assert_allclose(preconditioner.matvec(np.ones(2)), [0.5, 0.25])
+
+    def test_zero_diagonal_entry_names_the_index(self):
+        with pytest.raises(ValueError, match=r"entry 1 is 0\.0"):
+            jacobi_preconditioner(np.asarray([1.0, 0.0, 3.0]))
+
+    def test_non_finite_entry_rejected(self):
+        with pytest.raises(ValueError, match="entry 2"):
+            jacobi_preconditioner(np.asarray([1.0, 2.0, np.nan]))
+
+    def test_multiple_offenders_are_counted(self):
+        with pytest.raises(ValueError, match="2 offending entries"):
+            jacobi_preconditioner(np.asarray([0.0, 1.0, np.inf]))
+
+    def test_gmres_solve_rejects_bad_diagonal(self, rng):
+        matrix, rhs = _spd_system(rng)
+        diagonal = np.diag(matrix).copy()
+        diagonal[3] = 0.0
+        with pytest.raises(ValueError, match="entry 3"):
+            gmres_solve(lambda x: matrix @ x, rhs, size=matrix.shape[0], diagonal=diagonal)
+
+
+class TestBlockedGMRES:
+    def test_matches_column_loop_to_1e12(self, rng):
+        matrix, rhs = _spd_system(rng, size=24)
+        column, column_stats = gmres_solve(
+            lambda x: matrix @ x, rhs, size=24, tolerance=1e-12,
+            diagonal=np.diag(matrix), block_size=1,
+        )
+        blocked, blocked_stats = gmres_solve(
+            lambda x: matrix @ x, rhs, size=24, tolerance=1e-12,
+            diagonal=np.diag(matrix), matmat=lambda block: matrix @ block,
+        )
+        assert column_stats.mode == "column"
+        assert blocked_stats.mode == "blocked"
+        scale = np.max(np.abs(column))
+        assert np.max(np.abs(blocked - column)) <= 1e-12 * scale
+
+    def test_blocked_shares_operator_traversals(self, rng):
+        matrix, rhs = _spd_system(rng, size=24)
+        _, column_stats = gmres_solve(
+            lambda x: matrix @ x, rhs, size=24, diagonal=np.diag(matrix), block_size=1,
+        )
+        _, blocked_stats = gmres_solve(
+            lambda x: matrix @ x, rhs, size=24, diagonal=np.diag(matrix),
+            matmat=lambda block: matrix @ block,
+        )
+        assert column_stats.operator_traversals == column_stats.total_iterations
+        assert blocked_stats.operator_traversals == blocked_stats.max_iterations
+        assert blocked_stats.operator_traversals < column_stats.operator_traversals
+
+    def test_intermediate_block_size_chunks_columns(self, rng):
+        matrix, rhs = _spd_system(rng, size=20)
+        direct = np.linalg.solve(matrix, rhs)
+        blocked, stats = gmres_solve(
+            lambda x: matrix @ x, rhs, size=20, tolerance=1e-10,
+            diagonal=np.diag(matrix), matmat=lambda block: matrix @ block,
+            block_size=2,
+        )
+        assert stats.mode == "blocked"
+        assert len(stats.iterations_per_rhs) == rhs.shape[1]
+        assert np.allclose(blocked, direct, rtol=1e-6)
+
+    def test_zero_rhs_column_is_solved_for_free(self, rng):
+        matrix, rhs = _spd_system(rng, size=16)
+        rhs[:, 1] = 0.0
+        blocked, stats = gmres_solve(
+            lambda x: matrix @ x, rhs, size=16, diagonal=np.diag(matrix),
+            matmat=lambda block: matrix @ block,
+        )
+        assert np.all(blocked[:, 1] == 0.0)
+        assert stats.iterations_per_rhs[1] == 0
+
+    def test_blocked_nonconvergence_raises(self, rng):
+        matrix, rhs = _spd_system(rng, size=16)
+        with pytest.raises(RuntimeError, match="blocked GMRES did not converge"):
+            gmres_solve(
+                lambda x: matrix @ x, rhs, size=16, tolerance=1e-300,
+                matmat=lambda block: matrix @ block, max_iterations=2,
+            )
+
+    def test_invalid_block_size_rejected(self, rng):
+        matrix, rhs = _spd_system(rng)
+        with pytest.raises(ValueError, match="block_size"):
+            gmres_solve(
+                lambda x: matrix @ x, rhs, size=matrix.shape[0],
+                matmat=lambda block: matrix @ block, block_size=0,
+            )
+
+
+class TestIterativeStatsTelemetry:
+    def test_column_default_traversals(self):
+        stats = IterativeStats(iterations_per_rhs=[3, 5, 4])
+        assert stats.mode == "column"
+        assert stats.total_iterations == 12
+        assert stats.max_iterations == 5
+        assert stats.operator_traversals == 12
+
+    def test_result_as_dict_round_trips_telemetry(self):
+        import json
+
+        from repro.core.results import ExtractionResult
+
+        result = ExtractionResult(
+            capacitance=np.eye(2),
+            conductor_names=["a", "b"],
+            iterations=IterativeStats(
+                iterations_per_rhs=[7, 9], mode="blocked", operator_traversals=9
+            ),
+        )
+        summary = json.loads(json.dumps(result.as_dict()))
+        assert summary["total_iterations"] == 16
+        assert summary["iterations_per_rhs"] == [7, 9]
+        assert summary["max_iterations"] == 9
+        assert summary["solver_mode"] == "blocked"
+        assert summary["operator_traversals"] == 9
 
 
 class TestCapacitance:
