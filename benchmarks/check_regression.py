@@ -12,7 +12,10 @@ speedup and parallel-efficiency entries for at least two worker counts.
 ``BENCH_solver.json`` is gated structurally too: the parallel H-matrix
 assembly must be bit-identical to the serial build at every worker count,
 and the blocked multi-RHS solve must agree with the per-column loop to
-``1e-10`` without using more operator traversals.
+``1e-10`` without using more operator traversals.  ``BENCH_service.json``
+(the serve-layer load test) must show a cache hit rate above 50 % under
+the Zipf repeated-layout workload, a cold-restart request served from the
+persistent store, sane latency percentiles and zero failed requests.
 
 Escape hatches:
 
@@ -205,6 +208,53 @@ def check_solver(solver_data: dict) -> list[str]:
     return failures
 
 
+#: The serve-layer load test must beat this hit rate under Zipf(1.1)
+#: repeated layouts -- the cache is the service's scalability story.
+SERVICE_MIN_HIT_RATE = 0.5
+
+
+def check_service(service_data: dict) -> list[str]:
+    """Structural checks of ``BENCH_service.json``.
+
+    The load test must have actually served traffic (positive request
+    count and throughput), report coherent latency percentiles
+    (``p50 <= p99``), exceed :data:`SERVICE_MIN_HIT_RATE` under the Zipf
+    workload, prove the persistent store survives a restart
+    (``cold_restart_cached``) and contain zero failed requests.
+    """
+    failures = []
+    num_requests = service_data.get("num_requests")
+    if not isinstance(num_requests, int) or num_requests < 1:
+        return [f"service report served no requests (num_requests={num_requests!r})"]
+    throughput = service_data.get("throughput_per_second")
+    if not isinstance(throughput, (int, float)) or throughput <= 0.0:
+        failures.append(f"service: implausible throughput {throughput!r}")
+    latency = service_data.get("latency_seconds") or {}
+    p50, p99 = latency.get("p50"), latency.get("p99")
+    if not isinstance(p50, (int, float)) or not isinstance(p99, (int, float)):
+        failures.append(f"service: missing latency percentiles (p50={p50!r}, p99={p99!r})")
+    elif p50 < 0.0 or p50 > p99:
+        failures.append(f"service: incoherent latency percentiles (p50={p50} > p99={p99})")
+    cache = service_data.get("cache") or {}
+    hit_rate = cache.get("hit_rate")
+    if not isinstance(hit_rate, (int, float)):
+        failures.append(f"service: missing cache hit_rate ({hit_rate!r})")
+    elif hit_rate <= SERVICE_MIN_HIT_RATE:
+        failures.append(
+            f"service: cache hit rate {hit_rate:.1%} <= {SERVICE_MIN_HIT_RATE:.0%} under the "
+            "Zipf repeated-layout workload -- the persistent cache is not doing its job"
+        )
+    if service_data.get("cold_restart_cached") is not True:
+        failures.append(
+            "service: a request after a server restart was NOT served from the "
+            "persistent store (cold_restart_cached != true)"
+        )
+    failed = service_data.get("failed")
+    if failed != 0:
+        failures.append(f"service: {failed!r} requests failed during the load test")
+    return failures
+
+
 def write_summary(
     baseline_totals: dict,
     current_backends: dict,
@@ -296,6 +346,12 @@ def main(argv: list[str] | None = None) -> int:
         help="fresh solve-phase benchmark artifact",
     )
     parser.add_argument(
+        "--service",
+        type=Path,
+        default=REPO_ROOT / "BENCH_service.json",
+        help="fresh serve-layer load-test artifact",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=None,
@@ -377,6 +433,10 @@ def main(argv: list[str] | None = None) -> int:
         failures += check_solver(json.loads(args.solver.read_text()))
     else:
         failures.append(f"solver benchmark not found at {args.solver}")
+    if args.service.exists():
+        failures += check_service(json.loads(args.service.read_text()))
+    else:
+        failures.append(f"service load-test benchmark not found at {args.service}")
     write_summary(
         baseline.get("backends", {}), current_backends, threshold, floor_seconds, failures
     )

@@ -1,0 +1,39 @@
+"""Benchmark of the serving layer: Zipf load test over the HTTP front-end.
+
+Boots a real :class:`repro.serve.server.ExtractionServer`, drives it with
+concurrent clients drawing layouts from a Zipf(1.1) popularity distribution
+(repeated layouts dominate, like a parameter sweep re-submitting designs),
+and writes ``BENCH_service.json`` at the repository root -- throughput,
+latency percentiles, cache hit rate and the cold-restart check that the CI
+gate (``benchmarks/check_regression.py``) enforces.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.serve.loadtest import BENCH_SERVICE_FILENAME, run_loadtest, write_service_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_serve_loadtest_benchmark(benchmark, quick_mode):
+    """Zipf repeated-layout traffic: the cache must carry most requests."""
+    kwargs = dict(num_requests=60, pool_size=8, concurrency=6) if quick_mode else {}
+    report = run_once(benchmark, run_loadtest, **kwargs)
+    print("\n" + report.text)
+    target = write_service_json(report, REPO_ROOT / BENCH_SERVICE_FILENAME)
+    print(f"\nwrote {target}")
+
+    data = report.data
+    benchmark.extra_info["service"] = {
+        "throughput_per_second": data["throughput_per_second"],
+        "cache_hit_rate": data["cache"]["hit_rate"],
+        "latency_p99_seconds": data["latency_seconds"]["p99"],
+    }
+    assert data["failed"] == 0
+    assert data["cache"]["hit_rate"] > 0.5
+    assert data["cold_restart_cached"] is True
+    assert data["throughput_per_second"] > 0.0

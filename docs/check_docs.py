@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Validate the documentation: internal links resolve, code blocks run.
+
+Checks, over ``README.md`` and every ``docs/*.md``:
+
+* **Internal links** — every relative markdown link ``[text](target)``
+  must point at an existing file (anchors are stripped; ``http(s)://``
+  and ``mailto:`` targets are skipped).
+* **Anchors** — a fragment on an internal link (``file.md#section``)
+  must match a heading slug in the target document.
+* **`pycon` code blocks** — executed as doctests (the ``>>>`` sessions
+  must actually produce their shown output).
+* **`python` code blocks** — compiled (syntax-checked), not executed:
+  prose examples may be illustrative fragments or expensive.
+
+Run from the repository root (the CI docs job does)::
+
+    PYTHONPATH=src python docs/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _rel(path: Path) -> Path:
+    """Repo-relative when possible (readable output), absolute otherwise."""
+    try:
+        return path.relative_to(REPO_ROOT)
+    except ValueError:
+        return path
+
+
+#: ``[text](target)`` — excluding images; reference-style links are not used.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+
+
+def doc_files() -> list[Path]:
+    """README plus every markdown file under docs/, deterministic order."""
+    return [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """GitHub-style anchor slugs of every heading in a markdown file."""
+    slugs: set[str] = set()
+    for line in path.read_text().splitlines():
+        match = HEADING_RE.match(line)
+        if match:
+            text = re.sub(r"[`*]", "", match.group(2)).strip().lower()
+            slugs.add(re.sub(r"[^\w\- ]", "", text).replace(" ", "-"))
+    return slugs
+
+
+def iter_code_blocks(path: Path):
+    """Yield ``(language, first_line_number, source)`` for fenced blocks."""
+    language, start, lines = None, 0, []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        match = FENCE_RE.match(line.strip())
+        if match and language is None:
+            language, start, lines = match.group(1) or "text", number + 1, []
+        elif line.strip() == "```" and language is not None:
+            yield language, start, "\n".join(lines)
+            language = None
+        elif language is not None:
+            lines.append(line)
+
+
+def check_links(path: Path) -> list[str]:
+    failures = []
+    for target in LINK_RE.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve() if file_part else path
+        if not resolved.exists():
+            failures.append(f"{_rel(path)}: broken link -> {target}")
+        elif anchor and resolved.suffix == ".md" and anchor not in heading_slugs(resolved):
+            failures.append(f"{_rel(path)}: dead anchor -> {target}")
+    return failures
+
+
+def check_code_blocks(path: Path) -> list[str]:
+    failures = []
+    relative = _rel(path)
+    for language, line, source in iter_code_blocks(path):
+        if language == "pycon":
+            runner = doctest.DocTestRunner(verbose=False, optionflags=doctest.ELLIPSIS)
+            test = doctest.DocTestParser().get_doctest(
+                source, {}, f"{relative}:{line}", str(relative), line
+            )
+            runner.run(test, clear_globs=False)
+            if runner.failures:
+                failures.append(f"{relative}:{line}: pycon block failed ({runner.failures} example(s))")
+        elif language == "python":
+            try:
+                compile(source, f"{relative}:{line}", "exec")
+            except SyntaxError as exc:
+                failures.append(f"{relative}:{line}: python block does not compile: {exc.msg}")
+    return failures
+
+
+def main() -> int:
+    failures: list[str] = []
+    checked = 0
+    for path in doc_files():
+        if not path.exists():
+            failures.append(f"expected documentation file missing: {_rel(path)}")
+            continue
+        checked += 1
+        failures += check_links(path)
+        failures += check_code_blocks(path)
+    if failures:
+        print(f"docs check FAILED ({len(failures)} problem(s) over {checked} file(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"docs check passed: {checked} files, links and code blocks OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

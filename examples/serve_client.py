@@ -1,0 +1,116 @@
+"""Talk to the extraction service over HTTP: single requests and a batch.
+
+Boots an :class:`repro.serve.server.ExtractionServer` on a random free port
+in a background thread, then acts as a plain HTTP client against it using
+only the standard library:
+
+* ``POST /v1/extract`` -- one layout, synchronous JSON answer; the second,
+  identical request comes back ``"cached"`` from the persistent store.
+* ``POST /v1/batch`` -- a separation sweep streamed back as NDJSON progress
+  lines, each printed the moment its extraction finishes.
+* ``GET /v1/stats`` -- queue depths, shard utilisation and cache hit rate.
+
+Against an already-running server (``python -m repro serve``), drop the
+embedded-server part and point the helpers at its host/port.
+
+Run with ``PYTHONPATH=src python examples/serve_client.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import tempfile
+import threading
+
+from repro.serve import ExtractionServer, ServeConfig
+
+
+def post_json(host: str, port: int, path: str, payload: dict) -> dict:
+    """One JSON request/response round trip (stdlib http.client)."""
+    connection = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        connection.request("POST", path, json.dumps(payload))
+        response = connection.getresponse()
+        return json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def get_json(host: str, port: int, path: str) -> dict:
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        connection.request("GET", path)
+        return json.loads(connection.getresponse().read())
+    finally:
+        connection.close()
+
+
+def stream_batch(host: str, port: int, specs: list[dict]):
+    """POST a batch and yield each NDJSON progress line as it arrives."""
+    connection = http.client.HTTPConnection(host, port, timeout=300)
+    try:
+        connection.request("POST", "/v1/batch", json.dumps(specs))
+        response = connection.getresponse()
+        for raw_line in response:
+            line = raw_line.strip()
+            if line:
+                yield json.loads(line)
+    finally:
+        connection.close()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-serve-example-") as cache_dir:
+        server = ExtractionServer(ServeConfig(port=0, cache_dir=cache_dir))
+        started = threading.Event()
+        stop: dict = {}
+
+        def run_server() -> None:
+            async def body() -> None:
+                await server.start()
+                stop["loop"] = asyncio.get_running_loop()
+                stop["event"] = asyncio.Event()
+                started.set()
+                await stop["event"].wait()
+                await server.shutdown()
+
+            asyncio.run(body())
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        started.wait()
+        host, port = server.config.host, server.port
+        print(f"server up on http://{host}:{port}\n")
+
+        spec = {"generator": "crossing_wires", "backend": "pwc-dense", "options": {"cells_per_edge": 2}}
+        first = post_json(host, port, "/v1/extract", spec)
+        print(f"first extract : status={first['status']:<9} {first['seconds']*1e3:7.1f} ms solve")
+        second = post_json(host, port, "/v1/extract", spec)
+        print(f"same spec     : status={second['status']:<9} (served from the persistent store)")
+        coupling = first["result"]["capacitance_farad"][0][1]
+        print(f"coupling C    : {coupling:.3e} F\n")
+
+        sweep = [
+            {**spec, "params": {"separation": separation * 1e-6}, "label": f"sep={separation}um"}
+            for separation in (0.5, 1.0, 2.0, 4.0)
+        ]
+        print("batch sweep (NDJSON progress):")
+        for line in stream_batch(host, port, sweep):
+            if line.get("summary"):
+                print(f"  done: {line['served']} served, {line['rejected']} rejected")
+            else:
+                print(f"  [{line['index']}] {line['status']:<9} {line.get('label') or ''}")
+
+        stats = get_json(host, port, "/v1/stats")
+        store = stats["store"]
+        print(f"\nstore: {store['stored']} entries, hit rate {store['hit_rate']:.0%}")
+
+        stop["loop"].call_soon_threadsafe(stop["event"].set)
+        thread.join(timeout=60)
+        print("server drained; bye")
+
+
+if __name__ == "__main__":
+    main()

@@ -104,7 +104,8 @@ def run_engine_bench(
             ),
             (
                 f"Service batch: {report.num_requests} requests "
-                f"({report.cache_hits} cache hits, {report.num_failed} failed) "
+                f"({report.cache_hits} cache hits = {report.cache_hit_rate:.0%}, "
+                f"{report.num_failed} failed) "
                 f"in {report.wall_seconds:.2f} s -> "
                 f"{report.throughput:.1f} requests/s [{executor} executor]"
             ),

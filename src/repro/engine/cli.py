@@ -22,6 +22,12 @@ Run as ``python -m repro``:
   with every backend, gate the relative errors against the golden
   references in ``benchmarks/golden/`` and write ``BENCH_accuracy.json``
   (``--update-golden`` refreshes the references instead).
+* ``python -m repro serve`` -- run the long-lived async HTTP extraction
+  service (sharded worker pools, bounded priority queue, persistent
+  fingerprint-keyed result cache); Ctrl-C drains gracefully.
+* ``python -m repro loadtest`` -- fire a Zipf-distributed repeated-layout
+  workload at an in-process server and write ``BENCH_service.json``
+  (throughput, p50/p99 latency, cache hit rate).
 
 (The paper-experiment driver remains available as
 ``python -m repro.core.experiments``.)
@@ -331,6 +337,59 @@ def _command_accuracy(args: argparse.Namespace) -> int:
     return 0 if report.data["all_within_tolerance"] else 1
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve.config import DEFAULT_CACHE_DIR, ServeConfig
+    from repro.serve.server import run_server
+
+    if args.no_cache and args.cache_dir is not None:
+        raise SystemExit("error: --no-cache and --cache-dir are mutually exclusive")
+    cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE_DIR)
+    try:
+        config = ServeConfig(host=args.host, port=args.port, cache_dir=cache_dir)
+        if args.shard:
+            config = config.with_shard_workers(dict(args.shard))
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    run_server(config)
+    return 0
+
+
+def _command_loadtest(args: argparse.Namespace) -> int:
+    from repro.serve.loadtest import BENCH_SERVICE_FILENAME, run_loadtest, write_service_json
+
+    try:
+        report = run_loadtest(
+            num_requests=args.requests,
+            pool_size=args.pool,
+            concurrency=args.concurrency,
+            exponent=args.exponent,
+            backend=args.backend,
+            seed=args.seed,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(report.text)
+    target = write_service_json(
+        report, args.output if args.output is not None else BENCH_SERVICE_FILENAME
+    )
+    print(f"\nwrote {target}")
+    return 0 if report.data["failed"] == 0 else 1
+
+
+def _parse_shard_size(text: str) -> tuple[str, int]:
+    """Parse a ``shard=workers`` sizing option (e.g. ``dense=4``)."""
+    name, separator, raw = text.partition("=")
+    if not separator or not name:
+        raise argparse.ArgumentTypeError(f"expected shard=workers, got {text!r}")
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"worker count must be an integer, got {raw!r}") from None
+    return name, workers
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -614,6 +673,74 @@ def main(argv: list[str] | None = None) -> int:
     )
     accuracy_parser.add_argument("--json", action="store_true", help="emit JSON")
     accuracy_parser.set_defaults(handler=_command_accuracy)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the long-lived async HTTP extraction service",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument(
+        "--port", type=int, default=8421, help="bind port; 0 picks an ephemeral port (default: 8421)"
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persistent result-cache directory (default: .repro-serve-cache)",
+    )
+    serve_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache (in-flight dedup still applies)",
+    )
+    serve_parser.add_argument(
+        "--shard",
+        action="append",
+        default=[],
+        type=_parse_shard_size,
+        metavar="NAME=WORKERS",
+        help="resize a shard's worker pool (repeatable), e.g. --shard dense=4",
+    )
+    serve_parser.set_defaults(handler=_command_serve)
+
+    loadtest_parser = subparsers.add_parser(
+        "loadtest",
+        help="benchmark the service under a Zipf repeated-layout workload",
+    )
+    loadtest_parser.add_argument(
+        "--requests", type=int, default=150, help="total requests to fire (default: 150)"
+    )
+    loadtest_parser.add_argument(
+        "--pool", type=int, default=12, help="distinct layouts in the pool (default: 12)"
+    )
+    loadtest_parser.add_argument(
+        "--concurrency", type=int, default=8, help="parallel client workers (default: 8)"
+    )
+    loadtest_parser.add_argument(
+        "--exponent", type=float, default=1.1, help="Zipf popularity exponent (default: 1.1)"
+    )
+    loadtest_parser.add_argument(
+        "--backend", default=DEFAULT_BACKEND, help=f"backend under load (default: {DEFAULT_BACKEND})"
+    )
+    loadtest_parser.add_argument(
+        "--seed", type=int, default=7, help="seed of the popularity draw (default: 7)"
+    )
+    loadtest_parser.add_argument(
+        "--workers", type=int, default=2, help="server-side shard workers (default: 2)"
+    )
+    loadtest_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persistent store directory (default: a fresh temporary directory)",
+    )
+    loadtest_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="where to write the machine-readable report (default: BENCH_service.json)",
+    )
+    loadtest_parser.set_defaults(handler=_command_loadtest)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -96,11 +96,17 @@ class BatchReport:
         Wall-clock time of the whole batch (fan-out included).
     cache_hits:
         Requests served without running a backend.
+    cache_info:
+        Snapshot of the serving cache's cumulative counters
+        (hits/misses/size/capacity) taken when the batch finished --
+        populated by :class:`~repro.engine.service.ExtractionService` so
+        callers never need its private attributes.
     """
 
     statuses: list[RequestStatus]
     wall_seconds: float
     cache_hits: int = 0
+    cache_info: dict | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -129,6 +135,11 @@ class BatchReport:
         completed = self.num_requests - self.num_failed
         return completed / self.wall_seconds if self.wall_seconds > 0.0 else 0.0
 
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of this batch served without running a backend."""
+        return self.cache_hits / self.num_requests if self.num_requests else 0.0
+
     # ------------------------------------------------------------------
     def as_dict(self) -> dict:
         """Machine-readable summary of the batch."""
@@ -136,6 +147,8 @@ class BatchReport:
             "num_requests": self.num_requests,
             "num_failed": self.num_failed,
             "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache_info": self.cache_info,
             "wall_seconds": self.wall_seconds,
             "throughput_per_second": self.throughput,
             "requests": [s.as_dict() for s in self.statuses],

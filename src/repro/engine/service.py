@@ -211,6 +211,7 @@ class ExtractionService:
             statuses=statuses,
             wall_seconds=time.perf_counter() - wall_start,
             cache_hits=cache_hits,
+            cache_info=self.cache_info(),
         )
 
     # ------------------------------------------------------------------

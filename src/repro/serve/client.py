@@ -1,0 +1,89 @@
+"""Minimal asyncio HTTP client for the extraction server.
+
+Counterpart of :mod:`repro.serve.protocol` used by the load-test harness,
+the test suite and ``examples/serve_client.py``: one connection per call,
+JSON bodies, and an async iterator over chunked NDJSON batch streams.
+Any HTTP client works against the server (``curl`` included); this one
+exists so the repo needs no client-side dependency either.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator
+
+__all__ = ["request_json", "stream_batch"]
+
+
+async def _read_head(reader: asyncio.StreamReader) -> tuple[int, dict[str, str]]:
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+def _encode_request(method: str, path: str, host: str, payload: Any | None) -> bytes:
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        "Connection: close\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def request_json(
+    host: str, port: int, method: str, path: str, payload: Any | None = None
+) -> tuple[int, Any]:
+    """One request/response round trip; returns ``(status, parsed body)``."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(_encode_request(method, path, host, payload))
+        await writer.drain()
+        status, headers = await _read_head(reader)
+        if "content-length" in headers:
+            body = await reader.readexactly(int(headers["content-length"]))
+        else:  # pragma: no cover - the server always frames JSON responses
+            body = await reader.read()
+        return status, json.loads(body or b"null")
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+async def stream_batch(host: str, port: int, specs: list[dict]) -> AsyncIterator[dict]:
+    """POST ``/v1/batch`` and yield each NDJSON line as soon as it arrives."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(_encode_request("POST", "/v1/batch", host, specs))
+        await writer.drain()
+        status, headers = await _read_head(reader)
+        if headers.get("transfer-encoding") != "chunked":
+            # An error short-circuits to a plain JSON response.
+            body = await reader.readexactly(int(headers.get("content-length", "0")))
+            raise RuntimeError(f"batch request failed with {status}: {body.decode('utf-8', 'replace')}")
+        buffer = b""
+        while True:
+            size_line = await reader.readuntil(b"\r\n")
+            size = int(size_line.strip(), 16)
+            if size == 0:
+                await reader.readuntil(b"\r\n")  # trailing CRLF of the terminator
+                break
+            chunk = await reader.readexactly(size)
+            await reader.readuntil(b"\r\n")  # chunk's trailing CRLF
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if line.strip():
+                    yield json.loads(line)
+    finally:
+        writer.close()
+        await writer.wait_closed()

@@ -1,0 +1,138 @@
+"""Configuration of the extraction server.
+
+A :class:`ServeConfig` names the listening address, the persistent cache
+directory and the *shards* -- one bounded worker pool per backend class.
+Sharding keeps the cheap dense solves from queueing behind long iterative
+or compressed runs: every registered backend routes to exactly one shard,
+and each shard owns its own priority queue (bounded depth, 429 on
+overflow) and thread pool (sized via :class:`ShardSpec.workers`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+__all__ = ["ShardSpec", "ServeConfig", "DEFAULT_SHARDS", "DEFAULT_CACHE_DIR"]
+
+#: Default persistent result-cache directory (relative to the working dir).
+DEFAULT_CACHE_DIR = ".repro-serve-cache"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One worker pool of the server: a backend class and its sizing.
+
+    Attributes
+    ----------
+    name:
+        Shard identifier, echoed in responses and ``/v1/stats``.
+    backends:
+        Registry names routed to this shard.  The *last* shard of a
+        :class:`ServeConfig` is the catch-all: registered backends not
+        named by any shard route there.
+    workers:
+        Concurrent extractions of this shard (its thread-pool size).
+    queue_depth:
+        Bounded depth of the shard's priority queue; a request arriving
+        at a full queue is rejected with HTTP 429 (backpressure).
+    """
+
+    name: str
+    backends: tuple[str, ...]
+    workers: int = 2
+    queue_depth: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("shard name must be non-empty")
+        if self.workers < 1:
+            raise ValueError(f"shard {self.name!r}: workers must be >= 1, got {self.workers}")
+        if self.queue_depth < 1:
+            raise ValueError(f"shard {self.name!r}: queue_depth must be >= 1, got {self.queue_depth}")
+
+
+#: Stock sharding: one pool per backend class.  The dense direct solvers
+#: finish in milliseconds at service sizes; the iterative (GMRES) backends
+#: and the compressed ACA pipeline run longer and must not block them.
+DEFAULT_SHARDS: tuple[ShardSpec, ...] = (
+    ShardSpec(name="dense", backends=("instantiable", "pwc-dense")),
+    ShardSpec(
+        name="iterative",
+        backends=("fastcap", "galerkin-shared", "galerkin-distributed"),
+    ),
+    ShardSpec(name="compressed", backends=("galerkin-aca",)),
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Full configuration of one :class:`~repro.serve.server.ExtractionServer`.
+
+    Attributes
+    ----------
+    host, port:
+        Listening address; ``port=0`` binds an ephemeral port (the bound
+        port is reported by ``ExtractionServer.port`` after start).
+    cache_dir:
+        Directory of the persistent fingerprint-keyed result store.
+        ``None`` disables on-disk caching (in-flight deduplication still
+        applies).
+    shards:
+        Worker pools, routed by backend name (see :class:`ShardSpec`).
+    max_body_bytes:
+        Largest accepted request body; bigger payloads get HTTP 413.
+    drain_seconds:
+        Grace period of the shutdown drain before in-flight work is
+        abandoned.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8421
+    cache_dir: str | Path | None = DEFAULT_CACHE_DIR
+    shards: tuple[ShardSpec, ...] = DEFAULT_SHARDS
+    max_body_bytes: int = 4 * 1024 * 1024
+    drain_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError("ServeConfig needs at least one shard")
+        names = [spec.name for spec in self.shards]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate shard names: {names}")
+        if self.max_body_bytes < 1:
+            raise ValueError(f"max_body_bytes must be >= 1, got {self.max_body_bytes}")
+        if self.drain_seconds < 0:
+            raise ValueError(f"drain_seconds must be >= 0, got {self.drain_seconds}")
+
+    # ------------------------------------------------------------------
+    def shard_for(self, backend: str) -> ShardSpec:
+        """The shard serving ``backend``.
+
+        Backends not named by any shard route to the last shard (the
+        catch-all), so custom registrations are servable without a
+        config change.
+        """
+        for spec in self.shards:
+            if backend in spec.backends:
+                return spec
+        return self.shards[-1]
+
+    def with_shard_workers(self, sizes: dict[str, int]) -> "ServeConfig":
+        """A copy with the named shards resized (``{"dense": 4}``).
+
+        Raises
+        ------
+        KeyError
+            When a name matches no configured shard.
+        """
+        known = {spec.name for spec in self.shards}
+        unknown = sorted(set(sizes) - known)
+        if unknown:
+            raise KeyError(
+                f"no shard named {', '.join(map(repr, unknown))}; configured: {sorted(known)}"
+            )
+        shards = tuple(
+            replace(spec, workers=sizes.get(spec.name, spec.workers)) for spec in self.shards
+        )
+        return replace(self, shards=shards)

@@ -1,0 +1,308 @@
+"""Wire protocol of the extraction server: HTTP/1.1 framing + request schema.
+
+The server speaks a deliberately small slice of HTTP/1.1 over raw asyncio
+streams -- request line, headers, ``Content-Length`` bodies, JSON
+responses, and chunked ``application/x-ndjson`` streaming for batch
+progress -- so it needs no framework dependency and stays inspectable
+end to end.  ``curl`` and :mod:`http.client` interoperate with it as-is.
+
+The request schema (one JSON object per extraction) names the layout by
+*construction recipe*, not by value: either a registered workload family
+(``{"workload": "bus_crossing", "size": 3}``) or a geometry generator
+(``{"generator": "crossing_wires", "params": {"separation": 1e-6}}``),
+plus the backend, its options, a scheduling ``priority`` (smaller runs
+sooner) and an optional echo ``label``.  :func:`build_request` turns a
+parsed spec into the engine's :class:`~repro.engine.request.ExtractionRequest`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.request import DEFAULT_BACKEND, ExtractionRequest
+from repro.geometry import generators
+from repro.geometry.layout import Layout
+
+__all__ = [
+    "ProtocolError",
+    "SpecError",
+    "HttpRequest",
+    "ExtractSpec",
+    "read_request",
+    "send_json",
+    "start_ndjson",
+    "send_ndjson_line",
+    "end_ndjson",
+    "parse_extract_spec",
+    "build_request",
+]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_MAX_HEADER_BYTES = 32 * 1024
+
+
+class ProtocolError(Exception):
+    """Malformed or oversized HTTP input; carries the status to answer with."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class SpecError(Exception):
+    """Invalid extraction spec (unknown workload/generator, bad field types)."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP request: method, split target, headers and raw body."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body parsed as JSON (:class:`ProtocolError` 400 on failure)."""
+        try:
+            return json.loads(self.body or b"null")
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(400, f"request body is not valid JSON: {exc}") from None
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client allows further requests on this connection."""
+        return self.headers.get("connection", "").lower() != "close"
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+async def read_request(reader: asyncio.StreamReader, max_body_bytes: int) -> HttpRequest | None:
+    """Read one request off the stream; ``None`` on clean EOF.
+
+    Raises
+    ------
+    ProtocolError
+        On malformed framing (400), an oversized body (413) or header
+        block (431 is collapsed into 400 here).
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise ProtocolError(400, "connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(400, "header block too large") from None
+    if len(head) > _MAX_HEADER_BYTES:
+        raise ProtocolError(400, "header block too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    parsed = urllib.parse.urlsplit(target)
+    query = {k: v[-1] for k, v in urllib.parse.parse_qs(parsed.query).items()}
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise ProtocolError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding"):
+        raise ProtocolError(400, "chunked request bodies are not supported; send Content-Length")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ProtocolError(400, f"bad Content-Length: {headers['content-length']!r}") from None
+        if length < 0:
+            raise ProtocolError(400, f"bad Content-Length: {length}")
+        if length > max_body_bytes:
+            raise ProtocolError(413, f"body of {length} bytes exceeds the {max_body_bytes} byte limit")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(400, "connection closed mid-body") from None
+    return HttpRequest(method=method.upper(), path=parsed.path, query=query, headers=headers, body=body)
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+def _status_line(status: int) -> bytes:
+    return f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n".encode("latin-1")
+
+
+async def send_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Any,
+    extra_headers: dict[str, str] | None = None,
+) -> None:
+    """Write one complete JSON response (Content-Length framing)."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    headers = {
+        "Content-Type": "application/json",
+        "Content-Length": str(len(body)),
+        **(extra_headers or {}),
+    }
+    head = _status_line(status) + b"".join(
+        f"{name}: {value}\r\n".encode("latin-1") for name, value in headers.items()
+    )
+    writer.write(head + b"\r\n" + body)
+    await writer.drain()
+
+
+async def start_ndjson(writer: asyncio.StreamWriter, status: int = 200) -> None:
+    """Open a chunked ``application/x-ndjson`` response for streaming."""
+    writer.write(
+        _status_line(status)
+        + b"Content-Type: application/x-ndjson\r\n"
+        + b"Transfer-Encoding: chunked\r\n\r\n"
+    )
+    await writer.drain()
+
+
+async def send_ndjson_line(writer: asyncio.StreamWriter, payload: Any) -> None:
+    """Stream one NDJSON line as an HTTP chunk (flushed immediately)."""
+    line = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    writer.write(f"{len(line):x}\r\n".encode("latin-1") + line + b"\r\n")
+    await writer.drain()
+
+
+async def end_ndjson(writer: asyncio.StreamWriter) -> None:
+    """Terminate the chunked stream."""
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# extraction request schema
+# ----------------------------------------------------------------------
+@dataclass
+class ExtractSpec:
+    """Validated extraction spec: layout recipe + backend + scheduling."""
+
+    workload: str | None
+    generator: str | None
+    size: int | None
+    params: dict[str, Any]
+    backend: str
+    options: dict[str, Any]
+    priority: int
+    label: str | None
+
+
+def parse_extract_spec(payload: Any) -> ExtractSpec:
+    """Validate one request object of the extraction schema.
+
+    Exactly one of ``workload`` / ``generator`` must name the layout;
+    everything else is optional with engine defaults.  Raises
+    :class:`SpecError` with a client-readable message otherwise.
+    """
+    if not isinstance(payload, dict):
+        raise SpecError(f"request must be a JSON object, got {type(payload).__name__}")
+    workload = payload.get("workload")
+    generator = payload.get("generator")
+    if (workload is None) == (generator is None):
+        raise SpecError("exactly one of 'workload' or 'generator' must name the layout")
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise SpecError(f"'params' must be an object, got {type(params).__name__}")
+    options = payload.get("options", {})
+    if not isinstance(options, dict):
+        raise SpecError(f"'options' must be an object, got {type(options).__name__}")
+    backend = payload.get("backend", DEFAULT_BACKEND)
+    if not isinstance(backend, str) or not backend:
+        raise SpecError(f"'backend' must be a non-empty string, got {backend!r}")
+    size = payload.get("size")
+    if size is not None and not isinstance(size, int):
+        raise SpecError(f"'size' must be an integer, got {size!r}")
+    if generator is not None and size is not None:
+        raise SpecError("'size' applies to workload specs; pass generator 'params' instead")
+    priority = payload.get("priority", 0)
+    if not isinstance(priority, int):
+        raise SpecError(f"'priority' must be an integer (smaller runs sooner), got {priority!r}")
+    label = payload.get("label")
+    if label is not None and not isinstance(label, str):
+        raise SpecError(f"'label' must be a string, got {label!r}")
+    known = {"workload", "generator", "size", "params", "options", "backend", "priority", "label"}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise SpecError(f"unknown field(s) {', '.join(map(repr, unknown))}; known: {sorted(known)}")
+    return ExtractSpec(
+        workload=workload,
+        generator=generator,
+        size=size,
+        params=dict(params),
+        backend=backend,
+        options=dict(options),
+        priority=priority,
+        label=label,
+    )
+
+
+def _build_layout(spec: ExtractSpec) -> Layout:
+    if spec.workload is not None:
+        from repro.workloads import available_workloads, get_workload
+
+        try:
+            workload = get_workload(spec.workload)
+        except KeyError:
+            raise SpecError(
+                f"unknown workload {spec.workload!r}; available: {', '.join(available_workloads())}"
+            ) from None
+        if spec.params:
+            raise SpecError("workload specs take 'size', not 'params'; use a generator spec for raw params")
+        try:
+            return workload.sized_layout(spec.size) if spec.size is not None else workload.layout()
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"workload {spec.workload!r} rejected size {spec.size!r}: {exc}") from None
+    assert spec.generator is not None  # parse_extract_spec guarantees one source
+    if spec.generator not in generators.__all__:
+        raise SpecError(
+            f"unknown generator {spec.generator!r}; available: {', '.join(sorted(generators.__all__))}"
+        )
+    try:
+        return getattr(generators, spec.generator)(**spec.params)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"generator {spec.generator!r} rejected params {spec.params!r}: {exc}") from None
+
+
+def build_request(spec: ExtractSpec) -> ExtractionRequest:
+    """Materialise the layout and return the engine-level request.
+
+    Raises
+    ------
+    SpecError
+        When the workload/generator is unknown or rejects its parameters.
+    """
+    return ExtractionRequest(
+        layout=_build_layout(spec),
+        backend=spec.backend,
+        options=dict(spec.options),
+        label=spec.label,
+    )

@@ -1,0 +1,122 @@
+"""Bounded priority queue of the extraction server (asyncio-native).
+
+Unlike :class:`asyncio.PriorityQueue` this queue
+
+* **rejects** instead of blocking when full -- the server maps
+  :class:`QueueFull` to HTTP 429 so overload surfaces as backpressure at
+  the edge rather than as unbounded memory growth;
+* is **stable within a priority**: equal-priority items dequeue in arrival
+  order (a monotonic sequence number breaks heap ties);
+* **drains on close**: after :meth:`RequestQueue.close` the already-queued
+  items are still handed out, and getters see :class:`QueueClosed` only
+  once the queue is empty -- the graceful-shutdown contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from typing import Any
+
+__all__ = ["QueueFull", "QueueClosed", "RequestQueue"]
+
+
+class QueueFull(Exception):
+    """Raised by :meth:`RequestQueue.put_nowait` when at bounded depth."""
+
+
+class QueueClosed(Exception):
+    """Raised once a closed queue has been fully drained."""
+
+
+class RequestQueue:
+    """Bounded, closable priority queue (smaller priority dequeues first).
+
+    Parameters
+    ----------
+    maxsize:
+        Bounded depth; :meth:`put_nowait` raises :class:`QueueFull` beyond
+        it.  Must be >= 1 -- an unbounded service queue is exactly the
+        failure mode this class exists to prevent.
+    """
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._heap: list[tuple[int, int, Any]] = []
+        self._sequence = itertools.count()
+        self._closed = False
+        self._not_empty = asyncio.Event()
+        # --- telemetry -------------------------------------------------
+        self.enqueued = 0
+        self.rejected = 0
+        self.max_depth = 0
+
+    # ------------------------------------------------------------------
+    def qsize(self) -> int:
+        """Items currently queued."""
+        return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` was called (draining or drained)."""
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def put_nowait(self, item: Any, priority: int = 0) -> None:
+        """Enqueue ``item``; raise on a full or closed queue (never block).
+
+        Raises
+        ------
+        QueueFull
+            At bounded depth -- the caller owes the client a 429.
+        QueueClosed
+            After :meth:`close` -- the caller owes the client a 503.
+        """
+        if self._closed:
+            raise QueueClosed("queue is closed")
+        if len(self._heap) >= self.maxsize:
+            self.rejected += 1
+            raise QueueFull(f"queue at bounded depth {self.maxsize}")
+        heapq.heappush(self._heap, (priority, next(self._sequence), item))
+        self.enqueued += 1
+        self.max_depth = max(self.max_depth, len(self._heap))
+        self._not_empty.set()
+
+    async def get(self) -> Any:
+        """Dequeue the highest-priority item, waiting when empty.
+
+        Raises
+        ------
+        QueueClosed
+            When the queue is closed *and* empty (drain complete).
+        """
+        while True:
+            if self._heap:
+                _, _, item = heapq.heappop(self._heap)
+                if not self._heap:
+                    self._not_empty.clear()
+                return item
+            if self._closed:
+                raise QueueClosed("queue is closed and drained")
+            await self._not_empty.wait()
+
+    def close(self) -> None:
+        """Stop accepting new items; queued items still drain via :meth:`get`."""
+        self._closed = True
+        # Wake every waiting getter so it can observe the closed state.
+        self._not_empty.set()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Depth and lifetime counters for ``/v1/stats``."""
+        return {
+            "depth": self.qsize(),
+            "maxsize": self.maxsize,
+            "enqueued": self.enqueued,
+            "rejected": self.rejected,
+            "max_depth": self.max_depth,
+            "closed": self._closed,
+        }

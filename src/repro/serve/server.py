@@ -1,0 +1,299 @@
+"""The asyncio HTTP extraction server.
+
+:class:`ExtractionServer` binds the pieces together: it accepts HTTP
+connections, parses requests through :mod:`repro.serve.protocol`, routes
+each extraction to the shard owning its backend
+(:mod:`repro.serve.shards`), and answers from the persistent result store
+(:mod:`repro.serve.store`) whenever the request fingerprint has been
+solved before -- by any client, in any previous process.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness: ``{"status": "ok"}`` (``"draining"`` during shutdown).
+``GET /v1/backends``
+    The registered backend names and descriptions.
+``GET /v1/stats``
+    Store hit/miss counters, per-shard queue depths and outcome counters.
+``POST /v1/extract``
+    One extraction spec in, one JSON result out.  Overload answers 429
+    (bounded queue), bad specs 400, backend failures 500.
+``POST /v1/batch``
+    A JSON array of specs in; streamed NDJSON out -- one progress line per
+    request *as it completes* plus a trailing summary line.
+
+Shutdown is graceful: :meth:`ExtractionServer.shutdown` stops accepting,
+answers in-progress connections with 503, drains every shard queue and
+joins the workers before returning.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+
+from repro.engine.registry import available_backends, get_backend
+from repro.serve.config import ServeConfig
+from repro.serve.protocol import (
+    HttpRequest,
+    ProtocolError,
+    SpecError,
+    build_request,
+    end_ndjson,
+    parse_extract_spec,
+    read_request,
+    send_json,
+    send_ndjson_line,
+    start_ndjson,
+)
+from repro.serve.queue import QueueClosed, QueueFull
+from repro.serve.shards import Job, ShardPool
+from repro.serve.store import ResultStore
+
+__all__ = ["ExtractionServer", "run_server"]
+
+
+class ExtractionServer:
+    """Long-running extraction service over one :class:`ServeConfig`."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.store: ResultStore | None = (
+            ResultStore(self.config.cache_dir) if self.config.cache_dir is not None else None
+        )
+        self.shards: dict[str, ShardPool] = {}
+        self._server: asyncio.base_events.Server | None = None
+        self._draining = False
+        self._started_at = 0.0
+        self._requests_seen = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`; 0 before)."""
+        if self._server is None or not self._server.sockets:
+            return 0
+        return int(self._server.sockets[0].getsockname()[1])
+
+    @property
+    def draining(self) -> bool:
+        """Whether shutdown has begun (new work is answered 503)."""
+        return self._draining
+
+    async def start(self) -> None:
+        """Bind the listening socket and spawn the shard workers."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        self.shards = {spec.name: ShardPool(spec, self.store) for spec in self.config.shards}
+        for pool in self.shards.values():
+            pool.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self._started_at = time.monotonic()
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (``start`` must have been called)."""
+        if self._server is None:
+            raise RuntimeError("call start() before serve_forever()")
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain the shard queues, join the workers."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(*(pool.drain() for pool in self.shards.values())),
+                timeout=self.config.drain_seconds or None,
+            )
+        except asyncio.TimeoutError:  # pragma: no cover - needs a wedged backend
+            pass
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, self.config.max_body_bytes)
+                except ProtocolError as exc:
+                    await send_json(writer, exc.status, {"error": str(exc)})
+                    break
+                if request is None:
+                    break
+                self._requests_seen += 1
+                keep_alive = await self._dispatch(request, writer)
+                if not keep_alive or not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # client went away
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _dispatch(self, request: HttpRequest, writer: asyncio.StreamWriter) -> bool:
+        """Route one request; returns whether the connection may continue."""
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            await send_json(writer, 200, {"status": "draining" if self._draining else "ok"})
+            return True
+        if route == ("GET", "/v1/backends"):
+            payload = [
+                {"name": name, "description": get_backend(name).description}
+                for name in available_backends()
+            ]
+            await send_json(writer, 200, {"backends": payload})
+            return True
+        if route == ("GET", "/v1/stats"):
+            await send_json(writer, 200, self.stats())
+            return True
+        if route == ("POST", "/v1/extract"):
+            return await self._handle_extract(request, writer)
+        if route == ("POST", "/v1/batch"):
+            return await self._handle_batch(request, writer)
+        if request.path in ("/healthz", "/v1/backends", "/v1/stats", "/v1/extract", "/v1/batch"):
+            await send_json(writer, 405, {"error": f"{request.method} not allowed on {request.path}"})
+            return True
+        await send_json(writer, 404, {"error": f"no route for {request.method} {request.path}"})
+        return True
+
+    # ------------------------------------------------------------------
+    def _submit_spec(self, payload: object) -> Job:
+        """Validate a spec, build the layout, and hand the job to its shard.
+
+        Raises :class:`SpecError` (bad spec / unknown backend),
+        :class:`QueueFull` (backpressure) or :class:`QueueClosed`
+        (draining); the callers translate these to 400 / 429 / 503.
+        """
+        spec = parse_extract_spec(payload)
+        if spec.backend not in available_backends():
+            raise SpecError(
+                f"unknown backend {spec.backend!r}; available: {', '.join(available_backends())}"
+            )
+        engine_request = build_request(spec)
+        job = Job(
+            request=engine_request,
+            fingerprint=engine_request.fingerprint(),
+            priority=spec.priority,
+        )
+        self.shards[self.config.shard_for(spec.backend).name].submit(job)
+        return job
+
+    async def _handle_extract(self, request: HttpRequest, writer: asyncio.StreamWriter) -> bool:
+        if self._draining:
+            await send_json(writer, 503, {"error": "server is draining"})
+            return False
+        try:
+            job = self._submit_spec(request.json())
+        except ProtocolError as exc:
+            await send_json(writer, exc.status, {"error": str(exc)})
+            return True
+        except SpecError as exc:
+            await send_json(writer, 400, {"error": str(exc)})
+            return True
+        except QueueFull as exc:
+            await send_json(writer, 429, {"error": str(exc)}, extra_headers={"Retry-After": "1"})
+            return True
+        except QueueClosed:
+            await send_json(writer, 503, {"error": "server is draining"})
+            return False
+        payload = await job.future
+        payload = {**payload, "fingerprint": job.fingerprint}
+        status = 500 if payload.get("error") is not None else 200
+        await send_json(writer, status, payload)
+        return True
+
+    async def _handle_batch(self, request: HttpRequest, writer: asyncio.StreamWriter) -> bool:
+        if self._draining:
+            await send_json(writer, 503, {"error": "server is draining"})
+            return False
+        try:
+            specs = request.json()
+        except ProtocolError as exc:
+            await send_json(writer, exc.status, {"error": str(exc)})
+            return True
+        if not isinstance(specs, list) or not specs:
+            await send_json(writer, 400, {"error": "batch body must be a non-empty JSON array of specs"})
+            return True
+
+        # Submit everything up front (so identical specs coalesce and the
+        # queue sees the whole burst), then stream each completion line
+        # the moment it lands -- the client watches progress, not silence.
+        early: list[dict] = []
+        pending: dict[asyncio.Future, tuple[int, Job]] = {}
+        for index, payload in enumerate(specs):
+            try:
+                job = self._submit_spec(payload)
+            except SpecError as exc:
+                early.append({"index": index, "status": "rejected", "error": str(exc)})
+                continue
+            except QueueFull as exc:
+                early.append({"index": index, "status": "rejected", "error": f"429: {exc}"})
+                continue
+            except QueueClosed:
+                early.append({"index": index, "status": "rejected", "error": "503: server is draining"})
+                continue
+            pending[job.future] = (index, job)
+
+        counters = {"rejected": len(early), "failed": 0, "served": 0}
+        await start_ndjson(writer)
+        for line in early:  # rejections are known before any compute lands
+            await send_ndjson_line(writer, line)
+        while pending:
+            done, _ = await asyncio.wait(list(pending), return_when=asyncio.FIRST_COMPLETED)
+            for future in done:
+                index, job = pending.pop(future)
+                result = future.result()
+                counters["failed" if result.get("error") is not None else "served"] += 1
+                await send_ndjson_line(writer, {"index": index, "fingerprint": job.fingerprint, **result})
+        await send_ndjson_line(writer, {"summary": True, "total": len(specs), **counters})
+        await end_ndjson(writer)
+        return False  # chunked stream ends the connection's useful life
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Machine-readable service state (the ``/v1/stats`` payload)."""
+        return {
+            "draining": self._draining,
+            "uptime_seconds": time.monotonic() - self._started_at if self._started_at else 0.0,
+            "requests_seen": self._requests_seen,
+            "store": self.store.stats() if self.store is not None else None,
+            "shards": {name: pool.stats() for name, pool in self.shards.items()},
+        }
+
+
+def run_server(config: ServeConfig | None = None) -> None:
+    """Blocking entry point of ``python -m repro serve``.
+
+    Installs SIGINT/SIGTERM handlers that trigger the graceful drain, so
+    Ctrl-C finishes accepted work instead of dropping it.
+    """
+    import signal
+
+    async def _main() -> None:
+        server = ExtractionServer(config)
+        await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        cache = server.store.root if server.store is not None else "disabled"
+        print(f"serving extraction on http://{server.config.host}:{server.port} (cache: {cache})")
+        print("endpoints: /healthz /v1/backends /v1/stats /v1/extract /v1/batch  --  Ctrl-C drains and exits")
+        serve_task = asyncio.create_task(server.serve_forever())
+        await stop.wait()
+        print("draining ...")
+        await server.shutdown()
+        serve_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await serve_task
+        print("drained; bye")
+
+    asyncio.run(_main())

@@ -1,0 +1,187 @@
+"""Sharded worker pools executing extraction jobs for the server.
+
+One :class:`ShardPool` serves one backend class (see
+:class:`~repro.serve.config.ShardSpec`): a bounded priority queue feeds
+``workers`` asyncio worker tasks, each running the blocking extraction on
+a private thread via the pool's executor while the event loop keeps
+serving traffic.  Three layers keep repeated layouts from recomputing:
+
+1. the **persistent store** -- a fingerprint already on disk is answered
+   immediately, without touching the queue (``status == "cached"``);
+2. **single-flight deduplication** -- requests arriving while an identical
+   fingerprint is queued or running attach to the in-flight computation
+   instead of enqueueing again (``status == "coalesced"``);
+3. the per-shard :class:`~repro.engine.service.ExtractionService` wrapper,
+   which contains per-request failures and reports compute seconds.
+
+The pool resolves every submitted job's future with a JSON-ready payload,
+so the server layer never blocks on anything but ``await``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.engine.request import ExtractionRequest
+from repro.engine.service import ExtractionService
+from repro.serve.config import ShardSpec
+from repro.serve.queue import QueueClosed, RequestQueue
+from repro.serve.store import ResultStore
+
+__all__ = ["Job", "ShardPool"]
+
+
+@dataclass
+class Job:
+    """One unit of shard work: an engine request plus its completion future."""
+
+    request: ExtractionRequest
+    fingerprint: str
+    priority: int = 0
+    future: asyncio.Future = field(default_factory=lambda: asyncio.get_running_loop().create_future())
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+def _execute(service: ExtractionService, request: ExtractionRequest) -> dict:
+    """Run one request on a worker thread and shape the response payload."""
+    status = service.extract_batch([request]).statuses[0]
+    payload: dict = {
+        "backend": request.backend,
+        "label": request.label,
+        "seconds": status.seconds,
+    }
+    if status.result is not None:
+        payload["result"] = status.result.as_dict()
+        payload["error"] = None
+    else:
+        payload["result"] = None
+        payload["error"] = status.error
+    return payload
+
+
+class ShardPool:
+    """Worker pool of one shard: queue in, resolved job futures out.
+
+    Start with :meth:`start` (on a running loop), submit with
+    :meth:`submit`, and stop with :meth:`drain` -- which closes the queue,
+    lets already-accepted work finish, and joins the workers.
+    """
+
+    def __init__(self, spec: ShardSpec, store: ResultStore | None):
+        self.spec = spec
+        self.store = store
+        self.queue = RequestQueue(maxsize=spec.queue_depth)
+        # The per-shard engine service is purely the execution wrapper
+        # (failure containment + timing): caching is owned by the store
+        # and the in-flight map, which also survive where an in-memory
+        # LRU would not.
+        self._service = ExtractionService(executor="serial", cache_capacity=0)
+        self._executor = ThreadPoolExecutor(
+            max_workers=spec.workers, thread_name_prefix=f"shard-{spec.name}"
+        )
+        self._workers: list[asyncio.Task] = []
+        self._inflight: dict[str, list[Job]] = {}
+        self.completed = 0
+        self.failed = 0
+        self.cache_hits = 0
+        self.coalesced = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker tasks (requires a running event loop)."""
+        if self._workers:
+            raise RuntimeError(f"shard {self.spec.name!r} is already started")
+        self._workers = [
+            asyncio.create_task(self._work(), name=f"shard-{self.spec.name}-{index}")
+            for index in range(self.spec.workers)
+        ]
+
+    def submit(self, job: Job) -> str:
+        """Accept a job and return how it will be served.
+
+        Returns ``"cached"`` (store hit, future already resolved),
+        ``"coalesced"`` (attached to an identical in-flight job) or
+        ``"queued"``.  Raises :class:`~repro.serve.queue.QueueFull` at
+        bounded depth and :class:`~repro.serve.queue.QueueClosed` while
+        draining -- the server maps those to 429 / 503.
+        """
+        if self.store is not None:
+            stored = self.store.get(job.fingerprint)
+            if stored is not None:
+                self.cache_hits += 1
+                job.future.set_result({**stored, "status": "cached", "shard": self.spec.name})
+                return "cached"
+        waiters = self._inflight.get(job.fingerprint)
+        if waiters is not None:
+            waiters.append(job)
+            self.coalesced += 1
+            return "coalesced"
+        self._inflight[job.fingerprint] = [job]
+        try:
+            self.queue.put_nowait(job, priority=job.priority)
+        except Exception:
+            del self._inflight[job.fingerprint]
+            raise
+        return "queued"
+
+    # ------------------------------------------------------------------
+    async def _work(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                job = await self.queue.get()
+            except QueueClosed:
+                return
+            try:
+                payload = await loop.run_in_executor(self._executor, _execute, self._service, job.request)
+            except Exception as exc:  # the service contains backend errors; this is belt-and-braces
+                payload = {
+                    "backend": job.request.backend,
+                    "label": job.request.label,
+                    "seconds": 0.0,
+                    "result": None,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            self._finish(job.fingerprint, payload)
+
+    def _finish(self, fingerprint: str, payload: dict) -> None:
+        failed = payload.get("error") is not None
+        if failed:
+            self.failed += 1
+        else:
+            self.completed += 1
+            if self.store is not None:
+                # Persist only the cacheable fields: "status"/"shard" are
+                # per-response, and a failure must never be served again.
+                self.store.put(fingerprint, {**payload, "fingerprint": fingerprint})
+        waiters = self._inflight.pop(fingerprint, [])
+        for index, job in enumerate(waiters):
+            if job.future.done():  # client went away mid-compute
+                continue
+            status = "failed" if failed else ("completed" if index == 0 else "coalesced")
+            job.future.set_result({**payload, "status": status, "shard": self.spec.name})
+
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Close the queue, finish accepted work, and join the workers."""
+        self.queue.close()
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+            self._workers = []
+        self._executor.shutdown(wait=True)
+
+    def stats(self) -> dict:
+        """Queue depth plus lifetime outcome counters for ``/v1/stats``."""
+        return {
+            "backends": list(self.spec.backends),
+            "workers": self.spec.workers,
+            "queue": self.queue.stats(),
+            "completed": self.completed,
+            "failed": self.failed,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "inflight": len(self._inflight),
+        }

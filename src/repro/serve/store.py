@@ -1,0 +1,118 @@
+"""Persistent on-disk result store keyed by request fingerprint.
+
+The store is the cross-restart cache layer of the extraction server: a
+directory of JSON payloads, one per distinct
+:func:`~repro.engine.fingerprint.request_fingerprint` digest, sharded into
+256 two-hex-character subdirectories so directory listings stay short at
+millions of entries.  Writes are atomic (``os.replace`` of a same-directory
+temp file), so a crash mid-write can never serve a torn payload; a corrupt
+entry (truncated by an external cause) is treated as a miss and deleted.
+
+The store holds *response payloads* (plain JSON dictionaries, see
+:meth:`~repro.serve.shards.ShardPool`), not pickled results: entries are
+inspectable with any JSON tool and independent of in-process class layout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from pathlib import Path
+
+__all__ = ["ResultStore"]
+
+#: Accepted store keys: hex digests (the service fingerprints are SHA-256).
+_KEY_PATTERN = re.compile(r"[0-9a-f]{8,128}")
+
+
+class ResultStore:
+    """Fingerprint-keyed persistent JSON store with hit/miss accounting.
+
+    Parameters
+    ----------
+    root:
+        Store directory, created on first use.  Two store instances (or
+        processes) sharing a root see each other's entries -- that is the
+        point: a result computed before a restart is served after it.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_key(key: str) -> str:
+        if not _KEY_PATTERN.fullmatch(key):
+            raise ValueError(f"store keys must be lowercase hex digests, got {key!r}")
+        return key
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of a key's payload (whether or not it exists)."""
+        key = self._check_key(key)
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """The stored payload, or ``None`` (counted as hit/miss)."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            with self._lock:
+                self._misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            # Self-heal: a torn/corrupt entry is a miss, and keeping it
+            # would turn every future lookup of this key into a parse error.
+            path.unlink(missing_ok=True)
+            with self._lock:
+                self._misses += 1
+            return None
+        with self._lock:
+            self._hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Persist a payload atomically and return its path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.parent / f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        temp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+        os.replace(temp, path)  # atomic on POSIX: readers see old or new, never torn
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every stored entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("??/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Hit/miss counters of this instance plus on-disk occupancy."""
+        with self._lock:
+            hits, misses = self._hits, self._misses
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+            "stored": len(self),
+            "root": str(self.root),
+        }

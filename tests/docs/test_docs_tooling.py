@@ -1,0 +1,85 @@
+"""Tests of the docs tooling (``docs/check_docs.py`` + ``docs/gen_api.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+DOCS_DIR = Path(__file__).resolve().parents[2] / "docs"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, DOCS_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load("check_docs")
+gen_api = _load("gen_api")
+
+
+class TestCheckDocs:
+    def test_repo_docs_are_clean(self):
+        """The committed documentation passes its own gate."""
+        assert check_docs.main() == 0
+
+    def test_broken_link_detected(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("[gone](missing.md)")
+        failures = check_docs.check_links(page)
+        assert failures and "broken link" in failures[0]
+
+    def test_dead_anchor_detected(self, tmp_path):
+        (tmp_path / "target.md").write_text("# Real Heading\n")
+        page = tmp_path / "page.md"
+        page.write_text("[ok](target.md#real-heading) [bad](target.md#no-such)")
+        failures = check_docs.check_links(page)
+        assert len(failures) == 1 and "dead anchor" in failures[0]
+
+    def test_heading_slugs_keep_underscores_and_drop_punctuation(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("## Accuracy suite (`BENCH_accuracy.json`)\n")
+        assert check_docs.heading_slugs(page) == {"accuracy-suite-bench_accuracyjson"}
+
+    def test_failing_pycon_block_detected(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("```pycon\n>>> 1 + 1\n3\n```\n")
+        failures = check_docs.check_code_blocks(page)
+        assert failures and "pycon block failed" in failures[0]
+
+    def test_python_block_syntax_checked(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("```python\ndef broken(:\n```\n")
+        failures = check_docs.check_code_blocks(page)
+        assert failures and "does not compile" in failures[0]
+
+    def test_passing_blocks_and_http_links_are_fine(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "[external](https://example.com)\n"
+            "```pycon\n>>> 2 * 2\n4\n```\n"
+            "```python\nx = 1\n```\n"
+            "```bash\nnot python at all\n```\n"
+        )
+        assert check_docs.check_links(page) == []
+        assert check_docs.check_code_blocks(page) == []
+
+
+class TestGenApi:
+    def test_render_is_deterministic(self):
+        assert gen_api.render() == gen_api.render()
+
+    def test_committed_api_reference_is_fresh(self):
+        """docs/api.md must match the code (same check CI runs)."""
+        assert gen_api.main(["--check"]) == 0
+
+    def test_render_covers_every_api_module(self):
+        content = gen_api.render()
+        for module_name in gen_api.API_MODULES:
+            assert f"## `{module_name}`" in content
+
+    def test_first_paragraph(self):
+        assert gen_api.first_paragraph("One.\nTwo.\n\nRest.") == "One. Two."
+        assert gen_api.first_paragraph(None) == ""
+        assert gen_api.first_paragraph("   ") == ""

@@ -68,6 +68,25 @@ def _solver_payload(
     }
 
 
+def _service_payload(
+    num_requests=150,
+    throughput=100.0,
+    p50=0.01,
+    p99=0.05,
+    hit_rate=0.8,
+    cold_restart_cached=True,
+    failed=0,
+) -> dict:
+    return {
+        "num_requests": num_requests,
+        "throughput_per_second": throughput,
+        "latency_seconds": {"p50": p50, "p99": p99},
+        "cache": {"hits": 120, "computed": 30, "hit_rate": hit_rate},
+        "cold_restart_cached": cold_restart_cached,
+        "failed": failed,
+    }
+
+
 class TestCompareBackends:
     def test_within_threshold_passes(self):
         failures = gate.compare_backends(
@@ -191,6 +210,42 @@ class TestCheckSolver:
         assert failures and "operator_traversals" in failures[0]
 
 
+class TestCheckService:
+    def test_green_payload_passes(self):
+        assert gate.check_service(_service_payload()) == []
+
+    def test_no_traffic_fails(self):
+        failures = gate.check_service(_service_payload(num_requests=0))
+        assert failures and "no requests" in failures[0]
+
+    def test_low_hit_rate_fails(self):
+        failures = gate.check_service(_service_payload(hit_rate=0.3))
+        assert failures and "hit rate" in failures[0]
+
+    def test_hit_rate_at_the_floor_fails(self):
+        # The bound is strict: exactly 50% is not "above 50%".
+        failures = gate.check_service(_service_payload(hit_rate=gate.SERVICE_MIN_HIT_RATE))
+        assert failures and "hit rate" in failures[0]
+
+    def test_cold_restart_must_be_cached(self):
+        failures = gate.check_service(_service_payload(cold_restart_cached=False))
+        assert failures and "persistent store" in failures[0]
+
+    def test_failed_requests_fail(self):
+        failures = gate.check_service(_service_payload(failed=3))
+        assert failures and "3" in failures[0]
+
+    def test_incoherent_percentiles_fail(self):
+        failures = gate.check_service(_service_payload(p50=0.5, p99=0.1))
+        assert failures and "percentiles" in failures[0]
+
+    def test_missing_sections_fail_without_crashing(self):
+        failures = gate.check_service({"num_requests": 10})
+        assert failures  # throughput, latency, cache, restart, failed all flagged
+        assert any("throughput" in f for f in failures)
+        assert any("hit_rate" in f for f in failures)
+
+
 class TestMain:
     @pytest.fixture(autouse=True)
     def _clear_escape_hatch(self, monkeypatch):
@@ -204,19 +259,22 @@ class TestMain:
         engine = tmp_path / "BENCH_engine.json"
         scaling = tmp_path / "BENCH_scaling.json"
         solver = tmp_path / "BENCH_solver.json"
+        service = tmp_path / "BENCH_service.json"
         baseline.write_text(json.dumps({"backends": {"instantiable": 1.0}}))
         engine.write_text(json.dumps(_engine_payload({"instantiable": 1.1})))
         scaling.write_text(json.dumps(_scaling_payload()))
         solver.write_text(json.dumps(_solver_payload()))
-        return baseline, engine, scaling, solver
+        service.write_text(json.dumps(_service_payload()))
+        return baseline, engine, scaling, solver, service
 
-    def _run(self, baseline, engine, scaling, solver) -> int:
+    def _run(self, baseline, engine, scaling, solver, service) -> int:
         return gate.main(
             [
                 "--baseline", str(baseline),
                 "--engine", str(engine),
                 "--scaling", str(scaling),
                 "--solver", str(solver),
+                "--service", str(service),
             ]
         )
 
@@ -225,38 +283,39 @@ class TestMain:
         assert "passed" in capsys.readouterr().out
 
     def test_regression_fails(self, artifacts, capsys):
-        baseline, engine, scaling, solver = artifacts
+        baseline, engine, scaling, solver, service = artifacts
         engine.write_text(json.dumps(_engine_payload({"instantiable": 5.0})))
-        assert self._run(baseline, engine, scaling, solver) == 1
+        assert self._run(baseline, engine, scaling, solver, service) == 1
         assert "FAILED" in capsys.readouterr().out
 
     def test_solver_artifact_is_gated(self, artifacts, capsys):
-        baseline, engine, scaling, solver = artifacts
+        baseline, engine, scaling, solver, service = artifacts
         solver.write_text(json.dumps(_solver_payload(assembly_diff=1e-12)))
-        assert self._run(baseline, engine, scaling, solver) == 1
+        assert self._run(baseline, engine, scaling, solver, service) == 1
         assert "not bit-identical" in capsys.readouterr().out
 
     def test_missing_solver_artifact_fails(self, artifacts, capsys):
-        baseline, engine, scaling, solver = artifacts
+        baseline, engine, scaling, solver, service = artifacts
         solver.unlink()
-        assert self._run(baseline, engine, scaling, solver) == 1
+        assert self._run(baseline, engine, scaling, solver, service) == 1
         assert "solver benchmark not found" in capsys.readouterr().out
 
     def test_escape_hatch_env(self, artifacts, capsys, monkeypatch):
-        baseline, engine, scaling, solver = artifacts
+        baseline, engine, scaling, solver, service = artifacts
         engine.write_text(json.dumps(_engine_payload({"instantiable": 5.0})))
         monkeypatch.setenv("BENCH_GATE_SKIP", "1")
-        assert self._run(baseline, engine, scaling, solver) == 0
+        assert self._run(baseline, engine, scaling, solver, service) == 0
         assert "skipped" in capsys.readouterr().out
 
     def test_update_baseline_writes_file(self, artifacts, capsys):
-        baseline, engine, scaling, solver = artifacts
+        baseline, engine, scaling, solver, service = artifacts
         code = gate.main(
             [
                 "--baseline", str(baseline),
                 "--engine", str(engine),
                 "--scaling", str(scaling),
                 "--solver", str(solver),
+                "--service", str(service),
                 "--update-baseline",
             ]
         )
@@ -266,21 +325,21 @@ class TestMain:
         assert written["threshold"] == gate.DEFAULT_THRESHOLD
 
     def test_missing_artifact_is_an_error(self, artifacts):
-        baseline, engine, scaling, solver = artifacts
+        baseline, engine, scaling, solver, service = artifacts
         engine.unlink()
         with pytest.raises(SystemExit, match="not found"):
-            self._run(baseline, engine, scaling, solver)
+            self._run(baseline, engine, scaling, solver, service)
 
     def test_baseline_without_backends_section_is_an_error(self, artifacts):
-        baseline, engine, scaling, solver = artifacts
+        baseline, engine, scaling, solver, service = artifacts
         baseline.write_text(json.dumps({"threshold": 0.25}))
         with pytest.raises(SystemExit, match="malformed"):
-            self._run(baseline, engine, scaling, solver)
+            self._run(baseline, engine, scaling, solver, service)
 
     def test_malformed_engine_entry_fails_without_crashing(self, artifacts, capsys):
-        baseline, engine, scaling, solver = artifacts
+        baseline, engine, scaling, solver, service = artifacts
         engine.write_text(json.dumps({"backends": {"instantiable": {"wall": 1.0}}}))
-        assert self._run(baseline, engine, scaling, solver) == 1
+        assert self._run(baseline, engine, scaling, solver, service) == 1
         out = capsys.readouterr().out
         assert "FAILED" in out
         assert "malformed" in out

@@ -57,6 +57,24 @@ class TestExtractionService:
         assert info["size"] == 3  # three distinct fingerprints
         assert info["hits"] >= 3
 
+    def test_cache_stats_surface_through_the_report(self, mixed_batch):
+        """``as_dict`` must carry hit rate + cache_info (the CLI/JSON surface)."""
+        service = ExtractionService(executor="serial")
+        first = service.extract_batch(mixed_batch)
+        assert first.cache_hit_rate == pytest.approx(0.25)  # the in-batch repeat
+        second = service.extract_batch(mixed_batch)
+        assert second.cache_hit_rate == 1.0
+        payload = second.as_dict()
+        assert payload["cache_hit_rate"] == 1.0
+        assert payload["cache_info"]["size"] == 3
+        # 3 distinct fingerprints hit the store; the in-batch repeat is
+        # deduplicated before it ever reaches the cache, so it doesn't count.
+        assert payload["cache_info"]["hits"] >= 3
+        # The payload stays JSON-serialisable end to end.
+        import json
+
+        json.dumps(payload)
+
     def test_results_in_request_order(self, crossing_layout):
         layouts = [generators.crossing_wires(separation=s * 1e-6) for s in (0.5, 1.0, 2.0)]
         requests = [

@@ -1,0 +1,145 @@
+"""Tests of the HTTP framing and the extraction-request schema."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.engine.request import DEFAULT_BACKEND
+from repro.serve.protocol import (
+    ProtocolError,
+    SpecError,
+    build_request,
+    parse_extract_spec,
+    read_request,
+)
+
+
+def _read(data: bytes, max_body: int = 1 << 20):
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader, max_body)
+
+    return asyncio.run(scenario())
+
+
+class TestReadRequest:
+    def test_parses_request_line_headers_and_body(self):
+        request = _read(
+            b"POST /v1/extract?debug=1 HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: 8\r\n"
+            b"\r\n"
+            b'{"a": 1}'
+        )
+        assert request.method == "POST"
+        assert request.path == "/v1/extract"
+        assert request.query == {"debug": "1"}
+        assert request.headers["content-type"] == "application/json"
+        assert request.json() == {"a": 1}
+        assert request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert _read(b"") is None
+
+    def test_connection_close_header(self):
+        request = _read(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_malformed_request_line_raises_400(self):
+        with pytest.raises(ProtocolError) as info:
+            _read(b"NONSENSE\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_oversized_body_raises_413(self):
+        with pytest.raises(ProtocolError) as info:
+            _read(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100, max_body=10)
+        assert info.value.status == 413
+
+    def test_truncated_body_raises_400(self):
+        with pytest.raises(ProtocolError, match="mid-body"):
+            _read(b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+
+    def test_chunked_request_bodies_are_rejected(self):
+        with pytest.raises(ProtocolError, match="Content-Length"):
+            _read(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+
+    def test_bad_json_body_raises_400(self):
+        request = _read(b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\n{oo!")
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            request.json()
+
+
+class TestExtractSpec:
+    def test_generator_spec_builds_engine_request(self):
+        spec = parse_extract_spec(
+            {
+                "generator": "crossing_wires",
+                "params": {"separation": 2e-6},
+                "backend": "pwc-dense",
+                "options": {"cells_per_edge": 2},
+                "priority": 3,
+                "label": "hello",
+            }
+        )
+        request = build_request(spec)
+        assert request.backend == "pwc-dense"
+        assert request.options == {"cells_per_edge": 2}
+        assert request.label == "hello"
+        assert len(request.layout.conductors) == 2
+
+    def test_workload_spec_with_size(self):
+        spec = parse_extract_spec({"workload": "bus_crossing", "size": 2})
+        request = build_request(spec)
+        assert request.backend == DEFAULT_BACKEND
+        assert len(request.layout.conductors) == 4  # a 2x2 bus
+
+    def test_defaults(self):
+        spec = parse_extract_spec({"generator": "crossing_wires"})
+        assert spec.backend == DEFAULT_BACKEND
+        assert spec.priority == 0
+        assert spec.options == {}
+
+    @pytest.mark.parametrize(
+        "payload, match",
+        [
+            ([], "JSON object"),
+            ({}, "exactly one of"),
+            ({"workload": "a", "generator": "b"}, "exactly one of"),
+            ({"generator": "crossing_wires", "params": 3}, "'params'"),
+            ({"generator": "crossing_wires", "options": []}, "'options'"),
+            ({"generator": "crossing_wires", "backend": ""}, "'backend'"),
+            ({"workload": "bus_crossing", "size": "big"}, "'size'"),
+            ({"generator": "crossing_wires", "size": 3}, "'size' applies to workload"),
+            ({"generator": "crossing_wires", "priority": "high"}, "'priority'"),
+            ({"generator": "crossing_wires", "label": 7}, "'label'"),
+            ({"generator": "crossing_wires", "surprise": 1}, "unknown field"),
+        ],
+    )
+    def test_invalid_specs_are_rejected(self, payload, match):
+        with pytest.raises(SpecError, match=match):
+            parse_extract_spec(payload)
+
+    def test_unknown_generator_and_workload(self):
+        with pytest.raises(SpecError, match="unknown generator"):
+            build_request(parse_extract_spec({"generator": "nope"}))
+        with pytest.raises(SpecError, match="unknown workload"):
+            build_request(parse_extract_spec({"workload": "nope"}))
+
+    def test_generator_param_rejection_is_a_spec_error(self):
+        with pytest.raises(SpecError, match="rejected params"):
+            build_request(parse_extract_spec({"generator": "crossing_wires", "params": {"bogus": 1}}))
+
+    def test_workload_specs_reject_raw_params(self):
+        with pytest.raises(SpecError, match="take 'size'"):
+            build_request(parse_extract_spec({"workload": "bus_crossing", "params": {"x": 1}}))
+
+    def test_identical_specs_share_a_fingerprint(self):
+        payload = {"generator": "crossing_wires", "backend": "instantiable"}
+        first = build_request(parse_extract_spec(dict(payload)))
+        second = build_request(parse_extract_spec(dict(payload)))
+        assert first.fingerprint() == second.fingerprint()

@@ -1,0 +1,89 @@
+"""Tests of the bounded priority queue (backpressure + drain semantics)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.queue import QueueClosed, QueueFull, RequestQueue
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestRequestQueue:
+    def test_priority_order_with_fifo_ties(self):
+        async def scenario():
+            queue = RequestQueue(maxsize=10)
+            queue.put_nowait("low-a", priority=5)
+            queue.put_nowait("urgent", priority=0)
+            queue.put_nowait("low-b", priority=5)
+            queue.put_nowait("mid", priority=2)
+            return [await queue.get() for _ in range(4)]
+
+        assert run(scenario()) == ["urgent", "mid", "low-a", "low-b"]
+
+    def test_backpressure_raises_queue_full(self):
+        queue = RequestQueue(maxsize=2)
+        queue.put_nowait("a")
+        queue.put_nowait("b")
+        with pytest.raises(QueueFull, match="bounded depth 2"):
+            queue.put_nowait("c")
+        assert queue.stats()["rejected"] == 1
+        assert queue.qsize() == 2  # the rejected item was never admitted
+
+    def test_close_drains_queued_items_then_raises(self):
+        async def scenario():
+            queue = RequestQueue(maxsize=4)
+            queue.put_nowait("first")
+            queue.put_nowait("second")
+            queue.close()
+            drained = [await queue.get(), await queue.get()]
+            with pytest.raises(QueueClosed):
+                await queue.get()
+            return drained
+
+        assert run(scenario()) == ["first", "second"]
+
+    def test_put_after_close_is_rejected(self):
+        queue = RequestQueue(maxsize=4)
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put_nowait("late")
+
+    def test_getter_blocked_on_empty_queue_wakes_on_put(self):
+        async def scenario():
+            queue = RequestQueue(maxsize=4)
+            getter = asyncio.create_task(queue.get())
+            await asyncio.sleep(0)  # let the getter block
+            queue.put_nowait("item")
+            return await asyncio.wait_for(getter, timeout=1.0)
+
+        assert run(scenario()) == "item"
+
+    def test_getter_blocked_on_empty_queue_wakes_on_close(self):
+        async def scenario():
+            queue = RequestQueue(maxsize=4)
+            getter = asyncio.create_task(queue.get())
+            await asyncio.sleep(0)
+            queue.close()
+            with pytest.raises(QueueClosed):
+                await asyncio.wait_for(getter, timeout=1.0)
+
+        run(scenario())
+
+    def test_depth_telemetry(self):
+        queue = RequestQueue(maxsize=3)
+        for item in "abc":
+            queue.put_nowait(item)
+        stats = queue.stats()
+        assert stats["depth"] == 3
+        assert stats["max_depth"] == 3
+        assert stats["enqueued"] == 3
+        assert stats["maxsize"] == 3
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            RequestQueue(maxsize=0)

@@ -1,0 +1,71 @@
+"""Tests of the persistent fingerprint-keyed result store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.store import ResultStore
+
+KEY = "ab" + "0" * 62  # a well-formed SHA-256-shaped key
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        assert store.get(KEY) is None
+        payload = {"backend": "instantiable", "result": {"capacitance_farad": [[1.0]]}}
+        path = store.put(KEY, payload)
+        assert path.exists()
+        assert store.get(KEY) == payload
+        assert KEY in store
+        assert len(store) == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        """The restart contract: a second store on the same root sees the entry."""
+        first = ResultStore(tmp_path / "cache")
+        first.put(KEY, {"answer": 42})
+        reopened = ResultStore(tmp_path / "cache")
+        assert reopened.get(KEY) == {"answer": 42}
+        assert reopened.stats()["hits"] == 1  # counters are per-instance
+
+    def test_hit_miss_accounting(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.get(KEY)
+        store.put(KEY, {"x": 1})
+        store.get(KEY)
+        stats = store.stats()
+        assert (stats["hits"], stats["misses"], stats["stored"]) == (1, 1, 1)
+        assert stats["hit_rate"] == 0.5
+
+    def test_corrupt_entry_is_a_self_healing_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, {"x": 1})
+        store.path_for(KEY).write_text("{torn write")
+        assert store.get(KEY) is None
+        assert not store.path_for(KEY).exists()  # removed, not left to fail forever
+        store.put(KEY, {"x": 2})
+        assert store.get(KEY) == {"x": 2}
+
+    def test_keys_are_validated(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for bad in ("", "short", "../../etc/passwd", "ABCDEF" + "0" * 58, "zz" + "0" * 62):
+            with pytest.raises(ValueError, match="hex digest"):
+                store.put(bad, {})
+
+    def test_sharded_layout_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = [f"{i:02x}" + "1" * 62 for i in range(4)]
+        for key in keys:
+            store.put(key, {"k": key})
+        assert {p.parent.name for p in (store.path_for(k) for k in keys)} == {k[:2] for k in keys}
+        assert len(store) == 4
+        assert store.clear() == 4
+        assert len(store) == 0
+
+    def test_stored_payload_is_plain_json(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, {"nested": {"list": [1, 2.5, "three"]}})
+        on_disk = json.loads(store.path_for(KEY).read_text())
+        assert on_disk == {"nested": {"list": [1, 2.5, "three"]}}
