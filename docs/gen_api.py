@@ -46,6 +46,12 @@ API_MODULES = [
     "repro.serve.queue",
     "repro.serve.protocol",
     "repro.serve.loadtest",
+    "repro.obs",
+    "repro.obs.trace",
+    "repro.obs.metrics",
+    "repro.obs.logging",
+    "repro.obs.clock",
+    "repro.obs.profile",
 ]
 
 HEADER = """\

@@ -25,7 +25,6 @@ assembler is asserted (to floating-point round-off) in
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,8 +33,19 @@ from repro.assembly.mapping import TemplateArrays, triangular_index_to_pair
 from repro.basis.functions import BasisSet
 from repro.greens.batched import BatchedKernelCore
 from repro.greens.policy import ApproximationPolicy
+from repro.obs import clock
+from repro.obs.metrics import counter
 
 __all__ = ["ChunkResult", "BatchGalerkinAssembler", "symmetrize_upper"]
+
+_BATCHES = counter(
+    "repro_assembly_pair_batches_total", "Numpy pair-batches evaluated by the batched assembler"
+)
+_PAIRS = counter(
+    "repro_assembly_pairs_total",
+    "Template pairs evaluated, by kernel evaluation category",
+    ("category",),
+)
 
 
 def symmetrize_upper(upper: np.ndarray) -> np.ndarray:
@@ -191,12 +201,18 @@ class BatchGalerkinAssembler:
             "orthogonal": 0,
             "profiled": 0,
         }
-        t_begin = time.perf_counter()
+        t_begin = clock.now()
+        num_batches = 0
         for batch_start in range(start, stop, self.batch_size):
             batch_stop = min(batch_start + self.batch_size, stop)
             k = np.arange(batch_start, batch_stop, dtype=np.int64)
             self._assemble_batch(k, out, counts, condense_mode)
-        elapsed = time.perf_counter() - t_begin
+            num_batches += 1
+        elapsed = clock.now() - t_begin
+        _BATCHES.inc(num_batches)
+        for category, count in counts.items():
+            if count:
+                _PAIRS.inc(count, category=category)
         return out, ChunkResult(
             start=start, stop=stop, elapsed_seconds=elapsed, category_counts=counts
         )

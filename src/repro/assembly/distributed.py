@@ -27,6 +27,7 @@ from repro.assembly.partition import WorkPartition, partition_range
 from repro.assembly.shared_memory import ParallelSetupResult
 from repro.basis.functions import BasisSet
 from repro.greens.policy import ApproximationPolicy
+from repro.obs.trace import span
 
 __all__ = ["DistributedAssembler", "PartialMatrix"]
 
@@ -136,27 +137,29 @@ class DistributedAssembler:
 
     def assemble(self) -> ParallelSetupResult:
         """Run the distributed-memory system-setup flow."""
-        parts = self.partitions()
-        if self.use_processes and self.num_nodes > 1:
-            partials, node_results = self._run_with_processes(parts)
-        else:
-            partials, node_results = self._run_sequentially(parts)
+        with span("assembly.assemble", flow="distributed", nodes=self.num_nodes):
+            parts = self.partitions()
+            if self.use_processes and self.num_nodes > 1:
+                partials, node_results = self._run_with_processes(parts)
+            else:
+                partials, node_results = self._run_sequentially(parts)
 
-        # Merge: the main process' own partition is partials[0]; the others
-        # arrive as column-restricted messages that are shifted and added.
-        n = self.assembler.num_basis_functions
-        upper = np.zeros((n, n))
-        communication_bytes = [0]
-        for index, partial in enumerate(partials):
-            upper[:, partial.first_column : partial.last_column + 1] += partial.block
-            if index > 0:
-                communication_bytes.append(partial.nbytes)
-        matrix = symmetrize_upper(upper)
-        return ParallelSetupResult(
-            matrix=matrix,
-            node_results=node_results,
-            communication_bytes=communication_bytes,
-        )
+            # Merge: the main process' own partition is partials[0]; the
+            # others arrive as column-restricted messages that are shifted
+            # and added.
+            n = self.assembler.num_basis_functions
+            upper = np.zeros((n, n))
+            communication_bytes = [0]
+            for index, partial in enumerate(partials):
+                upper[:, partial.first_column : partial.last_column + 1] += partial.block
+                if index > 0:
+                    communication_bytes.append(partial.nbytes)
+            matrix = symmetrize_upper(upper)
+            return ParallelSetupResult(
+                matrix=matrix,
+                node_results=node_results,
+                communication_bytes=communication_bytes,
+            )
 
     # ------------------------------------------------------------------
     def _run_sequentially(

@@ -29,6 +29,7 @@ from repro.assembly.batch import BatchGalerkinAssembler, ChunkResult
 from repro.assembly.partition import WorkPartition, partition_range
 from repro.basis.functions import BasisSet
 from repro.greens.policy import ApproximationPolicy
+from repro.obs.trace import span
 
 __all__ = ["ParallelSetupResult", "SharedMemoryAssembler"]
 
@@ -164,9 +165,10 @@ class SharedMemoryAssembler:
 
     def assemble(self) -> ParallelSetupResult:
         """Run the shared-memory system-setup flow."""
-        if self.use_processes and self.num_nodes > 1:
-            return self._assemble_with_processes()
-        return self._assemble_sequentially()
+        with span("assembly.assemble", flow="shared_memory", nodes=self.num_nodes):
+            if self.use_processes and self.num_nodes > 1:
+                return self._assemble_with_processes()
+            return self._assemble_sequentially()
 
     # ------------------------------------------------------------------
     def _assemble_sequentially(self) -> ParallelSetupResult:

@@ -36,7 +36,6 @@ and process executors these are truly concurrent assembly times.
 from __future__ import annotations
 
 import multiprocessing
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -48,6 +47,8 @@ from repro.compress.aca import LowRankFactors, aca_partial_pivoting
 from repro.compress.blocktree import Block, BlockClusterTree
 from repro.compress.cluster import ClusterTree
 from repro.compress.entries import GalerkinEntries
+from repro.obs import clock
+from repro.obs.trace import propagate, record_span, span
 
 __all__ = [
     "ASSEMBLY_EXECUTORS",
@@ -298,45 +299,59 @@ def build_hmatrix(
         raise ValueError(
             f"executor must be one of {ASSEMBLY_EXECUTORS}, got {executor!r}"
         )
-    blocks = _upper_blocks(entries, leaf_size, eta)
-    parts = partition_range(len(blocks), num_workers)
+    with span(
+        "assembly.build_hmatrix",
+        executor=executor,
+        num_workers=num_workers,
+        unknowns=entries.num_unknowns,
+    ):
+        blocks = _upper_blocks(entries, leaf_size, eta)
+        parts = partition_range(len(blocks), num_workers)
 
-    if num_workers == 1 or executor == "serial":
-        partition_results = [
-            _assemble_partition(entries, blocks[p.start : p.stop], epsilon, max_rank)
-            for p in parts
-        ]
-    elif executor == "thread":
-        with ThreadPoolExecutor(max_workers=num_workers) as pool:
-            futures = [
-                pool.submit(
-                    _assemble_partition,
-                    entries,
-                    blocks[p.start : p.stop],
-                    epsilon,
-                    max_rank,
-                )
+        if num_workers == 1 or executor == "serial":
+            partition_results = [
+                _assemble_partition(entries, blocks[p.start : p.stop], epsilon, max_rank)
                 for p in parts
             ]
-            partition_results = [future.result() for future in futures]
-    else:
-        jobs = [
-            (entries.worker_tuple(), epsilon, max_rank, leaf_size, eta, p.start, p.stop)
-            for p in parts
-        ]
-        context = multiprocessing.get_context("fork")
-        with context.Pool(processes=num_workers) as pool:
-            partition_results = pool.map(_process_worker, jobs)
+        elif executor == "thread":
+            with ThreadPoolExecutor(max_workers=num_workers) as pool:
+                futures = [
+                    pool.submit(
+                        propagate(
+                            _assemble_partition,
+                            entries,
+                            blocks[p.start : p.stop],
+                            epsilon,
+                            max_rank,
+                        )
+                    )
+                    for p in parts
+                ]
+                partition_results = [future.result() for future in futures]
+        else:
+            jobs = [
+                (entries.worker_tuple(), epsilon, max_rank, leaf_size, eta, p.start, p.stop)
+                for p in parts
+            ]
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=num_workers) as pool:
+                partition_results = pool.map(_process_worker, jobs)
+            # The fork workers cannot reach the in-process trace; their
+            # wall times come back over the pipe and are re-attached as
+            # synthesized spans so the tree still accounts for the work.
+            for index, (_, _, seconds) in enumerate(partition_results):
+                record_span("assembly.partition", seconds, worker=index, executor="process")
 
-    # Deterministic merge: block lists concatenated in partition order keep
-    # the result bit-identical to (and ordered like) the serial sweep.
-    dense_blocks: list[DenseBlockEntry] = []
-    lowrank_blocks: list[LowRankBlockEntry] = []
-    worker_seconds: list[float] = []
-    for part_dense, part_lowrank, seconds in partition_results:
-        dense_blocks.extend(part_dense)
-        lowrank_blocks.extend(part_lowrank)
-        worker_seconds.append(seconds)
+        # Deterministic merge: block lists concatenated in partition order
+        # keep the result bit-identical to (and ordered like) the serial
+        # sweep.
+        dense_blocks: list[DenseBlockEntry] = []
+        lowrank_blocks: list[LowRankBlockEntry] = []
+        worker_seconds: list[float] = []
+        for part_dense, part_lowrank, seconds in partition_results:
+            dense_blocks.extend(part_dense)
+            lowrank_blocks.extend(part_lowrank)
+            worker_seconds.append(seconds)
 
     return HMatrix(
         size=entries.num_unknowns,
@@ -376,7 +391,7 @@ def _assemble_partition(
     measured inside the worker and therefore reflects true concurrent
     assembly under the thread/process executors.
     """
-    t_begin = time.perf_counter()
+    t_begin = clock.now()
     dense_blocks: list[DenseBlockEntry] = []
     lowrank_blocks: list[LowRankBlockEntry] = []
     # All inadmissible blocks of the partition are evaluated through ONE
@@ -390,7 +405,7 @@ def _assemble_partition(
     for block in part_blocks:
         if block.admissible:
             _assemble_lowrank_block(entries, block, epsilon, max_rank, lowrank_blocks)
-    return dense_blocks, lowrank_blocks, time.perf_counter() - t_begin
+    return dense_blocks, lowrank_blocks, clock.now() - t_begin
 
 
 def _process_worker(

@@ -28,6 +28,9 @@ Run as ``python -m repro``:
 * ``python -m repro loadtest`` -- fire a Zipf-distributed repeated-layout
   workload at an in-process server and write ``BENCH_service.json``
   (throughput, p50/p99 latency, cache hit rate).
+* ``python -m repro profile`` -- run one workload under the span tracer,
+  print the span-tree wall-time breakdown and write
+  ``BENCH_profile.json``.
 
 (The paper-experiment driver remains available as
 ``python -m repro.core.experiments``.)
@@ -376,6 +379,30 @@ def _command_loadtest(args: argparse.Namespace) -> int:
     )
     print(f"\nwrote {target}")
     return 0 if report.data["failed"] == 0 else 1
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import BENCH_PROFILE_FILENAME, run_profile, write_profile_json
+
+    try:
+        report = run_profile(
+            workload=args.workload,
+            size=args.size,
+            backend=args.backend,
+            options=dict(args.option),
+        )
+    except (KeyError, RuntimeError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.json:
+        print(json.dumps(report.data, indent=2, sort_keys=True))
+    else:
+        print(report.text)
+    target = write_profile_json(
+        report, args.output if args.output is not None else BENCH_PROFILE_FILENAME
+    )
+    if not args.json:
+        print(f"\nwrote {target}")
+    return 0
 
 
 def _parse_shard_size(text: str) -> tuple[str, int]:
@@ -741,6 +768,43 @@ def main(argv: list[str] | None = None) -> int:
         help="where to write the machine-readable report (default: BENCH_service.json)",
     )
     loadtest_parser.set_defaults(handler=_command_loadtest)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="run one workload under the span tracer and report the span tree",
+    )
+    profile_parser.add_argument(
+        "--workload",
+        default="bus_crossing",
+        help="workload family to profile (default: bus_crossing); see the workloads subcommand",
+    )
+    profile_parser.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        help="size knob of the workload family (default: the quick layout)",
+    )
+    profile_parser.add_argument(
+        "--backend",
+        default="instantiable",
+        help="backend to profile (default: instantiable); see the backends subcommand",
+    )
+    profile_parser.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        type=_parse_assignment,
+        metavar="KEY=VALUE",
+        help="backend option (repeatable), e.g. num_nodes=4",
+    )
+    profile_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="where to write the machine-readable report (default: BENCH_profile.json)",
+    )
+    profile_parser.add_argument("--json", action="store_true", help="emit JSON")
+    profile_parser.set_defaults(handler=_command_profile)
 
     args = parser.parse_args(argv)
     return args.handler(args)

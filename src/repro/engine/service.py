@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import copy
 import os
-import time
 from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, Sequence
@@ -23,10 +22,27 @@ from repro.core.results import ExtractionResult
 from repro.engine.registry import backend_generation, get_backend
 from repro.engine.request import DEFAULT_BACKEND, BatchReport, ExtractionRequest, RequestStatus
 from repro.geometry.layout import Layout
+from repro.obs import clock
+from repro.obs.logging import get_logger
+from repro.obs.metrics import counter, histogram
+from repro.obs.trace import propagate, span
 
 __all__ = ["ExtractionService"]
 
 _EXECUTORS = ("serial", "thread", "process")
+
+_logger = get_logger("engine.service")
+
+#: Fingerprint-keyed LRU outcomes of every :class:`ExtractionService`.
+_CACHE_LOOKUPS = counter(
+    "repro_engine_cache_lookups_total", "ExtractionService LRU cache lookups", ("result",)
+)
+_EXTRACTIONS = counter(
+    "repro_engine_extractions_total", "Backend extractions executed", ("backend", "outcome")
+)
+_EXTRACT_SECONDS = histogram(
+    "repro_engine_extract_seconds", "Wall time of one backend extraction", ("backend",)
+)
 
 
 def _execute_request(backend_name: str, layout: Layout, options: dict) -> tuple[ExtractionResult, float]:
@@ -38,9 +54,17 @@ def _execute_request(backend_name: str, layout: Layout, options: dict) -> tuple[
     """
     import repro.engine  # noqa: F401  (registers the default backends in workers)
 
-    start = time.perf_counter()
-    result = get_backend(backend_name).extract(layout, **options)
-    return result, time.perf_counter() - start
+    with span("engine.extract", backend=backend_name):
+        start = clock.now()
+        try:
+            result = get_backend(backend_name).extract(layout, **options)
+        except Exception:
+            _EXTRACTIONS.inc(backend=backend_name, outcome="failed")
+            raise
+        seconds = clock.now() - start
+    _EXTRACTIONS.inc(backend=backend_name, outcome="completed")
+    _EXTRACT_SECONDS.observe(seconds, backend=backend_name)
+    return result, seconds
 
 
 class ExtractionService:
@@ -146,7 +170,7 @@ class ExtractionService:
         deduplicated against the first occurrence within this batch.
         """
         batch: Sequence[ExtractionRequest] = list(requests)
-        wall_start = time.perf_counter()
+        wall_start = clock.now()
         fingerprints = [request.fingerprint() for request in batch]
         # The cache key folds in the registry generation of the backend name,
         # so replacing a backend (register_backend(..., replace=True))
@@ -169,10 +193,12 @@ class ExtractionService:
                 outcomes[key] = (cached, 0.0, None)
                 cached_keys.add(key)
                 self._cache_hits += 1
+                _CACHE_LOOKUPS.inc(result="hit")
             else:
                 to_run.append((key, request))
                 pending.add(key)
                 self._cache_misses += 1
+                _CACHE_LOOKUPS.inc(result="miss")
 
         for key, outcome in self._run(to_run):
             outcomes[key] = outcome
@@ -209,7 +235,7 @@ class ExtractionService:
             )
         return BatchReport(
             statuses=statuses,
-            wall_seconds=time.perf_counter() - wall_start,
+            wall_seconds=clock.now() - wall_start,
             cache_hits=cache_hits,
             cache_info=self.cache_info(),
         )
@@ -235,16 +261,33 @@ class ExtractionService:
         else:
             pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="extract")
         with pool:
-            futures = [
-                (fp, pool.submit(_execute_request, request.backend, request.layout, request.options))
-                for fp, request in jobs
-            ]
+            if self.executor == "process":
+                # Pickled into a fresh interpreter: no trace context to carry.
+                futures = [
+                    (fp, pool.submit(_execute_request, request.backend, request.layout, request.options))
+                    for fp, request in jobs
+                ]
+            else:
+                # Thread pools start their callables with an empty context;
+                # propagate() keeps the caller's active trace visible inside.
+                futures = [
+                    (
+                        fp,
+                        pool.submit(
+                            propagate(_execute_request, request.backend, request.layout, request.options)
+                        ),
+                    )
+                    for fp, request in jobs
+                ]
             outcomes = []
             for fp, future in futures:
                 try:
                     result, seconds = future.result()
                     outcomes.append((fp, (result, seconds, None)))
                 except Exception as exc:  # contain per-request failures
+                    _logger.warning(
+                        "extraction failed", extra={"error": f"{type(exc).__name__}: {exc}"}
+                    )
                     outcomes.append((fp, (None, 0.0, f"{type(exc).__name__}: {exc}")))
         return outcomes
 
@@ -254,4 +297,8 @@ class ExtractionService:
             result, seconds = _execute_request(request.backend, request.layout, request.options)
             return result, seconds, None
         except Exception as exc:  # contain per-request failures
+            _logger.warning(
+                "extraction failed",
+                extra={"backend": request.backend, "error": f"{type(exc).__name__}: {exc}"},
+            )
             return None, 0.0, f"{type(exc).__name__}: {exc}"

@@ -1,0 +1,85 @@
+"""Structured JSON log lines, stamped with the active trace id.
+
+One line per record, machine-parseable, human-skimmable::
+
+    {"level": "info", "logger": "repro.serve", "message": "request served",
+     "route": "/v1/extract", "status": 200, "trace_id": "9f0a...", "ts": ...}
+
+:func:`configure_logging` installs the formatter once on the ``repro``
+logger hierarchy (idempotent -- safe to call from the CLI and from tests);
+:func:`get_logger` hands out namespaced loggers.  Extra keyword context
+travels through the stdlib ``extra=`` mechanism and lands as top-level
+JSON fields, so call sites stay plain ``logging`` calls with no custom
+API to learn.
+"""
+
+from __future__ import annotations
+
+import datetime
+import io
+import json
+import logging
+from typing import Any
+
+from repro.obs.trace import current_trace_id
+
+__all__ = ["JsonLogFormatter", "configure_logging", "get_logger"]
+
+#: Root of the package's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+#: ``LogRecord`` attributes that are plumbing, not user context.
+_RECORD_FIELDS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Format every record as one JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": datetime.datetime.fromtimestamp(
+                record.created, tz=datetime.timezone.utc
+            ).isoformat(timespec="milliseconds"),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        for key, value in record.__dict__.items():
+            if key not in _RECORD_FIELDS and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure_logging(level: int | str = logging.INFO, stream: io.TextIOBase | None = None) -> logging.Logger:
+    """Install the JSON formatter on the ``repro`` logger (idempotent).
+
+    Returns the configured root logger.  A second call only adjusts the
+    level, so the CLI, the server and the tests can all call it freely
+    without stacking handlers (and duplicating every line).
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level)
+    for handler in logger.handlers:
+        if isinstance(handler.formatter, JsonLogFormatter):
+            handler.setLevel(level)
+            return logger
+    handler = logging.StreamHandler(stream)  # None -> stderr
+    handler.setLevel(level)
+    handler.setFormatter(JsonLogFormatter())
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``get_logger("serve")``)."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")

@@ -1,0 +1,337 @@
+"""Process-wide metrics registry with Prometheus text exposition.
+
+Counters, gauges and fixed-bucket histograms, registered once at the hot
+seams of the stack (queue depth and wait, cache hits per layer, kernel
+pair batches, GMRES iterations, per-shard inflight) and scraped through
+``GET /metrics`` on the extraction server.  Stdlib-only by design: the
+exposition format is a stable text protocol, not a client-library
+contract.
+
+Instruments are get-or-create by name, so modules declare what they
+observe at import time and repeated imports share state.  A disabled
+registry (``set_metrics_enabled(False)`` or ``REPRO_OBS=0`` in the
+environment) short-circuits every observation before it touches any
+state -- the documented way to take observability out of a benchmark.
+
+Label values arrive as keyword arguments and must match the instrument's
+declared label names exactly; an instrument with no labels is observed
+with no keywords.  All mutation is lock-guarded: observations land from
+asyncio worker tasks, shard executor threads and the assembly pools
+alike.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "render_metrics",
+    "set_metrics_enabled",
+]
+
+#: Fixed latency buckets (seconds): sub-millisecond cache hits through
+#: multi-second full-size extractions.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_LabelKey = tuple[str, ...]
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labelnames: tuple[str, ...], key: _LabelKey, extra: str = "") -> str:
+    """Render ``{a="x",b="y"}`` (or ``""`` when there are no labels)."""
+    parts = [f'{name}="{_escape_label_value(value)}"' for name, value in zip(labelnames, key)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Instrument:
+    """Shared bookkeeping of the three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help_text: str, labelnames: Iterable[str]):
+        self.name = name
+        self.help = help_text
+        self.labelnames: tuple[str, ...] = tuple(labelnames)
+        self._registry = registry
+        self._lock = threading.Lock()
+
+    def _label_key(self, labels: Mapping[str, str]) -> _LabelKey:
+        if tuple(sorted(labels)) != tuple(sorted(self.labelnames)):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {sorted(self.labelnames)}, got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    # Subclasses render their sample lines.
+    def _sample_lines(self) -> list[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def render(self) -> list[str]:
+        """The ``# HELP``/``# TYPE`` header plus every sample line."""
+        return [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}", *self._sample_lines()]
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count (name ends ``_total`` by convention)."""
+
+    kind = "counter"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help_text: str, labelnames: Iterable[str]):
+        super().__init__(registry, name, help_text, labelnames)
+        self._values: dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc by {amount})")
+        key = self._label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of the labelled series (0 when never observed)."""
+        with self._lock:
+            return self._values.get(self._label_key(labels), 0.0)
+
+    def _sample_lines(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [f"{self.name}{_format_labels(self.labelnames, key)} {value}" for key, value in items]
+
+
+class Gauge(_Instrument):
+    """A value that goes up and down (queue depth, inflight requests)."""
+
+    kind = "gauge"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help_text: str, labelnames: Iterable[str]):
+        super().__init__(registry, name, help_text, labelnames)
+        self._values: dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the labelled series to ``value``."""
+        if not self._registry.enabled:
+            return
+        key = self._label_key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (may be negative) to the labelled series."""
+        if not self._registry.enabled:
+            return
+        key = self._label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        """Subtract ``amount`` from the labelled series."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        """Current value of the labelled series (0 when never set)."""
+        with self._lock:
+            return self._values.get(self._label_key(labels), 0.0)
+
+    def _sample_lines(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [f"{self.name}{_format_labels(self.labelnames, key)} {value}" for key, value in items]
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution (cumulative buckets, ``_sum`` and ``_count``)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help_text: str,
+        labelnames: Iterable[str],
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(registry, name, help_text, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name!r} has duplicate bucket bounds")
+        self.buckets = bounds
+        #: per label key: [per-bucket counts..., +Inf count], sum
+        self._counts: dict[_LabelKey, list[int]] = {}
+        self._sums: dict[_LabelKey, float] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation into the labelled distribution."""
+        if not self._registry.enabled:
+            return
+        key = self._label_key(labels)
+        value = float(value)
+        with self._lock:
+            counts = self._counts.setdefault(key, [0] * (len(self.buckets) + 1))
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+                    break
+            else:
+                counts[-1] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+
+    def count(self, **labels: str) -> int:
+        """Total observations of the labelled series."""
+        with self._lock:
+            return sum(self._counts.get(self._label_key(labels), []))
+
+    def _sample_lines(self) -> list[str]:
+        with self._lock:
+            items = sorted((key, list(counts), self._sums[key]) for key, counts in self._counts.items())
+        lines: list[str] = []
+        for key, counts, total in items:
+            cumulative = 0
+            for bound, bucket_count in zip(self.buckets, counts):
+                cumulative += bucket_count
+                labels = _format_labels(self.labelnames, key, extra=f'le="{bound}"')
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            cumulative += counts[-1]
+            labels = _format_labels(self.labelnames, key, extra='le="+Inf"')
+            lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            plain = _format_labels(self.labelnames, key)
+            lines.append(f"{self.name}_sum{plain} {total}")
+            lines.append(f"{self.name}_count{plain} {cumulative}")
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create instrument registry with one text exposition view."""
+
+    def __init__(self, enabled: bool | None = None):
+        if enabled is None:
+            enabled = os.environ.get("REPRO_OBS", "1") not in ("0", "false", "off")
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    def __repr__(self) -> str:  # address-free: rendered into generated docs
+        return f"{type(self).__name__}()"
+
+    # ------------------------------------------------------------------
+    def set_enabled(self, enabled: bool) -> None:
+        """Turn observation on/off globally (instruments keep their state)."""
+        self.enabled = bool(enabled)
+
+    def _get_or_create(self, cls: type, name: str, help_text: str, labelnames: Iterable[str], **kwargs: Any):
+        labelnames = tuple(labelnames)
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {type(existing).__name__}"
+                        f"{existing.labelnames}, requested {cls.__name__}{labelnames}"
+                    )
+                return existing
+            instrument = cls(self, name, help_text, labelnames, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help_text: str, labelnames: Iterable[str] = ()) -> Counter:
+        """Get-or-create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str, labelnames: Iterable[str] = ()) -> Gauge:
+        """Get-or-create a :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get-or-create a :class:`Histogram` (fixed latency buckets by default)."""
+        return self._get_or_create(Histogram, name, help_text, labelnames, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The full Prometheus text exposition (one block per instrument)."""
+        with self._lock:
+            instruments = [self._instruments[name] for name in sorted(self._instruments)]
+        lines: list[str] = []
+        for instrument in instruments:
+            lines.extend(instrument.render())
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Drop every instrument (tests isolating their observations)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+#: The process-wide registry every permanent instrument registers with.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, help_text: str, labelnames: Iterable[str] = ()) -> Counter:
+    """Get-or-create a counter on the process-wide :data:`REGISTRY`."""
+    return REGISTRY.counter(name, help_text, labelnames)
+
+
+def gauge(name: str, help_text: str, labelnames: Iterable[str] = ()) -> Gauge:
+    """Get-or-create a gauge on the process-wide :data:`REGISTRY`."""
+    return REGISTRY.gauge(name, help_text, labelnames)
+
+
+def histogram(
+    name: str,
+    help_text: str,
+    labelnames: Iterable[str] = (),
+    buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+) -> Histogram:
+    """Get-or-create a histogram on the process-wide :data:`REGISTRY`."""
+    return REGISTRY.histogram(name, help_text, labelnames, buckets=buckets)
+
+
+def render_metrics() -> str:
+    """Prometheus text exposition of the process-wide registry."""
+    return REGISTRY.render()
+
+
+def set_metrics_enabled(enabled: bool) -> None:
+    """Enable/disable observation on the process-wide registry."""
+    REGISTRY.set_enabled(enabled)

@@ -1,0 +1,103 @@
+"""``python -m repro profile``: one workload run under the span tracer.
+
+Runs an extraction through the regular engine service inside a trace,
+prints the span-tree report (the paper's per-phase wall-time breakdown,
+per request instead of per table) and writes ``BENCH_profile.json``.  The
+artifact cross-checks the span timings against the ``SolverTimer`` fields
+of the extraction result: both read :func:`repro.obs.clock.now`, so the
+``phase.setup``/``phase.solve`` spans and ``setup_seconds``/
+``solve_seconds`` must agree -- the recorded relative gap is part of the
+payload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.experiments import ExperimentReport
+from repro.obs.trace import start_trace
+
+__all__ = ["BENCH_PROFILE_FILENAME", "run_profile", "write_profile_json"]
+
+#: Default name of the machine-readable profile artifact.
+BENCH_PROFILE_FILENAME = "BENCH_profile.json"
+
+
+def run_profile(
+    workload: str = "bus_crossing",
+    size: int | None = None,
+    backend: str = "instantiable",
+    options: dict[str, Any] | None = None,
+) -> ExperimentReport:
+    """Extract one workload under the tracer and report the span tree.
+
+    Parameters
+    ----------
+    workload:
+        Registered workload family (``python -m repro workloads``).
+    size:
+        Optional size knob of the family (``None`` uses the quick layout).
+    backend:
+        Registered backend to profile.
+    options:
+        Backend options forwarded verbatim (and fingerprinted as usual).
+    """
+    from repro.engine.service import ExtractionService
+    from repro.workloads import get_workload
+
+    family = get_workload(workload)
+    layout = family.sized_layout(size) if size is not None else family.layout()
+    service = ExtractionService(executor="serial", cache_capacity=0)
+
+    with start_trace("profile", workload=workload, backend=backend) as trace:
+        result = service.extract(layout, backend=backend, **dict(options or {}))
+
+    phases = trace.phase_seconds()
+    # Span/SolverTimer agreement: both read the obs clock, so the span
+    # should only exceed the timer field by the (tiny) span bookkeeping.
+    setup_gap = _relative_gap(phases.get("phase.setup", 0.0), result.setup_seconds)
+    solve_gap = _relative_gap(phases.get("phase.solve", 0.0), result.solve_seconds)
+
+    data = {
+        "workload": workload,
+        "size": size,
+        "backend": backend,
+        "options": dict(options or {}),
+        "num_unknowns": result.num_unknowns,
+        "trace_id": trace.trace_id,
+        "span_tree": trace.tree(),
+        "phase_seconds": phases,
+        "result_setup_seconds": result.setup_seconds,
+        "result_solve_seconds": result.solve_seconds,
+        "setup_relative_gap": setup_gap,
+        "solve_relative_gap": solve_gap,
+    }
+    text = "\n".join(
+        [
+            f"profile: {workload}" + (f" (size {size})" if size is not None else "") + f" via {backend}",
+            f"unknowns: {result.num_unknowns}",
+            "",
+            trace.render(),
+            "",
+            f"SolverTimer cross-check: setup {result.setup_seconds * 1e3:.2f} ms "
+            f"(span gap {setup_gap * 100:.2f}%), solve {result.solve_seconds * 1e3:.2f} ms "
+            f"(span gap {solve_gap * 100:.2f}%)",
+        ]
+    )
+    return ExperimentReport(name="profile", text=text, data=data)
+
+
+def _relative_gap(span_seconds: float, timer_seconds: float) -> float:
+    """``|span - timer| / timer`` guarded against zero-duration phases."""
+    if timer_seconds <= 0.0:
+        return 0.0
+    return abs(span_seconds - timer_seconds) / timer_seconds
+
+
+def write_profile_json(report: ExperimentReport, path: str | Path | None = None) -> Path:
+    """Write a profile report's data to ``BENCH_profile.json``."""
+    target = Path(path) if path is not None else Path.cwd() / BENCH_PROFILE_FILENAME
+    target.write_text(json.dumps(report.data, indent=2, sort_keys=True) + "\n")
+    return target

@@ -1,10 +1,20 @@
-"""Small timing utilities shared by the solvers and benchmarks."""
+"""Small timing utilities shared by the solvers and benchmarks.
+
+Since the observability layer landed these are thin shims over
+:mod:`repro.obs`: every lap reads the one monotonic clock of
+:func:`repro.obs.clock.now` *and* opens a ``phase.<name>`` span when a
+trace is active, so the ``setup_seconds``/``solve_seconds`` fields of an
+:class:`~repro.core.results.ExtractionResult` and the span tree of a
+traced request are the same measurements, not two rival stopwatches.
+"""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, TypeVar
+
+from repro.obs import clock
+from repro.obs.trace import span as obs_span
 
 __all__ = ["Stopwatch", "SolverTimer", "measure"]
 
@@ -14,6 +24,9 @@ T = TypeVar("T")
 @dataclass
 class Stopwatch:
     """Accumulating stopwatch with named laps.
+
+    Each lap also opens an obs span named ``phase.<lap name>`` (a no-op
+    outside an active trace), so phase timings show up in span trees.
 
     Example
     -------
@@ -31,13 +44,18 @@ class Stopwatch:
             self._watch = watch
             self._name = name
             self._start = 0.0
+            self._span = None
 
         def __enter__(self) -> "Stopwatch._Lap":
-            self._start = time.perf_counter()
+            self._span = obs_span(f"phase.{self._name}")
+            self._span.__enter__()
+            self._start = clock.now()
             return self
 
         def __exit__(self, *exc_info) -> None:
-            elapsed = time.perf_counter() - self._start
+            elapsed = clock.now() - self._start
+            assert self._span is not None
+            self._span.__exit__(*exc_info)
             self._watch.laps[self._name] = self._watch.laps.get(self._name, 0.0) + elapsed
 
     def lap(self, name: str) -> "Stopwatch._Lap":
@@ -57,7 +75,9 @@ class SolverTimer(Stopwatch):
     the same two phases: the system *setup* (discretisation / operator
     construction / matrix fill) and the *solve* (linear solve plus
     capacitance post-processing).  This helper keeps the lap names and the
-    reporting consistent across them.
+    reporting consistent across them -- and, through the :class:`Stopwatch`
+    shim, emits the ``phase.setup``/``phase.solve`` spans of a traced
+    extraction.
 
     Example
     -------
@@ -99,6 +119,6 @@ class SolverTimer(Stopwatch):
 
 def measure(function: Callable[[], T]) -> tuple[T, float]:
     """Run ``function`` and return ``(result, elapsed_seconds)``."""
-    start = time.perf_counter()
+    start = clock.now()
     result = function()
-    return result, time.perf_counter() - start
+    return result, clock.now() - start

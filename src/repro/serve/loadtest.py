@@ -24,7 +24,6 @@ from __future__ import annotations
 import asyncio
 import json
 import tempfile
-import time
 from pathlib import Path
 
 import numpy as np
@@ -32,6 +31,7 @@ import numpy as np
 from repro.analysis.report import format_table
 from repro.core.experiments import ExperimentReport
 from repro.engine.request import DEFAULT_BACKEND
+from repro.obs import clock
 from repro.serve.client import request_json
 from repro.serve.config import ServeConfig, ShardSpec
 from repro.serve.server import ExtractionServer
@@ -101,7 +101,7 @@ async def _drive(
             rank = await queue.get()
             if rank is None:
                 return
-            start = time.perf_counter()
+            start = clock.now()
             status, payload = await request_json(
                 server.config.host, server.port, "POST", "/v1/extract", specs[rank]
             )
@@ -110,7 +110,7 @@ async def _drive(
                     "rank": rank,
                     "http_status": status,
                     "status": payload.get("status", "error") if isinstance(payload, dict) else "error",
-                    "latency_seconds": time.perf_counter() - start,
+                    "latency_seconds": clock.now() - start,
                 }
             )
 
@@ -135,9 +135,9 @@ async def _run_async(
     server = ExtractionServer(config)
     await server.start()
     try:
-        wall_start = time.perf_counter()
+        wall_start = clock.now()
         samples = await _drive(server, specs, sequence, concurrency)
-        wall_seconds = time.perf_counter() - wall_start
+        wall_seconds = clock.now() - wall_start
         stats = server.stats()
     finally:
         await server.shutdown()

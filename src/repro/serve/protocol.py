@@ -18,6 +18,7 @@ parsed spec into the engine's :class:`~repro.engine.request.ExtractionRequest`.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import urllib.parse
 from dataclasses import dataclass, field
@@ -26,6 +27,7 @@ from typing import Any
 from repro.engine.request import DEFAULT_BACKEND, ExtractionRequest
 from repro.geometry import generators
 from repro.geometry.layout import Layout
+from repro.obs.trace import current_trace_id
 
 __all__ = [
     "ProtocolError",
@@ -34,9 +36,11 @@ __all__ = [
     "ExtractSpec",
     "read_request",
     "send_json",
+    "send_text",
     "start_ndjson",
     "send_ndjson_line",
     "end_ndjson",
+    "last_response_status",
     "parse_extract_spec",
     "build_request",
 ]
@@ -152,8 +156,30 @@ async def read_request(reader: asyncio.StreamReader, max_body_bytes: int) -> Htt
 # ----------------------------------------------------------------------
 # writing
 # ----------------------------------------------------------------------
+#: Status of the last response written in this task's context -- every
+#: sender passes through :func:`_status_line`, so the dispatcher can label
+#: its request counter without threading the status through each handler.
+_LAST_STATUS: contextvars.ContextVar[int] = contextvars.ContextVar(
+    "repro_serve_last_status", default=0
+)
+
+
+def last_response_status() -> int:
+    """Status code of the most recent response written in this task (0 if none)."""
+    return _LAST_STATUS.get()
+
+
 def _status_line(status: int) -> bytes:
+    _LAST_STATUS.set(status)
     return f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n".encode("latin-1")
+
+
+def _stamp_trace(headers: dict[str, str]) -> dict[str, str]:
+    """Echo the active trace id on every response (curl-visible correlation)."""
+    trace_id = current_trace_id()
+    if trace_id is not None:
+        headers.setdefault("X-Trace-Id", trace_id)
+    return headers
 
 
 async def send_json(
@@ -164,11 +190,11 @@ async def send_json(
 ) -> None:
     """Write one complete JSON response (Content-Length framing)."""
     body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-    headers = {
+    headers = _stamp_trace({
         "Content-Type": "application/json",
         "Content-Length": str(len(body)),
         **(extra_headers or {}),
-    }
+    })
     head = _status_line(status) + b"".join(
         f"{name}: {value}\r\n".encode("latin-1") for name, value in headers.items()
     )
@@ -176,12 +202,40 @@ async def send_json(
     await writer.drain()
 
 
-async def start_ndjson(writer: asyncio.StreamWriter, status: int = 200) -> None:
+async def send_text(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: str,
+    content_type: str = "text/plain; charset=utf-8",
+    extra_headers: dict[str, str] | None = None,
+) -> None:
+    """Write one complete plain-text response (the ``/metrics`` exposition)."""
+    encoded = body.encode("utf-8")
+    headers = _stamp_trace({
+        "Content-Type": content_type,
+        "Content-Length": str(len(encoded)),
+        **(extra_headers or {}),
+    })
+    head = _status_line(status) + b"".join(
+        f"{name}: {value}\r\n".encode("latin-1") for name, value in headers.items()
+    )
+    writer.write(head + b"\r\n" + encoded)
+    await writer.drain()
+
+
+async def start_ndjson(
+    writer: asyncio.StreamWriter, status: int = 200, extra_headers: dict[str, str] | None = None
+) -> None:
     """Open a chunked ``application/x-ndjson`` response for streaming."""
+    headers = _stamp_trace({
+        "Content-Type": "application/x-ndjson",
+        "Transfer-Encoding": "chunked",
+        **(extra_headers or {}),
+    })
     writer.write(
         _status_line(status)
-        + b"Content-Type: application/x-ndjson\r\n"
-        + b"Transfer-Encoding: chunked\r\n\r\n"
+        + b"".join(f"{name}: {value}\r\n".encode("latin-1") for name, value in headers.items())
+        + b"\r\n"
     )
     await writer.drain()
 

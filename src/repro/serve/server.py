@@ -11,16 +11,23 @@ Endpoints
 ---------
 ``GET /healthz``
     Liveness: ``{"status": "ok"}`` (``"draining"`` during shutdown).
+``GET /metrics``
+    Prometheus text exposition of the process-wide metrics registry.
 ``GET /v1/backends``
     The registered backend names and descriptions.
 ``GET /v1/stats``
-    Store hit/miss counters, per-shard queue depths and outcome counters.
+    Store hit/miss counters, aggregate queue state and per-shard counters.
 ``POST /v1/extract``
     One extraction spec in, one JSON result out.  Overload answers 429
-    (bounded queue), bad specs 400, backend failures 500.
+    (bounded queue), bad specs 400, backend failures 500.  With
+    ``?trace=1`` the response inlines the request's span tree.
 ``POST /v1/batch``
     A JSON array of specs in; streamed NDJSON out -- one progress line per
     request *as it completes* plus a trailing summary line.
+
+Every request runs under its own trace (``serve.request`` root span); the
+trace id is echoed in an ``X-Trace-Id`` header on every response and
+stamped on the server's JSON log lines.
 
 Shutdown is graceful: :meth:`ExtractionServer.shutdown` stops accepting,
 answers in-progress connections with 503, drains every shard queue and
@@ -31,9 +38,12 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
-import time
 
 from repro.engine.registry import available_backends, get_backend
+from repro.obs import clock
+from repro.obs.logging import configure_logging, get_logger
+from repro.obs.metrics import counter, histogram, render_metrics
+from repro.obs.trace import carrier, current_trace, start_trace
 from repro.serve.config import ServeConfig
 from repro.serve.protocol import (
     HttpRequest,
@@ -41,10 +51,12 @@ from repro.serve.protocol import (
     SpecError,
     build_request,
     end_ndjson,
+    last_response_status,
     parse_extract_spec,
     read_request,
     send_json,
     send_ndjson_line,
+    send_text,
     start_ndjson,
 )
 from repro.serve.queue import QueueClosed, QueueFull
@@ -52,6 +64,18 @@ from repro.serve.shards import Job, ShardPool
 from repro.serve.store import ResultStore
 
 __all__ = ["ExtractionServer", "run_server"]
+
+_logger = get_logger("serve")
+
+#: Known routes; anything else is labelled "other" to bound metric cardinality.
+_ROUTES = ("/healthz", "/metrics", "/v1/backends", "/v1/stats", "/v1/extract", "/v1/batch")
+
+_HTTP_REQUESTS = counter(
+    "repro_http_requests_total", "HTTP requests served, by route and status", ("route", "status")
+)
+_HTTP_SECONDS = histogram(
+    "repro_http_request_seconds", "Wall time to serve one HTTP request", ("route",)
+)
 
 
 class ExtractionServer:
@@ -91,7 +115,7 @@ class ExtractionServer:
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.config.host, port=self.config.port
         )
-        self._started_at = time.monotonic()
+        self._started_at = clock.now()
 
     async def serve_forever(self) -> None:
         """Serve until cancelled (``start`` must have been called)."""
@@ -139,10 +163,22 @@ class ExtractionServer:
                 await writer.wait_closed()
 
     async def _dispatch(self, request: HttpRequest, writer: asyncio.StreamWriter) -> bool:
-        """Route one request; returns whether the connection may continue."""
+        """Route one request under its own trace; returns keep-alive."""
+        route_label = request.path if request.path in _ROUTES else "other"
+        begin = clock.now()
+        with start_trace("serve.request", method=request.method, path=request.path):
+            keep_alive = await self._route(request, writer)
+        _HTTP_REQUESTS.inc(route=route_label, status=str(last_response_status()))
+        _HTTP_SECONDS.observe(clock.now() - begin, route=route_label)
+        return keep_alive
+
+    async def _route(self, request: HttpRequest, writer: asyncio.StreamWriter) -> bool:
         route = (request.method, request.path)
         if route == ("GET", "/healthz"):
             await send_json(writer, 200, {"status": "draining" if self._draining else "ok"})
+            return True
+        if route == ("GET", "/metrics"):
+            await send_text(writer, 200, render_metrics(), content_type="text/plain; version=0.0.4")
             return True
         if route == ("GET", "/v1/backends"):
             payload = [
@@ -158,7 +194,7 @@ class ExtractionServer:
             return await self._handle_extract(request, writer)
         if route == ("POST", "/v1/batch"):
             return await self._handle_batch(request, writer)
-        if request.path in ("/healthz", "/v1/backends", "/v1/stats", "/v1/extract", "/v1/batch"):
+        if request.path in _ROUTES:
             await send_json(writer, 405, {"error": f"{request.method} not allowed on {request.path}"})
             return True
         await send_json(writer, 404, {"error": f"no route for {request.method} {request.path}"})
@@ -182,6 +218,7 @@ class ExtractionServer:
             request=engine_request,
             fingerprint=engine_request.fingerprint(),
             priority=spec.priority,
+            carrier=carrier(),
         )
         self.shards[self.config.shard_for(spec.backend).name].submit(job)
         return job
@@ -206,6 +243,14 @@ class ExtractionServer:
             return False
         payload = await job.future
         payload = {**payload, "fingerprint": job.fingerprint}
+        # The trace fields are added after the future resolves, at the
+        # response edge: they are per-request and must never be persisted
+        # by the result store.
+        trace = current_trace()
+        if trace is not None:
+            payload["trace_id"] = trace.trace_id
+            if request.query.get("trace") in ("1", "true", "yes"):
+                payload["trace"] = trace.tree()
         status = 500 if payload.get("error") is not None else 200
         await send_json(writer, status, payload)
         return True
@@ -253,18 +298,34 @@ class ExtractionServer:
                 result = future.result()
                 counters["failed" if result.get("error") is not None else "served"] += 1
                 await send_ndjson_line(writer, {"index": index, "fingerprint": job.fingerprint, **result})
-        await send_ndjson_line(writer, {"summary": True, "total": len(specs), **counters})
+        summary: dict = {"summary": True, "total": len(specs), **counters}
+        trace = current_trace()
+        if trace is not None:
+            summary["trace_id"] = trace.trace_id
+            if request.query.get("trace") in ("1", "true", "yes"):
+                summary["trace"] = trace.tree()
+        await send_ndjson_line(writer, summary)
         await end_ndjson(writer)
         return False  # chunked stream ends the connection's useful life
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Machine-readable service state (the ``/v1/stats`` payload)."""
+        per_shard_queues = {name: pool.queue.stats() for name, pool in self.shards.items()}
         return {
             "draining": self._draining,
-            "uptime_seconds": time.monotonic() - self._started_at if self._started_at else 0.0,
+            "uptime_seconds": clock.now() - self._started_at if self._started_at else 0.0,
             "requests_seen": self._requests_seen,
             "store": self.store.stats() if self.store is not None else None,
+            # Top-level queue visibility: is the service backed up, and how
+            # badly has it ever been -- without digging through the shards.
+            "queues": {
+                "depth": sum(q["depth"] for q in per_shard_queues.values()),
+                "enqueued": sum(q["enqueued"] for q in per_shard_queues.values()),
+                "rejected": sum(q["rejected"] for q in per_shard_queues.values()),
+                "max_depth": max((q["max_depth"] for q in per_shard_queues.values()), default=0),
+                "per_shard": per_shard_queues,
+            },
             "shards": {name: pool.stats() for name, pool in self.shards.items()},
         }
 
@@ -277,6 +338,8 @@ def run_server(config: ServeConfig | None = None) -> None:
     """
     import signal
 
+    configure_logging()
+
     async def _main() -> None:
         server = ExtractionServer(config)
         await server.start()
@@ -284,16 +347,23 @@ def run_server(config: ServeConfig | None = None) -> None:
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
             loop.add_signal_handler(signum, stop.set)
-        cache = server.store.root if server.store is not None else "disabled"
-        print(f"serving extraction on http://{server.config.host}:{server.port} (cache: {cache})")
-        print("endpoints: /healthz /v1/backends /v1/stats /v1/extract /v1/batch  --  Ctrl-C drains and exits")
+        cache = server.store.root if server.store is not None else None
+        _logger.info(
+            "serving extraction",
+            extra={
+                "host": server.config.host,
+                "port": server.port,
+                "cache": str(cache) if cache is not None else "disabled",
+                "endpoints": list(_ROUTES),
+            },
+        )
         serve_task = asyncio.create_task(server.serve_forever())
         await stop.wait()
-        print("draining ...")
+        _logger.info("draining")
         await server.shutdown()
         serve_task.cancel()
         with contextlib.suppress(asyncio.CancelledError):
             await serve_task
-        print("drained; bye")
+        _logger.info("drained")
 
     asyncio.run(_main())

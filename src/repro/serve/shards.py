@@ -21,17 +21,35 @@ so the server layer never blocks on anything but ``await``.
 from __future__ import annotations
 
 import asyncio
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.engine.request import ExtractionRequest
 from repro.engine.service import ExtractionService
+from repro.obs import clock
+from repro.obs.metrics import counter, gauge, histogram
+from repro.obs.trace import SpanCarrier, attach, propagate, span
 from repro.serve.config import ShardSpec
 from repro.serve.queue import QueueClosed, RequestQueue
 from repro.serve.store import ResultStore
 
 __all__ = ["Job", "ShardPool"]
+
+_ADMISSIONS = counter(
+    "repro_serve_jobs_total",
+    "Jobs submitted to a shard, by admission outcome (cached/coalesced/queued)",
+    ("shard", "admission"),
+)
+_FINISHED = counter(
+    "repro_serve_finished_total", "Shard jobs finished, by outcome", ("shard", "outcome")
+)
+_QUEUE_DEPTH = gauge("repro_queue_depth", "Current depth of a shard's request queue", ("shard",))
+_QUEUE_WAIT = histogram(
+    "repro_queue_wait_seconds", "Time a job spent waiting in the shard queue", ("shard",)
+)
+_INFLIGHT = gauge(
+    "repro_shard_inflight", "Distinct fingerprints queued or running on a shard", ("shard",)
+)
 
 
 @dataclass
@@ -42,7 +60,11 @@ class Job:
     fingerprint: str
     priority: int = 0
     future: asyncio.Future = field(default_factory=lambda: asyncio.get_running_loop().create_future())
-    enqueued_at: float = field(default_factory=time.perf_counter)
+    enqueued_at: float = field(default_factory=clock.now)
+    #: Trace context of the originating HTTP request, if any: the worker
+    #: task re-activates it so shard/engine/solver spans nest under
+    #: ``serve.request`` even though the work hops tasks and threads.
+    carrier: SpanCarrier | None = None
 
 
 def _execute(service: ExtractionService, request: ExtractionRequest) -> dict:
@@ -112,12 +134,14 @@ class ShardPool:
             stored = self.store.get(job.fingerprint)
             if stored is not None:
                 self.cache_hits += 1
+                _ADMISSIONS.inc(shard=self.spec.name, admission="cached")
                 job.future.set_result({**stored, "status": "cached", "shard": self.spec.name})
                 return "cached"
         waiters = self._inflight.get(job.fingerprint)
         if waiters is not None:
             waiters.append(job)
             self.coalesced += 1
+            _ADMISSIONS.inc(shard=self.spec.name, admission="coalesced")
             return "coalesced"
         self._inflight[job.fingerprint] = [job]
         try:
@@ -125,6 +149,9 @@ class ShardPool:
         except Exception:
             del self._inflight[job.fingerprint]
             raise
+        _ADMISSIONS.inc(shard=self.spec.name, admission="queued")
+        _QUEUE_DEPTH.set(self.queue.qsize(), shard=self.spec.name)
+        _INFLIGHT.set(len(self._inflight), shard=self.spec.name)
         return "queued"
 
     # ------------------------------------------------------------------
@@ -135,20 +162,31 @@ class ShardPool:
                 job = await self.queue.get()
             except QueueClosed:
                 return
-            try:
-                payload = await loop.run_in_executor(self._executor, _execute, self._service, job.request)
-            except Exception as exc:  # the service contains backend errors; this is belt-and-braces
-                payload = {
-                    "backend": job.request.backend,
-                    "label": job.request.label,
-                    "seconds": 0.0,
-                    "result": None,
-                    "error": f"{type(exc).__name__}: {exc}",
-                }
+            _QUEUE_DEPTH.set(self.queue.qsize(), shard=self.spec.name)
+            queue_wait = max(clock.now() - job.enqueued_at, 0.0)
+            _QUEUE_WAIT.observe(queue_wait, shard=self.spec.name)
+            # Re-activate the request's trace (attach) so the dispatch span
+            # nests under serve.request, then carry the context onto the
+            # executor thread (propagate) so engine/solver spans follow.
+            with attach(job.carrier):
+                with span("shard.dispatch", shard=self.spec.name, queue_wait_seconds=queue_wait):
+                    try:
+                        payload = await loop.run_in_executor(
+                            self._executor, propagate(_execute, self._service, job.request)
+                        )
+                    except Exception as exc:  # service contains backend errors; belt-and-braces
+                        payload = {
+                            "backend": job.request.backend,
+                            "label": job.request.label,
+                            "seconds": 0.0,
+                            "result": None,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }
             self._finish(job.fingerprint, payload)
 
     def _finish(self, fingerprint: str, payload: dict) -> None:
         failed = payload.get("error") is not None
+        _FINISHED.inc(shard=self.spec.name, outcome="failed" if failed else "completed")
         if failed:
             self.failed += 1
         else:
@@ -158,6 +196,7 @@ class ShardPool:
                 # per-response, and a failure must never be served again.
                 self.store.put(fingerprint, {**payload, "fingerprint": fingerprint})
         waiters = self._inflight.pop(fingerprint, [])
+        _INFLIGHT.set(len(self._inflight), shard=self.spec.name)
         for index, job in enumerate(waiters):
             if job.future.done():  # client went away mid-compute
                 continue

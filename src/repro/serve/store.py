@@ -21,7 +21,13 @@ import re
 import threading
 from pathlib import Path
 
+from repro.obs.metrics import counter
+
 __all__ = ["ResultStore"]
+
+_LOOKUPS = counter(
+    "repro_store_lookups_total", "Persistent result-store lookups", ("result",)
+)
 
 #: Accepted store keys: hex digests (the service fingerprints are SHA-256).
 _KEY_PATTERN = re.compile(r"[0-9a-f]{8,128}")
@@ -66,6 +72,7 @@ class ResultStore:
         except OSError:
             with self._lock:
                 self._misses += 1
+            _LOOKUPS.inc(result="miss")
             return None
         try:
             payload = json.loads(text)
@@ -75,9 +82,11 @@ class ResultStore:
             path.unlink(missing_ok=True)
             with self._lock:
                 self._misses += 1
+            _LOOKUPS.inc(result="miss")
             return None
         with self._lock:
             self._hits += 1
+        _LOOKUPS.inc(result="hit")
         return payload
 
     def put(self, key: str, payload: dict) -> Path:
@@ -109,10 +118,21 @@ class ResultStore:
         with self._lock:
             hits, misses = self._hits, self._misses
         total = hits + misses
+        stored = 0
+        disk_bytes = 0
+        # One pass over the entries gives the count and the footprint
+        # together; entries racing in or out mid-walk are simply skipped.
+        for path in self.root.glob("??/*.json"):
+            try:
+                disk_bytes += path.stat().st_size
+            except OSError:
+                continue
+            stored += 1
         return {
             "hits": hits,
             "misses": misses,
             "hit_rate": hits / total if total else 0.0,
-            "stored": len(self),
+            "stored": stored,
+            "disk_bytes": disk_bytes,
             "root": str(self.root),
         }

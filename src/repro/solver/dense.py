@@ -12,6 +12,8 @@ from __future__ import annotations
 import numpy as np
 from scipy import linalg
 
+from repro.obs.trace import span
+
 __all__ = ["solve_dense", "cholesky_solve"]
 
 
@@ -39,10 +41,11 @@ def solve_dense(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     matrix = np.asarray(matrix, dtype=float)
     rhs = np.asarray(rhs, dtype=float)
     _check_shapes(matrix, rhs)
-    try:
-        return cholesky_solve(matrix, rhs)
-    except np.linalg.LinAlgError:
-        return np.linalg.solve(matrix, rhs)
+    with span("solver.direct", size=matrix.shape[0]):
+        try:
+            return cholesky_solve(matrix, rhs)
+        except np.linalg.LinAlgError:
+            return np.linalg.solve(matrix, rhs)
 
 
 def _check_shapes(matrix: np.ndarray, rhs: np.ndarray) -> None:

@@ -32,7 +32,18 @@ from typing import Callable
 import numpy as np
 from scipy.sparse.linalg import LinearOperator, gmres
 
+from repro.obs import metrics
+from repro.obs.trace import span
+
 __all__ = ["IterativeStats", "jacobi_preconditioner", "gmres_solve"]
+
+_SOLVES = metrics.counter("repro_gmres_solves_total", "GMRES solves, by execution mode", ("mode",))
+_ITERATIONS = metrics.counter(
+    "repro_gmres_iterations_total", "Krylov iterations summed over all right-hand sides", ("mode",)
+)
+_TRAVERSALS = metrics.counter(
+    "repro_gmres_traversals_total", "Operator traversals performed by GMRES solves", ("mode",)
+)
 
 #: Multi-vector operator product ``A @ X`` for an ``(n, k)`` block ``X``.
 MatMat = Callable[[np.ndarray], np.ndarray]
@@ -159,38 +170,48 @@ def gmres_solve(
 
     num_columns = columns.shape[1]
     blocked = matmat is not None and num_columns > 1 and block_size != 1
-    if not blocked:
-        solution, stats = _column_gmres(
-            matvec, columns, size, tolerance, max_iterations, diagonal
-        )
-    else:
-        chunk = num_columns if block_size is None else min(int(block_size), num_columns)
-        inverse_diagonal = None
-        if diagonal is not None:
-            jacobi_preconditioner(diagonal)  # shared validation
-            inverse_diagonal = 1.0 / np.asarray(diagonal, dtype=float)
-        solution = np.empty_like(columns)
-        iterations: list[int] = []
-        traversals = 0
-        assert matmat is not None
-        for start in range(0, num_columns, chunk):
-            stop = min(start + chunk, num_columns)
-            block, block_iterations, block_traversals = _blocked_gmres(
-                matmat,
-                columns[:, start:stop],
-                tolerance,
-                max_iterations,
-                inverse_diagonal,
-                rhs_offset=start,
+    with span("solver.gmres", size=size, num_rhs=num_columns) as gmres_span:
+        if not blocked:
+            solution, stats = _column_gmres(
+                matvec, columns, size, tolerance, max_iterations, diagonal
             )
-            solution[:, start:stop] = block
-            iterations.extend(block_iterations)
-            traversals += block_traversals
-        stats = IterativeStats(
-            iterations_per_rhs=iterations,
-            mode="blocked",
-            operator_traversals=traversals,
-        )
+        else:
+            chunk = num_columns if block_size is None else min(int(block_size), num_columns)
+            inverse_diagonal = None
+            if diagonal is not None:
+                jacobi_preconditioner(diagonal)  # shared validation
+                inverse_diagonal = 1.0 / np.asarray(diagonal, dtype=float)
+            solution = np.empty_like(columns)
+            iterations: list[int] = []
+            traversals = 0
+            assert matmat is not None
+            for start in range(0, num_columns, chunk):
+                stop = min(start + chunk, num_columns)
+                block, block_iterations, block_traversals = _blocked_gmres(
+                    matmat,
+                    columns[:, start:stop],
+                    tolerance,
+                    max_iterations,
+                    inverse_diagonal,
+                    rhs_offset=start,
+                )
+                solution[:, start:stop] = block
+                iterations.extend(block_iterations)
+                traversals += block_traversals
+            stats = IterativeStats(
+                iterations_per_rhs=iterations,
+                mode="blocked",
+                operator_traversals=traversals,
+            )
+        if gmres_span is not None:
+            gmres_span.attributes.update(
+                mode=stats.mode,
+                iterations=stats.total_iterations,
+                traversals=stats.operator_traversals,
+            )
+        _SOLVES.inc(mode=stats.mode)
+        _ITERATIONS.inc(stats.total_iterations, mode=stats.mode)
+        _TRAVERSALS.inc(stats.operator_traversals, mode=stats.mode)
     return (solution[:, 0] if single_column else solution), stats
 
 

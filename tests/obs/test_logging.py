@@ -1,0 +1,82 @@
+"""Unit tests of the JSON log formatter and trace-id stamping."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs.logging import JsonLogFormatter, configure_logging, get_logger
+from repro.obs.trace import start_trace
+
+
+def _capture(emit):
+    """Run ``emit(logger)`` against a handler capturing one JSON line."""
+    stream = io.StringIO()
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLogFormatter())
+    logger = logging.getLogger("repro.test-capture")
+    logger.setLevel(logging.INFO)
+    logger.propagate = False
+    logger.addHandler(handler)
+    try:
+        emit(logger)
+    finally:
+        logger.removeHandler(handler)
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonLogFormatter:
+    def test_one_json_object_per_line(self):
+        records = _capture(lambda log: log.info("request served"))
+        assert len(records) == 1
+        payload = records[0]
+        assert payload["message"] == "request served"
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.test-capture"
+        assert "ts" in payload
+
+    def test_extra_context_lands_as_top_level_fields(self):
+        records = _capture(
+            lambda log: log.info("served", extra={"route": "/v1/extract", "status": 200})
+        )
+        assert records[0]["route"] == "/v1/extract"
+        assert records[0]["status"] == 200
+
+    def test_trace_id_stamped_when_tracing(self):
+        def emit(log):
+            log.info("outside")
+            with start_trace("root", trace_id="cafebabe"):
+                log.info("inside")
+
+        outside, inside = _capture(emit)
+        assert "trace_id" not in outside
+        assert inside["trace_id"] == "cafebabe"
+
+    def test_exception_is_included(self):
+        def emit(log):
+            try:
+                raise RuntimeError("boom")
+            except RuntimeError:
+                log.exception("failed")
+
+        payload = _capture(emit)[0]
+        assert "RuntimeError: boom" in payload["exception"]
+
+    def test_non_serialisable_extras_are_stringified(self):
+        records = _capture(lambda log: log.info("x", extra={"obj": object()}))
+        assert "object object" in records[0]["obj"]
+
+
+class TestConfigureLogging:
+    def test_idempotent(self):
+        logger = configure_logging(level=logging.WARNING, stream=io.StringIO())
+        before = list(logger.handlers)
+        again = configure_logging(level=logging.INFO, stream=io.StringIO())
+        assert again is logger
+        assert list(logger.handlers) == before
+
+    def test_get_logger_namespaces_under_repro(self):
+        assert get_logger("serve").name == "repro.serve"
+        assert get_logger("repro.engine").name == "repro.engine"
+        assert get_logger("repro").name == "repro"

@@ -1,0 +1,126 @@
+"""Unit tests of the metrics registry and its Prometheus text exposition."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+
+# Prometheus text format 0.0.4 sample line:  name{labels} value
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{[^}]*\})? (?P<value>[0-9.e+-]+|\+Inf|NaN)$"
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("jobs_total", "jobs", ("outcome",))
+        c.inc(outcome="ok")
+        c.inc(2, outcome="ok")
+        c.inc(outcome="failed")
+        assert c.value(outcome="ok") == 3.0
+        assert c.value(outcome="failed") == 1.0
+        assert c.value(outcome="never") == 0.0
+
+    def test_negative_increment_rejected(self, registry):
+        c = registry.counter("n_total", "n")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_label_mismatch_rejected(self, registry):
+        c = registry.counter("l_total", "l", ("a",))
+        with pytest.raises(ValueError, match="takes labels"):
+            c.inc(b="x")
+        with pytest.raises(ValueError, match="takes labels"):
+            c.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth", "queue depth", ("shard",))
+        g.set(4, shard="main")
+        g.inc(shard="main")
+        g.dec(2, shard="main")
+        assert g.value(shard="main") == 3.0
+
+
+class TestHistogram:
+    def test_observe_and_count(self, registry):
+        h = registry.histogram("latency_seconds", "latency", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            h.observe(value)
+        assert h.count() == 3
+
+    def test_cumulative_buckets_render_monotonically(self, registry):
+        h = registry.histogram("latency_seconds", "latency", buckets=(0.1, 1.0))
+        for value in (0.05, 0.06, 0.5, 5.0):
+            h.observe(value)
+        lines = [line for line in registry.render().splitlines() if not line.startswith("#")]
+        buckets = [line for line in lines if "_bucket" in line]
+        counts = [float(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1].startswith('latency_seconds_bucket{le="+Inf"}')
+        assert counts[-1] == 4
+        assert any(line.startswith("latency_seconds_sum") for line in lines)
+        assert any(line.startswith("latency_seconds_count 4") for line in lines)
+
+    def test_duplicate_bucket_bounds_rejected(self, registry):
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.histogram("h", "h", buckets=(1.0, 1.0))
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_shares_state(self, registry):
+        a = registry.counter("shared_total", "shared")
+        b = registry.counter("shared_total", "shared")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self, registry):
+        registry.counter("metric_total", "m")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("metric_total", "m")
+
+    def test_labelnames_mismatch_rejected(self, registry):
+        registry.counter("metric_total", "m", ("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("metric_total", "m", ("b",))
+
+    def test_disabled_registry_is_a_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("off_total", "off")
+        h = registry.histogram("off_seconds", "off")
+        c.inc()
+        h.observe(1.0)
+        assert c.value() == 0.0
+        assert h.count() == 0
+        registry.set_enabled(True)
+        c.inc()
+        assert c.value() == 1.0
+
+    def test_label_values_are_escaped(self, registry):
+        c = registry.counter("esc_total", "esc", ("path",))
+        c.inc(path='a"b\\c\nd')
+        rendered = registry.render()
+        assert 'path="a\\"b\\\\c\\nd"' in rendered
+
+    def test_every_rendered_line_parses(self, registry):
+        c = registry.counter("jobs_total", "jobs executed", ("outcome",))
+        c.inc(outcome="ok")
+        registry.gauge("depth", "depth").set(2)
+        registry.histogram("latency_seconds", "latency").observe(0.2)
+        text = registry.render()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("# HELP") or line.startswith("# TYPE"):
+                continue
+            assert _SAMPLE.match(line), f"unparseable sample line: {line!r}"

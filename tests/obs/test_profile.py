@@ -1,0 +1,76 @@
+"""Tests of the ``python -m repro profile`` harness and its artifact."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.profile import run_profile, write_profile_json
+
+
+def _names(tree):
+    out = []
+
+    def walk(nodes):
+        for node in nodes:
+            out.append(node["name"])
+            walk(node["children"])
+
+    walk(tree)
+    return out
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_profile(workload="bus_crossing", backend="instantiable")
+
+
+class TestRunProfile:
+    def test_span_tree_covers_engine_assembly_solver(self, report):
+        names = _names(report.data["span_tree"])
+        assert names[0] == "profile"
+        for expected in ("engine.extract", "phase.setup", "assembly.assemble",
+                         "phase.solve", "solver.direct"):
+            assert expected in names
+
+    def test_spans_agree_with_solver_timer(self, report):
+        # Both read the obs clock, so the phase spans may exceed the timer
+        # fields only by span bookkeeping overhead.
+        assert report.data["setup_relative_gap"] < 0.05
+        assert report.data["solve_relative_gap"] < 0.25
+        phases = report.data["phase_seconds"]
+        assert phases["phase.setup"] >= report.data["result_setup_seconds"]
+
+    def test_report_text_renders_the_tree(self, report):
+        assert "engine.extract" in report.text
+        assert report.data["trace_id"] in report.text
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            run_profile(workload="no-such-family")
+
+    def test_compressed_backend_shows_hmatrix_and_gmres(self):
+        compressed = run_profile(workload="bus_crossing", backend="galerkin-aca")
+        names = _names(compressed.data["span_tree"])
+        assert "assembly.build_hmatrix" in names
+        assert "solver.gmres" in names
+
+
+class TestWriteProfileJson:
+    def test_artifact_round_trips(self, report, tmp_path):
+        target = write_profile_json(report, tmp_path / "BENCH_profile.json")
+        payload = json.loads(target.read_text())
+        assert payload["workload"] == "bus_crossing"
+        assert payload["backend"] == "instantiable"
+        assert payload["num_unknowns"] == report.data["num_unknowns"]
+        assert _names(payload["span_tree"])[0] == "profile"
+
+    def test_cli_entry(self, tmp_path, capsys):
+        from repro.engine.cli import main
+
+        code = main(["profile", "--output", str(tmp_path / "p.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine.extract" in out
+        assert (tmp_path / "p.json").exists()

@@ -1,0 +1,227 @@
+"""Observability tests of the server: /metrics exposition, traces, headers.
+
+The scrape goes over a real socket (raw HTTP, as Prometheus would) and
+every line of the exposition is round-trip parsed: metric names, label
+syntax, and the monotonicity of cumulative histogram buckets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+
+from repro.serve.client import request_json
+from repro.serve.config import ServeConfig, ShardSpec
+from repro.serve.server import ExtractionServer
+
+SPEC = {"generator": "crossing_wires", "backend": "instantiable"}
+
+_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(\{(?P<labels>.*)\})? (?P<value>[0-9.e+-]+|\+Inf|NaN)$"
+)
+_LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$')
+
+
+def _config(tmp_path) -> ServeConfig:
+    return ServeConfig(
+        host="127.0.0.1",
+        port=0,
+        cache_dir=tmp_path / "cache",
+        shards=(ShardSpec(name="main", backends=(), workers=1, queue_depth=16),),
+    )
+
+
+async def _raw_get(host: str, port: int, target: str) -> tuple[str, dict[str, str], str]:
+    """Fetch ``target`` over a raw socket; returns (status line, headers, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"GET {target} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n".encode())
+    await writer.drain()
+    raw = (await reader.read()).decode()
+    writer.close()
+    head, _, body = raw.partition("\r\n\r\n")
+    lines = head.split("\r\n")
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return lines[0], headers, body
+
+
+def run(tmp_path, scenario):
+    async def main():
+        server = ExtractionServer(_config(tmp_path))
+        await server.start()
+        try:
+            return await scenario(server)
+        finally:
+            await server.shutdown()
+
+    return asyncio.run(main())
+
+
+def parse_exposition(body: str) -> dict[str, list[tuple[dict[str, str], float]]]:
+    """Round-trip parse the text format; asserts every line is well-formed."""
+    series: dict[str, list[tuple[dict[str, str], float]]] = {}
+    typed: dict[str, str] = {}
+    for line in body.splitlines():
+        if line.startswith("# HELP "):
+            assert _NAME.match(line.split(" ")[2])
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            assert kind in ("counter", "gauge", "histogram")
+            typed[name] = kind
+            continue
+        assert line, "blank line in exposition"
+        match = _SAMPLE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for pair in re.split(r",(?=[a-zA-Z_])", match.group("labels")):
+                assert _LABEL.match(pair), f"bad label pair {pair!r} in {line!r}"
+                key, _, value = pair.partition("=")
+                labels[key] = value[1:-1]
+        value = float("inf") if match.group("value") == "+Inf" else float(match.group("value"))
+        series.setdefault(match.group("name"), []).append((labels, value))
+    assert typed, "exposition carried no # TYPE headers"
+    return series
+
+
+class TestMetricsEndpoint:
+    def test_scrape_parses_with_nonzero_cache_and_latency_series(self, tmp_path):
+        async def scenario(server):
+            host, port = server.config.host, server.port
+            # Two identical extractions: a compute then a store hit.
+            await request_json(host, port, "POST", "/v1/extract", SPEC)
+            await request_json(host, port, "POST", "/v1/extract", SPEC)
+            return await _raw_get(host, port, "/metrics")
+
+        status_line, headers, body = run(tmp_path, scenario)
+        assert status_line == "HTTP/1.1 200 OK"
+        assert headers["content-type"].startswith("text/plain")
+        series = parse_exposition(body)
+
+        def total(name, **labels):
+            return sum(
+                value
+                for sample_labels, value in series.get(name, [])
+                if all(sample_labels.get(k) == v for k, v in labels.items())
+            )
+
+        # Cache series: one store miss (the compute) and one store hit.
+        assert total("repro_store_lookups_total", result="hit") >= 1
+        assert total("repro_store_lookups_total", result="miss") >= 1
+        # Latency series: request histogram counted both extract requests.
+        assert total("repro_http_request_seconds_count", route="/v1/extract") >= 2
+        assert total("repro_http_requests_total", route="/v1/extract", status="200") >= 2
+        # Engine and queue seams observed the computed request.
+        assert total("repro_engine_extractions_total", outcome="completed") >= 1
+        assert total("repro_queue_wait_seconds_count", shard="main") >= 1
+
+    def test_histogram_buckets_are_cumulative_and_complete(self, tmp_path):
+        async def scenario(server):
+            host, port = server.config.host, server.port
+            await request_json(host, port, "POST", "/v1/extract", SPEC)
+            return await _raw_get(host, port, "/metrics")
+
+        _, _, body = run(tmp_path, scenario)
+        series = parse_exposition(body)
+        histograms = {name[: -len("_bucket")] for name in series if name.endswith("_bucket")}
+        assert histograms
+        for name in histograms:
+            per_key: dict[tuple, list[tuple[float, float]]] = {}
+            for labels, value in series[f"{name}_bucket"]:
+                le = float("inf") if labels["le"] == "+Inf" else float(labels["le"])
+                key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+                per_key.setdefault(key, []).append((le, value))
+            for key, buckets in per_key.items():
+                buckets.sort()
+                values = [v for _, v in buckets]
+                assert values == sorted(values), f"{name}{key} buckets not cumulative"
+                assert buckets[-1][0] == float("inf"), f"{name}{key} missing +Inf bucket"
+                # _count must equal the +Inf cumulative count.
+                count = next(
+                    value
+                    for labels, value in series[f"{name}_count"]
+                    if tuple(sorted(labels.items())) == key
+                )
+                assert count == values[-1]
+
+
+class TestTracing:
+    def test_trace_id_header_on_every_response(self, tmp_path):
+        async def scenario(server):
+            host, port = server.config.host, server.port
+            health = await _raw_get(host, port, "/healthz")
+            stats = await _raw_get(host, port, "/v1/stats")
+            return health, stats
+
+        health, stats = run(tmp_path, scenario)
+        for _, headers, _ in (health, stats):
+            assert re.fullmatch(r"[0-9a-f]{16}", headers["x-trace-id"])
+        assert health[1]["x-trace-id"] != stats[1]["x-trace-id"]
+
+    def test_extract_with_trace_returns_full_span_tree(self, tmp_path):
+        async def scenario(server):
+            host, port = server.config.host, server.port
+            _, payload = await request_json(host, port, "POST", "/v1/extract?trace=1", SPEC)
+            return payload
+
+        payload = run(tmp_path, scenario)
+        assert payload["status"] == "completed"
+        assert re.fullmatch(r"[0-9a-f]{16}", payload["trace_id"])
+
+        names = []
+
+        def walk(nodes):
+            for node in nodes:
+                names.append(node["name"])
+                walk(node["children"])
+
+        walk(payload["trace"])
+        assert names[0] == "serve.request"
+        # One request's tree covers every layer of the stack.
+        for expected in ("shard.dispatch", "engine.extract", "phase.setup",
+                         "assembly.assemble", "phase.solve", "solver.direct"):
+            assert expected in names, f"span {expected} missing from {names}"
+
+    def test_trace_id_without_opt_in_but_no_inline_tree(self, tmp_path):
+        async def scenario(server):
+            host, port = server.config.host, server.port
+            _, payload = await request_json(host, port, "POST", "/v1/extract", SPEC)
+            return payload
+
+        payload = run(tmp_path, scenario)
+        assert "trace_id" in payload
+        assert "trace" not in payload
+
+    def test_trace_fields_are_not_persisted_to_the_store(self, tmp_path):
+        async def scenario(server):
+            host, port = server.config.host, server.port
+            _, first = await request_json(host, port, "POST", "/v1/extract?trace=1", SPEC)
+            stored = server.store.get(first["fingerprint"])
+            return stored
+
+        stored = run(tmp_path, scenario)
+        assert stored is not None
+        assert "trace" not in stored
+        assert "trace_id" not in stored
+
+
+class TestStatsQueues:
+    def test_top_level_queue_aggregate(self, tmp_path):
+        async def scenario(server):
+            host, port = server.config.host, server.port
+            await request_json(host, port, "POST", "/v1/extract", SPEC)
+            _, stats = await request_json(host, port, "GET", "/v1/stats")
+            return stats
+
+        stats = run(tmp_path, scenario)
+        queues = stats["queues"]
+        assert queues["enqueued"] == 1
+        assert queues["rejected"] == 0
+        assert queues["max_depth"] >= 1
+        assert queues["depth"] == 0  # drained by the time stats is read
+        assert set(queues["per_shard"]) == {"main"}
+        assert queues["per_shard"]["main"]["enqueued"] == 1

@@ -39,6 +39,17 @@ class TestResultStore:
         assert (stats["hits"], stats["misses"], stats["stored"]) == (1, 1, 1)
         assert stats["hit_rate"] == 0.5
 
+    def test_disk_footprint_accounting(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.stats()["disk_bytes"] == 0
+        first = store.put(KEY, {"x": 1})
+        second = store.put("cd" + "0" * 62, {"y": [1.0] * 100})
+        stats = store.stats()
+        assert stats["stored"] == 2
+        assert stats["disk_bytes"] == first.stat().st_size + second.stat().st_size
+        store.clear()
+        assert store.stats()["disk_bytes"] == 0
+
     def test_corrupt_entry_is_a_self_healing_miss(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put(KEY, {"x": 1})
