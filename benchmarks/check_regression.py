@@ -16,6 +16,11 @@ and the blocked multi-RHS solve must agree with the per-column loop to
 (the serve-layer load test) must show a cache hit rate above 50 % under
 the Zipf repeated-layout workload, a cold-restart request served from the
 persistent store, sane latency percentiles and zero failed requests.
+With ``--frw`` the gate additionally checks ``BENCH_frw.json``: antithetic
+sampling must beat plain sampling (variance ratio above 1 at a matched
+budget, and strictly fewer walks to the same adaptive tolerance), and the
+parallel throughput sweep must be bit-identical to the serial run at
+every worker count.
 
 Escape hatches:
 
@@ -208,6 +213,60 @@ def check_solver(solver_data: dict) -> list[str]:
     return failures
 
 
+def check_frw(frw_data: dict) -> list[str]:
+    """Structural checks of ``BENCH_frw.json`` (opt-in via ``--frw``).
+
+    The artifact must show (a) an antithetic variance ratio above 1 at the
+    matched budget, (b) both adaptive modes reaching the shared tolerance
+    with antithetic sampling using strictly fewer walks than plain, and
+    (c) a parallel sweep of at least two worker counts whose capacitance
+    is bit-identical to the serial run, with positive throughput.
+    """
+    failures = []
+    budget = frw_data.get("budget") or {}
+    ratio = budget.get("variance_ratio")
+    if not isinstance(ratio, (int, float)) or ratio <= 1.0:
+        failures.append(
+            f"frw: antithetic variance ratio {ratio!r} <= 1 at the matched "
+            "budget -- the pairing is not reducing variance"
+        )
+    adaptive = frw_data.get("adaptive") or {}
+    modes = adaptive.get("modes") or {}
+    walks = {}
+    for mode in ("plain", "antithetic"):
+        entry = modes.get(mode) or {}
+        if entry.get("reached_target") is not True:
+            failures.append(
+                f"frw: {mode} sampling never reached the adaptive tolerance "
+                f"(rel_std={entry.get('rel_std')!r})"
+            )
+        walks[mode] = entry.get("walks_per_conductor")
+    if all(isinstance(walks[mode], int) for mode in walks):
+        if walks["antithetic"] >= walks["plain"]:
+            failures.append(
+                "frw: antithetic sampling needed "
+                f"{walks['antithetic']} walks to tolerance vs {walks['plain']} "
+                "plain -- no measurable reduction"
+            )
+    else:
+        failures.append(f"frw: missing adaptive walk counts ({walks!r})")
+    workers = (frw_data.get("parallel") or {}).get("workers") or {}
+    if len(workers) < 2:
+        failures.append(
+            f"frw: needs throughput entries for >= 2 worker counts, got {len(workers)}"
+        )
+    for count, entry in sorted(workers.items()):
+        if entry.get("max_abs_diff") != 0.0:
+            failures.append(
+                f"frw: capacitance at {count} workers is not bit-identical to "
+                f"the serial run (max_abs_diff={entry.get('max_abs_diff')!r})"
+            )
+        rate = entry.get("walks_per_second")
+        if not isinstance(rate, (int, float)) or rate <= 0.0:
+            failures.append(f"frw: implausible throughput at {count} workers ({rate!r})")
+    return failures
+
+
 #: The serve-layer load test must beat this hit rate under Zipf(1.1)
 #: repeated layouts -- the cache is the service's scalability story.
 SERVICE_MIN_HIT_RATE = 0.5
@@ -352,6 +411,15 @@ def main(argv: list[str] | None = None) -> int:
         help="fresh serve-layer load-test artifact",
     )
     parser.add_argument(
+        "--frw",
+        type=Path,
+        nargs="?",
+        const=REPO_ROOT / "BENCH_frw.json",
+        default=None,
+        metavar="PATH",
+        help="also gate the FRW benchmark artifact (default path: BENCH_frw.json)",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=None,
@@ -437,6 +505,11 @@ def main(argv: list[str] | None = None) -> int:
         failures += check_service(json.loads(args.service.read_text()))
     else:
         failures.append(f"service load-test benchmark not found at {args.service}")
+    if args.frw is not None:
+        if args.frw.exists():
+            failures += check_frw(json.loads(args.frw.read_text()))
+        else:
+            failures.append(f"frw benchmark not found at {args.frw}")
     write_summary(
         baseline.get("backends", {}), current_backends, threshold, floor_seconds, failures
     )

@@ -1,0 +1,44 @@
+"""FRW benchmark: antithetic variance + parallel walks; writes ``BENCH_frw.json``.
+
+Runs the floating-random-walk backend on the crossing-wires family in
+three sections — plain vs generalized-antithetic variance at a matched
+budget, walks-to-tolerance of the adaptive estimator in both modes, and a
+worker-count throughput sweep that must stay bit-identical to the serial
+run.  The artifact lands at the repository root and is consumed by the CI
+perf-regression gate (``benchmarks/check_regression.py --frw``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.engine.frw_bench import run_frw_bench, write_frw_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_frw_benchmark(benchmark, quick_mode):
+    """Variance reduction and parallel reproducibility of the FRW backend."""
+    report = run_once(benchmark, run_frw_bench, quick=quick_mode)
+    print("\n" + report.text)
+    target = write_frw_json(report, REPO_ROOT / "BENCH_frw.json")
+    print(f"\nwrote {target}")
+    benchmark.extra_info["frw"] = report.data["budget"]
+
+    data = report.data
+    assert data["workload"] == "crossing_wires"
+    # (a) Antithetic pairing must reduce variance at the matched budget.
+    assert data["budget"]["variance_ratio"] > 1.0
+    # (b) Both adaptive modes reach the shared tolerance, antithetic with
+    # strictly fewer walks.
+    modes = data["adaptive"]["modes"]
+    assert modes["plain"]["reached_target"] and modes["antithetic"]["reached_target"]
+    assert modes["antithetic"]["walks_per_conductor"] < modes["plain"]["walks_per_conductor"]
+    # (c) The parallel sweep is bit-identical to the serial run.
+    workers = data["parallel"]["workers"]
+    assert len(workers) >= 2
+    for entry in workers.values():
+        assert entry["max_abs_diff"] == 0.0
+        assert entry["walks_per_second"] > 0.0

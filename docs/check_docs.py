@@ -1,13 +1,17 @@
 #!/usr/bin/env python
 """Validate the documentation: internal links resolve, code blocks run.
 
-Checks, over ``README.md`` and every ``docs/*.md``:
+Checks, over ``README.md`` and every markdown file found under ``docs/``
+(recursively — new pages join the checks without editing this script):
 
 * **Internal links** — every relative markdown link ``[text](target)``
   must point at an existing file (anchors are stripped; ``http(s)://``
   and ``mailto:`` targets are skipped).
 * **Anchors** — a fragment on an internal link (``file.md#section``)
   must match a heading slug in the target document.
+* **Orphans** — every docs page must be reachable: linked from
+  ``README.md`` or from another page.  A page nobody links to is dead
+  documentation and fails the check.
 * **`pycon` code blocks** — executed as doctests (the ``>>>`` sessions
   must actually produce their shown output).
 * **`python` code blocks** — compiled (syntax-checked), not executed:
@@ -43,8 +47,8 @@ HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
 
 
 def doc_files() -> list[Path]:
-    """README plus every markdown file under docs/, deterministic order."""
-    return [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    """README plus every markdown file under docs/ (recursive), sorted."""
+    return [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").rglob("*.md"))]
 
 
 def heading_slugs(path: Path) -> set[str]:
@@ -86,6 +90,27 @@ def check_links(path: Path) -> list[str]:
     return failures
 
 
+def check_orphans(paths: list[Path]) -> list[str]:
+    """Docs pages nobody links to (from README or any other page)."""
+    linked: set[Path] = set()
+    for path in paths:
+        if not path.exists():
+            continue
+        for target in LINK_RE.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part = target.partition("#")[0]
+            if file_part:
+                resolved = (path.parent / file_part).resolve()
+                if resolved != path:  # a self-link keeps nobody alive
+                    linked.add(resolved)
+    return [
+        f"{_rel(path)}: orphan page -- not linked from README or any other doc"
+        for path in paths
+        if path.exists() and path != REPO_ROOT / "README.md" and path not in linked
+    ]
+
+
 def check_code_blocks(path: Path) -> list[str]:
     failures = []
     relative = _rel(path)
@@ -109,13 +134,15 @@ def check_code_blocks(path: Path) -> list[str]:
 def main() -> int:
     failures: list[str] = []
     checked = 0
-    for path in doc_files():
+    files = doc_files()
+    for path in files:
         if not path.exists():
             failures.append(f"expected documentation file missing: {_rel(path)}")
             continue
         checked += 1
         failures += check_links(path)
         failures += check_code_blocks(path)
+    failures += check_orphans(files)
     if failures:
         print(f"docs check FAILED ({len(failures)} problem(s) over {checked} file(s)):")
         for failure in failures:

@@ -38,6 +38,11 @@ API_MODULES = [
     "repro.engine.fingerprint",
     "repro.engine.compare",
     "repro.workloads",
+    "repro.frw",
+    "repro.frw.scene",
+    "repro.frw.walks",
+    "repro.frw.estimator",
+    "repro.frw.backend",
     "repro.serve",
     "repro.serve.config",
     "repro.serve.server",

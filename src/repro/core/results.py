@@ -33,6 +33,11 @@ class ExtractionResult:
         ``conductor_names``.
     conductor_names:
         Conductor names in matrix order.
+    capacitance_stderr:
+        Per-entry standard error of ``capacitance`` for stochastic
+        backends (the floating-random-walk extractor); ``None`` for the
+        deterministic solvers.  The accuracy harness's stochastic
+        tolerance mode gates on this field.
     num_basis_functions, num_templates:
         The ``N`` and ``M`` of the instantiable basis (zero for the
         panel-based backends).
@@ -72,6 +77,7 @@ class ExtractionResult:
 
     capacitance: np.ndarray
     conductor_names: list[str]
+    capacitance_stderr: np.ndarray | None = None
     num_basis_functions: int = 0
     num_templates: int = 0
     setup_seconds: float = 0.0
@@ -180,6 +186,8 @@ class ExtractionResult:
             "memory_bytes": self.memory_bytes,
             "capacitance_farad": self.capacitance.tolist(),
         }
+        if self.capacitance_stderr is not None:
+            summary["capacitance_stderr_farad"] = self.capacitance_stderr.tolist()
         if self.iterations is not None:
             summary["total_iterations"] = self.iterations.total_iterations
             summary["iterations_per_rhs"] = list(self.iterations.iterations_per_rhs)

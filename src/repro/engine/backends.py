@@ -14,12 +14,14 @@ fastcap               multipole-accelerated PWC collocation + GMRES       panels
 galerkin-shared       shared-memory parallel Galerkin assembly + GMRES    basis functions
 galerkin-distributed  distributed partial-matrix assembly + GMRES         basis functions
 galerkin-aca          H-matrix-compressed Galerkin (ACA far field)+GMRES  basis functions
+frw                   floating-random-walk Monte Carlo (no linear system) none (walks)
 ====================  ==================================================  =============
 
 The two parallel ``galerkin-*`` backends live in
 :mod:`repro.engine.parallel_backends`, the compressed ``galerkin-aca``
-backend in :mod:`repro.compress.backend`; they are registered here
-alongside the serial adapters.
+backend in :mod:`repro.compress.backend`, and the stochastic ``frw``
+backend in :mod:`repro.frw.backend`; they are registered here alongside
+the serial adapters.
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from repro.engine.parallel_backends import (
 )
 from repro.engine.registry import available_backends, register_backend
 from repro.fastcap.solver import FastCapSolver
+from repro.frw.backend import FRWBackend
 from repro.geometry.layout import Layout
 from repro.pwc.solver import PWCSolver
 
@@ -123,6 +126,7 @@ def register_default_backends() -> None:
         GalerkinSharedBackend,
         GalerkinDistributedBackend,
         GalerkinACABackend,
+        FRWBackend,
     )
     for backend_type in stock:
         if backend_type.name not in registered:

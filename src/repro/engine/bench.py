@@ -32,6 +32,7 @@ _BACKEND_OPTIONS: dict[str, dict] = {
     "galerkin-shared": {"workers": 2},
     "galerkin-distributed": {"workers": 2},
     "galerkin-aca": {},
+    "frw": {"num_walks": 2048, "seed": 0},
 }
 
 

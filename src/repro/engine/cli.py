@@ -17,6 +17,10 @@ Run as ``python -m repro``:
 * ``python -m repro solver`` -- benchmark the parallel H-matrix assembly
   and the blocked multi-RHS GMRES against their serial/per-column
   baselines and write ``BENCH_solver.json``.
+* ``python -m repro frw`` -- benchmark the floating-random-walk backend
+  (antithetic vs plain variance, walks-to-tolerance, parallel walk
+  throughput with the bit-identical determinism check) and write
+  ``BENCH_frw.json``.
 * ``python -m repro workloads`` -- list the registered workload families.
 * ``python -m repro accuracy --quick`` -- extract every workload family
   with every backend, gate the relative errors against the golden
@@ -240,6 +244,30 @@ def _command_solver(args: argparse.Namespace) -> int:
     print(report.text)
     target = write_solver_json(
         report, args.output if args.output is not None else BENCH_SOLVER_FILENAME
+    )
+    print(f"\nwrote {target}")
+    return 0
+
+
+def _command_frw(args: argparse.Namespace) -> int:
+    from repro.engine.frw_bench import (
+        BENCH_FRW_FILENAME,
+        run_frw_bench,
+        write_frw_json,
+    )
+
+    try:
+        report = run_frw_bench(
+            quick=not args.full,
+            workload=args.workload,
+            seed=args.seed,
+            worker_counts=args.workers if args.workers is not None else (1, 2, 4),
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(report.text)
+    target = write_frw_json(
+        report, args.output if args.output is not None else BENCH_FRW_FILENAME
     )
     print(f"\nwrote {target}")
     return 0
@@ -640,6 +668,46 @@ def main(argv: list[str] | None = None) -> int:
         help="where to write the machine-readable report (default: BENCH_solver.json)",
     )
     solver_parser.set_defaults(handler=_command_solver)
+
+    frw_parser = subparsers.add_parser(
+        "frw",
+        help="benchmark the floating-random-walk backend (variance + throughput)",
+    )
+    frw_quickness = frw_parser.add_mutually_exclusive_group()
+    frw_quickness.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the reduced walk budgets (the default)",
+    )
+    frw_quickness.add_argument(
+        "--full", action="store_true", help="use the larger walk budgets"
+    )
+    frw_parser.add_argument(
+        "--workload",
+        default="crossing_wires",
+        metavar="NAME",
+        help="registered workload family to walk (default: crossing_wires)",
+    )
+    frw_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed shared by every run (default: 0)",
+    )
+    frw_parser.add_argument(
+        "--workers",
+        type=_parse_int_list,
+        default=None,
+        metavar="D1,D2,...",
+        help="comma-separated worker counts of the throughput sweep (default: 1,2,4)",
+    )
+    frw_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="where to write the machine-readable report (default: BENCH_frw.json)",
+    )
+    frw_parser.set_defaults(handler=_command_frw)
 
     workloads_parser = subparsers.add_parser(
         "workloads", help="list the registered workload families"

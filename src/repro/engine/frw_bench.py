@@ -1,0 +1,252 @@
+"""FRW benchmark: antithetic variance reduction + parallel walk throughput.
+
+``run_frw_bench`` exercises the three claims the floating-random-walk
+backend makes, on one registered workload (default: the crossing-wires
+pair) through :func:`~repro.frw.estimator.estimate_capacitance`:
+
+* **variance at a matched budget** -- plain and generalized-antithetic
+  sampling run the same walk budget from the same root seed; the artifact
+  records both matrix-level relative standard errors and their variance
+  ratio (``(rel_plain / rel_antithetic)^2``), which must exceed ``1`` for
+  the antithetic pairing to pay for itself.
+* **walks to tolerance** -- both modes run the adaptive estimator against
+  the same ``target_rel_std``; antithetic sampling must reach the target
+  with measurably fewer walks per conductor than plain sampling at the
+  same fixed seed (the headline of the generalized-antithetic scheme).
+* **parallel throughput** -- a fixed budget is re-run across worker
+  counts, recording wall time and walks/second, and checking the
+  capacitance matrix is *bit-identical* to the serial run at every count
+  (the deterministic ``(seed, conductor, batch)`` stream guarantee).
+
+The report's ``data`` payload is written to ``BENCH_frw.json`` by
+``python -m repro frw`` and structurally gated in CI by
+``benchmarks/check_regression.py --frw``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.experiments import ExperimentReport
+from repro.frw.estimator import FRWEstimate, estimate_capacitance
+from repro.frw.scene import build_scene
+
+__all__ = [
+    "BENCH_FRW_FILENAME",
+    "FRW_BENCH_WORKLOAD",
+    "run_frw_bench",
+    "write_frw_json",
+]
+
+#: Default name of the machine-readable FRW artifact.
+BENCH_FRW_FILENAME = "BENCH_frw.json"
+
+#: Default workload family the bench walks (two conductors, strong
+#: coupling -- the antithetic first-hop cancellation is clearly visible).
+FRW_BENCH_WORKLOAD = "crossing_wires"
+
+#: Quick/full knobs: matched-budget walks, adaptive target, and the fixed
+#: budget of the throughput sweep.
+FRW_BENCH_SIZES = {
+    "quick": {"num_walks": 4096, "target_rel_std": 0.10, "parallel_walks": 8192},
+    "full": {"num_walks": 16384, "target_rel_std": 0.05, "parallel_walks": 32768},
+}
+
+#: Walks appended per adaptive round (also the batch size, so the round
+#: boundaries line up with the seed schedule).
+FRW_ROUND_WALKS = 1024
+
+#: Per-conductor cap of the adaptive runs; generous enough that both modes
+#: reach the quick/full targets with head-room.
+FRW_MAX_WALKS = 262144
+
+
+def _mode_record(estimate: FRWEstimate) -> dict:
+    """The per-mode summary shared by the budget and adaptive sections."""
+    return {
+        "rel_std": estimate.rel_std,
+        "walks_per_conductor": int(estimate.num_walks[0]),
+        "num_samples": [int(n) for n in estimate.num_samples],
+        "truncated": int(estimate.truncated.sum()),
+        "walk_seconds": estimate.walk_seconds,
+    }
+
+
+def run_frw_bench(
+    quick: bool = True,
+    workload: str = FRW_BENCH_WORKLOAD,
+    seed: int = 0,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    num_walks: int | None = None,
+    target_rel_std: float | None = None,
+) -> ExperimentReport:
+    """Benchmark antithetic variance reduction and parallel walk throughput.
+
+    Parameters
+    ----------
+    quick:
+        Use the reduced budgets; ``False`` uses the larger set.
+    workload:
+        Registered workload family to walk (quick instance).
+    seed:
+        Root seed shared by every run, so the plain/antithetic comparison
+        and the worker-count sweep are exactly reproducible.
+    worker_counts:
+        Worker counts of the throughput sweep (the ``1`` entry is the
+        serial baseline and is added automatically when missing).
+    num_walks, target_rel_std:
+        Explicit overrides of the quick/full matched budget and adaptive
+        target.
+    """
+    sizes = FRW_BENCH_SIZES["quick" if quick else "full"]
+    budget_walks = int(num_walks) if num_walks is not None else int(sizes["num_walks"])
+    target = float(target_rel_std) if target_rel_std is not None else float(sizes["target_rel_std"])
+    parallel_walks = int(sizes["parallel_walks"])
+    if budget_walks < 2:
+        raise ValueError(f"num_walks must be >= 2, got {budget_walks}")
+    if target <= 0.0:
+        raise ValueError(f"target_rel_std must be positive, got {target}")
+    counts = sorted({int(w) for w in worker_counts} | {1})
+    if counts[0] < 1:
+        raise ValueError(f"worker counts must be >= 1, got {counts[0]}")
+
+    from repro.workloads import get_workload
+
+    layout = get_workload(workload).layout()
+    scene = build_scene(layout)
+
+    # --- variance at a matched budget ---------------------------------
+    budget_modes: dict[str, dict] = {}
+    for label, antithetic in (("plain", False), ("antithetic", True)):
+        estimate = estimate_capacitance(
+            scene, num_walks=budget_walks, seed=seed, antithetic=antithetic
+        )
+        budget_modes[label] = _mode_record(estimate)
+    variance_ratio = (
+        budget_modes["plain"]["rel_std"] / budget_modes["antithetic"]["rel_std"]
+    ) ** 2
+
+    # --- walks to tolerance (adaptive mode) ---------------------------
+    adaptive_modes: dict[str, dict] = {}
+    for label, antithetic in (("plain", False), ("antithetic", True)):
+        estimate = estimate_capacitance(
+            scene,
+            num_walks=FRW_ROUND_WALKS,
+            target_rel_std=target,
+            max_walks=FRW_MAX_WALKS,
+            batch_size=FRW_ROUND_WALKS,
+            seed=seed,
+            antithetic=antithetic,
+        )
+        record = _mode_record(estimate)
+        record["reached_target"] = bool(estimate.rel_std <= target)
+        adaptive_modes[label] = record
+    walks_ratio = (
+        adaptive_modes["plain"]["walks_per_conductor"]
+        / adaptive_modes["antithetic"]["walks_per_conductor"]
+    )
+
+    # --- parallel walk throughput -------------------------------------
+    total_walks = parallel_walks * scene.num_conductors
+    serial_capacitance: np.ndarray | None = None
+    workers_data: dict[str, dict] = {}
+    for workers in counts:
+        start = time.perf_counter()
+        estimate = estimate_capacitance(
+            scene, num_walks=parallel_walks, seed=seed, num_workers=workers
+        )
+        wall = time.perf_counter() - start
+        if serial_capacitance is None:
+            serial_capacitance = estimate.capacitance
+        max_abs_diff = float(np.max(np.abs(estimate.capacitance - serial_capacitance)))
+        workers_data[str(workers)] = {
+            "wall_seconds": wall,
+            "walk_seconds": estimate.walk_seconds,
+            "walks_per_second": total_walks / wall,
+            "max_abs_diff": max_abs_diff,
+        }
+
+    rows = [
+        [
+            "budget",
+            "plain",
+            str(budget_walks),
+            f"{budget_modes['plain']['rel_std']:.4f}",
+            "-",
+        ],
+        [
+            "budget",
+            "antithetic",
+            str(budget_walks),
+            f"{budget_modes['antithetic']['rel_std']:.4f}",
+            f"variance ratio {variance_ratio:.2f}x",
+        ],
+        [
+            "adaptive",
+            "plain",
+            str(adaptive_modes["plain"]["walks_per_conductor"]),
+            f"{adaptive_modes['plain']['rel_std']:.4f}",
+            f"target {target:.3f}",
+        ],
+        [
+            "adaptive",
+            "antithetic",
+            str(adaptive_modes["antithetic"]["walks_per_conductor"]),
+            f"{adaptive_modes['antithetic']['rel_std']:.4f}",
+            f"{walks_ratio:.2f}x fewer walks",
+        ],
+    ]
+    for workers in counts:
+        entry = workers_data[str(workers)]
+        rows.append(
+            [
+                "parallel",
+                f"{workers} workers",
+                str(parallel_walks),
+                f"{entry['walks_per_second']:.0f} walks/s",
+                f"|diff| {entry['max_abs_diff']:.1e}",
+            ]
+        )
+    text = format_table(
+        ["section", "mode", "walks", "rel std / rate", "note"],
+        rows,
+        title=f"FRW benchmark -- {workload} (seed {seed})",
+    )
+
+    data = {
+        "workload": workload,
+        "quick": quick,
+        "seed": seed,
+        "num_conductors": scene.num_conductors,
+        "budget": {
+            "num_walks": budget_walks,
+            "modes": budget_modes,
+            "variance_ratio": variance_ratio,
+        },
+        "adaptive": {
+            "target_rel_std": target,
+            "round_walks": FRW_ROUND_WALKS,
+            "max_walks": FRW_MAX_WALKS,
+            "modes": adaptive_modes,
+            "walks_ratio": walks_ratio,
+        },
+        "parallel": {
+            "num_walks": parallel_walks,
+            "worker_counts": counts,
+            "workers": workers_data,
+        },
+    }
+    return ExperimentReport(name="frw_bench", text=text, data=data)
+
+
+def write_frw_json(report: ExperimentReport, path: str | Path | None = None) -> Path:
+    """Write an FRW report's data to ``BENCH_frw.json``."""
+    target = Path(path) if path is not None else Path.cwd() / BENCH_FRW_FILENAME
+    target.write_text(json.dumps(report.data, indent=2, sort_keys=True) + "\n")
+    return target

@@ -1,0 +1,129 @@
+"""The ``frw`` engine backend: floating-random-walk extraction.
+
+Wraps the scene builder and the batched estimator behind the engine's
+:class:`~repro.engine.registry.Backend` protocol.  Unlike every other
+backend there is no linear system: ``setup_seconds`` is the scene
+flattening, ``solve_seconds`` the walking, ``num_unknowns`` is zero and
+the per-entry standard errors land in
+:attr:`~repro.core.results.ExtractionResult.capacitance_stderr` — the
+field the accuracy harness's stochastic tolerance mode reads.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import ExtractionResult
+from repro.frw.estimator import estimate_capacitance
+from repro.frw.scene import build_scene
+from repro.geometry.layout import Layout
+from repro.obs.trace import span
+from repro.parallel.timing import SolverTimer
+
+__all__ = ["FRWBackend"]
+
+
+class FRWBackend:
+    """Monte Carlo floating-random-walk extraction (walk-on-spheres)."""
+
+    name = "frw"
+    description = (
+        "Floating random walk: Gaussian-surface sampling + walk-on-spheres "
+        "Monte Carlo, embarrassingly parallel, tunably accurate"
+    )
+
+    def extract(
+        self,
+        layout: Layout,
+        *,
+        num_walks: int = 8192,
+        target_rel_std: float | None = None,
+        max_walks: int = 131072,
+        seed: int = 0,
+        num_workers: int = 1,
+        antithetic: bool = True,
+        batch_size: int = 512,
+        max_hops: int = 1000,
+        delta_fraction: float = 0.4,
+        capture_fraction: float = 0.01,
+    ) -> ExtractionResult:
+        """Extract ``layout`` by floating random walks.
+
+        Parameters
+        ----------
+        num_walks:
+            Walks per conductor (the per-round increment when
+            ``target_rel_std`` is set).
+        target_rel_std:
+            Adaptive stopping target on the matrix-level relative standard
+            error; rounds of ``num_walks`` are appended until it is met or
+            ``max_walks`` walks per conductor have run.
+        max_walks:
+            Per-conductor walk cap of the adaptive mode.
+        seed:
+            Root seed of the deterministic batch streams.  The estimate is
+            bit-identical across ``num_workers`` values for a fixed seed.
+        num_workers:
+            Fork-pool width for walk batches (``<= 1`` runs serially).
+        antithetic:
+            Generalized-antithetic pairing (default) vs plain sampling.
+        batch_size:
+            Walks per batch — unit of parallelism and of the seed
+            schedule (part of the random stream's identity).
+        max_hops:
+            Per-walk hop limit; truncated walks count as zero samples.
+        delta_fraction, capture_fraction:
+            Geometry knobs of :func:`repro.frw.scene.build_scene`: the
+            Gaussian-surface clearance and the first-passage capture shell
+            (the latter is the method's only systematic bias).
+        """
+        timer = SolverTimer()
+        with timer.setup(), span("frw.scene"):
+            scene = build_scene(
+                layout,
+                delta_fraction=delta_fraction,
+                capture_fraction=capture_fraction,
+            )
+        with timer.solve(), span("frw.walks", conductors=scene.num_conductors):
+            estimate = estimate_capacitance(
+                scene,
+                num_walks=num_walks,
+                target_rel_std=target_rel_std,
+                max_walks=max_walks,
+                seed=seed,
+                num_workers=num_workers,
+                antithetic=antithetic,
+                batch_size=batch_size,
+                max_hops=max_hops,
+            )
+
+        total_walks = int(estimate.num_walks.sum())
+        walk_rate = total_walks / estimate.walk_seconds if estimate.walk_seconds > 0 else 0.0
+        return ExtractionResult(
+            capacitance=estimate.capacitance,
+            conductor_names=list(layout.names),
+            capacitance_stderr=estimate.stderr,
+            setup_seconds=timer.setup_seconds,
+            solve_seconds=timer.solve_seconds,
+            memory_bytes=int(scene.box_lo.nbytes + scene.box_hi.nbytes),
+            backend=self.name,
+            num_unknowns=0,
+            metadata={
+                "num_walks": estimate.num_walks.tolist(),
+                "num_samples": estimate.num_samples.tolist(),
+                "num_batches": estimate.num_batches.tolist(),
+                "rel_std": estimate.rel_std,
+                "antithetic": antithetic,
+                "seed": seed,
+                "num_workers": num_workers,
+                "batch_size": batch_size,
+                "max_hops": max_hops,
+                "target_rel_std": target_rel_std,
+                "hits": estimate.hits.tolist(),
+                "escaped": estimate.escaped.tolist(),
+                "truncated": estimate.truncated.tolist(),
+                "hops": estimate.hops.tolist(),
+                "walk_seconds": estimate.walk_seconds,
+                "walks_per_second": walk_rate,
+                "capture_distance": scene.capture,
+                "surface_deltas": [s.delta for s in scene.surfaces],
+            },
+        )

@@ -1,0 +1,300 @@
+"""Deterministic batched FRW estimation with process fan-out.
+
+The estimator splits each conductor's walks into fixed-size batches and
+derives every batch's generator from ``(seed, conductor, batch_index)``
+alone, so the random stream belongs to the *batch*, never to the worker
+that happens to run it.  Batch results are merged in batch-index order in
+the parent process.  Together the two rules give the backend its headline
+reproducibility guarantee: **same seed, any ``num_workers`` (and either
+executor) → bit-identical capacitance matrix**.
+
+Two stopping modes share that machinery:
+
+* *fixed budget* — ``num_walks`` walks per conductor, split into batches
+  up front;
+* *adaptive* (``target_rel_std``) — rounds of batches are appended until
+  the matrix-level relative standard error drops under the target or the
+  ``max_walks`` cap is hit.  A round is a fixed set of batch indices, and
+  the stopping decision reads only merged statistics, so the adaptive
+  schedule is also identical for every worker count.
+
+Walk batches are embarrassingly parallel: with ``num_workers > 1`` they
+fan out over a ``fork`` pool (the worker-tuple idiom of the parallel
+assemblers), each worker timing itself and shipping its
+:class:`~repro.frw.walks.WalkBatchResult` back over the pipe; the parent
+re-attaches the timings as ``frw.batch`` spans and feeds the walk/hop
+counters.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frw.scene import WalkScene
+from repro.frw.walks import WalkBatchResult, run_walk_batch
+from repro.obs.metrics import counter, histogram
+from repro.obs.trace import record_span
+
+__all__ = ["FRWEstimate", "estimate_capacitance"]
+
+_WALKS_TOTAL = counter(
+    "repro_frw_walks_total",
+    "Floating-random-walk walks by outcome (hit / escaped / truncated).",
+    ("outcome",),
+)
+_HOPS_TOTAL = counter(
+    "repro_frw_hops_total",
+    "Total sphere hops taken by floating-random-walk walkers.",
+)
+_BATCH_SECONDS = histogram(
+    "repro_frw_batch_seconds",
+    "Wall time of one floating-random-walk batch, measured in its worker.",
+)
+
+
+@dataclass(frozen=True)
+class FRWEstimate:
+    """The Monte Carlo capacitance estimate and its error statistics.
+
+    Attributes
+    ----------
+    capacitance:
+        ``(C, C)`` short-circuit capacitance matrix estimate (farad).  Row
+        ``i`` is the independent estimate from walks launched off conductor
+        ``i``'s Gaussian surface; the matrix is therefore symmetric only up
+        to sampling noise.
+    stderr:
+        ``(C, C)`` standard error of each entry (same units).  Entry
+        ``(i, j)`` is an asymptotic 1-sigma of ``capacitance[i, j]``.
+    num_walks:
+        Walks launched per source conductor.
+    num_samples:
+        Statistical samples per source conductor (pairs in antithetic
+        mode).
+    hits, escaped, truncated:
+        Walk outcome counts: ``hits[i, j]`` walks from source ``i``
+        terminated on conductor ``j``; the rest escaped to infinity or hit
+        the hop limit.
+    hops:
+        Total sphere hops per source conductor.
+    walk_seconds:
+        Summed in-worker batch wall time (CPU-seconds of walking; under a
+        process pool this exceeds the elapsed wall clock).
+    rel_std:
+        Matrix-level relative standard error,
+        ``||stderr||_F / ||capacitance||_F`` — the quantity the adaptive
+        mode drives under ``target_rel_std``.
+    num_batches:
+        Walk batches run per source conductor.
+    """
+
+    capacitance: np.ndarray
+    stderr: np.ndarray
+    num_walks: np.ndarray
+    num_samples: np.ndarray
+    hits: np.ndarray
+    escaped: np.ndarray
+    truncated: np.ndarray
+    hops: np.ndarray
+    walk_seconds: float
+    rel_std: float
+    num_batches: np.ndarray
+
+
+def _batch_worker(job: tuple) -> WalkBatchResult:
+    """Fork-pool entry point: rebuild the generator, run one batch."""
+    scene, source, size, seed_key, antithetic, max_hops = job
+    rng = np.random.default_rng(seed_key)
+    return run_walk_batch(
+        scene, source, size, rng, antithetic=antithetic, max_hops=max_hops
+    )
+
+
+def _batch_sizes(num_walks: int, batch_size: int, antithetic: bool) -> list[int]:
+    """Split a walk budget into batch sizes (even sizes in antithetic mode)."""
+    if antithetic:
+        # Round the budget and the batch to pairs.
+        num_walks += num_walks % 2
+        batch_size += batch_size % 2
+    sizes = [batch_size] * (num_walks // batch_size)
+    remainder = num_walks % batch_size
+    if remainder:
+        sizes.append(remainder)
+    return sizes
+
+
+@dataclass
+class _RowAccumulator:
+    """Merged running statistics of one source conductor's batches."""
+
+    num_conductors: int
+
+    def __post_init__(self) -> None:
+        self.samples = 0
+        self.walks = 0
+        self.sums = np.zeros(self.num_conductors)
+        self.sumsq = np.zeros(self.num_conductors)
+        self.hits = np.zeros(self.num_conductors, dtype=np.int64)
+        self.escaped = 0
+        self.truncated = 0
+        self.hops = 0
+        self.seconds = 0.0
+        self.batches = 0
+
+    def add(self, result: WalkBatchResult, walks: int) -> None:
+        self.samples += result.num_samples
+        self.walks += walks
+        self.sums += result.sums
+        self.sumsq += result.sumsq
+        self.hits += result.hits
+        self.escaped += result.escaped
+        self.truncated += result.truncated
+        self.hops += result.hops
+        self.seconds += result.seconds
+        self.batches += 1
+
+    def mean(self) -> np.ndarray:
+        return self.sums / max(self.samples, 1)
+
+    def stderr(self) -> np.ndarray:
+        if self.samples < 2:
+            return np.full(self.num_conductors, np.inf)
+        mean = self.mean()
+        variance = np.maximum(0.0, self.sumsq - self.samples * mean * mean)
+        variance /= self.samples - 1
+        return np.sqrt(variance / self.samples)
+
+
+def _run_batches(
+    scene: WalkScene,
+    jobs: list[tuple],
+    num_workers: int,
+) -> list[WalkBatchResult]:
+    """Run a list of batch jobs serially or on a fork pool (in job order)."""
+    if num_workers <= 1 or len(jobs) <= 1:
+        results = [_batch_worker(job) for job in jobs]
+        executor = "serial"
+    else:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=num_workers) as pool:
+            results = pool.map(_batch_worker, jobs)
+        executor = "process"
+    for job, result in zip(jobs, results):
+        record_span(
+            "frw.batch",
+            result.seconds,
+            source=int(job[1]),
+            walks=int(job[2]),
+            executor=executor,
+        )
+        _WALKS_TOTAL.inc(float(result.hits.sum()), outcome="hit")
+        _WALKS_TOTAL.inc(float(result.escaped), outcome="escaped")
+        _WALKS_TOTAL.inc(float(result.truncated), outcome="truncated")
+        _HOPS_TOTAL.inc(float(result.hops))
+        _BATCH_SECONDS.observe(result.seconds)
+    return results
+
+
+def _relative_std(rows: list[_RowAccumulator]) -> float:
+    """Matrix-level relative standard error of the merged estimate."""
+    mean_norm = float(np.sqrt(sum(float(np.sum(row.mean() ** 2)) for row in rows)))
+    err_norm = float(np.sqrt(sum(float(np.sum(row.stderr() ** 2)) for row in rows)))
+    if mean_norm == 0.0:
+        return np.inf
+    return err_norm / mean_norm
+
+
+def estimate_capacitance(
+    scene: WalkScene,
+    *,
+    num_walks: int = 8192,
+    target_rel_std: float | None = None,
+    max_walks: int = 131072,
+    seed: int = 0,
+    num_workers: int = 1,
+    antithetic: bool = True,
+    batch_size: int = 512,
+    max_hops: int = 1000,
+) -> FRWEstimate:
+    """Estimate the full capacitance matrix of a scene.
+
+    Parameters
+    ----------
+    scene:
+        The flattened geometry from :func:`repro.frw.scene.build_scene`.
+    num_walks:
+        Walks per source conductor — the whole budget in fixed mode, the
+        per-round increment in adaptive mode.
+    target_rel_std:
+        When set, keep appending rounds of ``num_walks`` walks per
+        conductor until the matrix-level relative standard error
+        (:attr:`FRWEstimate.rel_std`) drops below this target or the
+        per-conductor budget reaches ``max_walks``.
+    max_walks:
+        Per-conductor walk cap of the adaptive mode.
+    seed:
+        Root seed.  Every batch derives its generator from
+        ``(seed, conductor, batch_index)``, making the estimate
+        bit-identical for any ``num_workers``.
+    num_workers:
+        Process-pool width for the walk batches (``<= 1`` walks serially
+        in-process).
+    antithetic:
+        Generalized-antithetic pairing (default) vs plain sampling.
+    batch_size:
+        Walks per batch — the unit of parallel work *and* of the seed
+        schedule, so changing it changes the random stream.
+    max_hops:
+        Per-walk hop limit forwarded to :func:`repro.frw.walks.run_walk_batch`.
+    """
+    if num_walks < 2:
+        raise ValueError(f"num_walks must be >= 2, got {num_walks}")
+    if batch_size < 2:
+        raise ValueError(f"batch_size must be >= 2, got {batch_size}")
+    if target_rel_std is not None and target_rel_std <= 0.0:
+        raise ValueError(f"target_rel_std must be positive, got {target_rel_std}")
+    if num_workers < 0:
+        raise ValueError(f"num_workers must be >= 0, got {num_workers}")
+
+    rows = [_RowAccumulator(scene.num_conductors) for _ in range(scene.num_conductors)]
+    round_sizes = _batch_sizes(num_walks, batch_size, antithetic)
+
+    def submit_round(round_index: int) -> None:
+        jobs = []
+        for source in range(scene.num_conductors):
+            base = rows[source].batches
+            for offset, size in enumerate(round_sizes):
+                seed_key = (seed, source, base + offset)
+                jobs.append((scene, source, size, seed_key, antithetic, max_hops))
+        results = _run_batches(scene, jobs, num_workers)
+        for job, result in zip(jobs, results):
+            rows[job[1]].add(result, walks=job[2])
+
+    submit_round(0)
+    if target_rel_std is not None:
+        round_index = 1
+        while (
+            _relative_std(rows) > target_rel_std
+            and rows[0].walks + sum(round_sizes) <= max_walks
+        ):
+            submit_round(round_index)
+            round_index += 1
+
+    capacitance = np.stack([row.mean() for row in rows])
+    stderr = np.stack([row.stderr() for row in rows])
+    return FRWEstimate(
+        capacitance=capacitance,
+        stderr=stderr,
+        num_walks=np.asarray([row.walks for row in rows], dtype=np.int64),
+        num_samples=np.asarray([row.samples for row in rows], dtype=np.int64),
+        hits=np.stack([row.hits for row in rows]),
+        escaped=np.asarray([row.escaped for row in rows], dtype=np.int64),
+        truncated=np.asarray([row.truncated for row in rows], dtype=np.int64),
+        hops=np.asarray([row.hops for row in rows], dtype=np.int64),
+        walk_seconds=float(sum(row.seconds for row in rows)),
+        rel_std=_relative_std(rows),
+        num_batches=np.asarray([row.batches for row in rows], dtype=np.int64),
+    )

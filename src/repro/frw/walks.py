@@ -1,0 +1,288 @@
+"""One batch of floating random walks, fully vectorised.
+
+The walk estimates one row of the short-circuit capacitance matrix from
+Gauss's law over the source conductor's Gaussian surface ``G``:
+
+``Q_i = -eps * integral_G dphi/dn dA``
+
+Both integrals in that expression are Monte Carlo sampled.  The surface
+integral draws start points uniformly on ``G`` (area measure
+``total_area``; points buried inside the union carry weight zero).  The
+normal derivative at a start point ``r0`` uses the gradient of the sphere
+Poisson kernel at the centre of the largest conductor-free ball (radius
+``R0``): for harmonic ``phi``,
+
+``dphi/dn(r0) = (3 / R0) * E_u[ (u . n) * phi(r0 + R0 u) ]``
+
+with ``u`` uniform on the unit sphere.  The remaining ``phi`` value is the
+classic walk-on-spheres estimate: hop to a uniform point of the largest
+conductor-free sphere (the mean-value property) until the walker enters
+the first-passage capture shell of a conductor, whose voltage it reports.
+With conductor ``j`` held at 1 V the whole chain gives one sample of
+``C_ij`` per walk:
+
+``X_j = -3 * eps * total_area * (u . n) / R0 * 1[walk hits j]``
+
+Outside the bounding sphere of the layout the walk uses the *exact*
+exterior transition instead of ever truncating the open domain: a walker
+at distance ``rho`` from the centre returns to the bounding sphere with
+probability ``radius / rho`` (else it escapes to infinity, where
+``phi = 0``), and the conditional re-entry point follows the exterior
+Poisson kernel — sampled in closed form through the Kelvin image of the
+walker position.  The capture shell is therefore the method's only
+systematic bias.
+
+*Generalized antithetic sampling* (after arXiv:2504.20586) runs walks in
+mirrored pairs sharing one start point: the partner path negates every
+sphere-direction draw of the primary, so the first-hop weights are exactly
+opposite and paths that terminate on the same conductor cancel.  Each
+path is marginally an unmodified walk (the negated directions are still
+uniform), so the pair mean is unbiased; the variance statistics then treat
+the pair, not the walk, as the sample unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frw.scene import WalkScene
+from repro.obs.clock import now
+
+__all__ = ["WalkBatchResult", "run_walk_batch"]
+
+
+@dataclass(frozen=True)
+class WalkBatchResult:
+    """Accumulated statistics of one walk batch (one row of the matrix).
+
+    Attributes
+    ----------
+    source:
+        Index of the source conductor the batch walked from.
+    num_samples:
+        Statistical sample count: walks in plain mode, *pairs* in
+        antithetic mode (the pair mean is the i.i.d. sample unit).
+    sums, sumsq:
+        Per-conductor sums of the samples and of their squares, from which
+        the estimator derives means and standard errors.
+    hits:
+        Walks terminated on each conductor.
+    escaped:
+        Walks that escaped to infinity (zero-valued samples).
+    truncated:
+        Walks cut off at the hop limit (also zero-valued; a non-negligible
+        count signals the hop limit is too small for the geometry).
+    hops:
+        Total sphere hops taken, for throughput accounting.
+    seconds:
+        Wall time of the batch, measured inside the worker.
+    """
+
+    source: int
+    num_samples: int
+    sums: np.ndarray
+    sumsq: np.ndarray
+    hits: np.ndarray
+    escaped: int
+    truncated: int
+    hops: int
+    seconds: float
+
+
+def _unit_vectors(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Uniform points on the unit sphere (normalised Gaussian triples)."""
+    raw = rng.standard_normal((count, 3))
+    norm = np.linalg.norm(raw, axis=1, keepdims=True)
+    # A zero draw is astronomically unlikely; substitute a fixed axis so the
+    # batch never divides by zero.
+    bad = norm[:, 0] < 1e-300
+    if bad.any():  # pragma: no cover - probability ~1e-900
+        raw[bad] = (1.0, 0.0, 0.0)
+        norm[bad] = 1.0
+    return raw / norm
+
+
+def _orthonormal_basis(e: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Two unit vectors completing each row of ``e`` to an orthonormal frame."""
+    helper = np.zeros_like(e)
+    helper[np.arange(e.shape[0]), np.argmin(np.abs(e), axis=1)] = 1.0
+    e1 = np.cross(e, helper)
+    e1 /= np.linalg.norm(e1, axis=1, keepdims=True)
+    e2 = np.cross(e, e1)
+    return e1, e2
+
+
+def _poisson_reentry(
+    positions: np.ndarray,
+    center: np.ndarray,
+    radius: float,
+    mu_uniform: np.ndarray,
+    psi_uniform: np.ndarray,
+) -> np.ndarray:
+    """Conditional re-entry points on the bounding sphere.
+
+    For a walker outside the sphere, the hitting distribution conditioned
+    on return equals the *interior* Poisson-kernel exit distribution from
+    the Kelvin image of the walker (at ``radius/rho`` of the sphere
+    radius).  The polar angle against the walker direction is sampled by
+    inverting the kernel's closed-form CDF; the azimuth is uniform.
+    """
+    offset = positions - center
+    rho = np.linalg.norm(offset, axis=1)
+    e = offset / rho[:, None]
+    d = radius / rho  # Kelvin image distance, in units of the sphere radius
+    s = (1.0 - d * d) / (1.0 - d + 2.0 * d * mu_uniform)
+    mu = np.clip((1.0 + d * d - s * s) / (2.0 * d), -1.0, 1.0)
+    psi = 2.0 * np.pi * psi_uniform
+    e1, e2 = _orthonormal_basis(e)
+    sin_theta = np.sqrt(np.maximum(0.0, 1.0 - mu * mu))
+    direction = (
+        mu[:, None] * e
+        + sin_theta[:, None] * (np.cos(psi)[:, None] * e1 + np.sin(psi)[:, None] * e2)
+    )
+    # Nudge the landing point strictly inside the sphere: at exactly
+    # ``radius`` floating-point rounding can leave ``rho > radius`` true,
+    # and the walker would re-run the exterior transition forever instead
+    # of taking its next interior hop.
+    return center + (radius * (1.0 - 1e-12)) * direction
+
+
+def run_walk_batch(
+    scene: WalkScene,
+    source: int,
+    num_walks: int,
+    rng: np.random.Generator,
+    antithetic: bool = True,
+    max_hops: int = 1000,
+) -> WalkBatchResult:
+    """Run one vectorised batch of walks from one source conductor.
+
+    Parameters
+    ----------
+    scene:
+        The flattened geometry (see :func:`repro.frw.scene.build_scene`).
+    source:
+        Index of the source conductor (the row being estimated).
+    num_walks:
+        Walks in the batch; must be even in antithetic mode (walks pair
+        up).
+    rng:
+        The batch's private generator.  The draw schedule is fixed (every
+        hop draws full-batch arrays whether or not each walk is still
+        active), so a batch's outcome depends only on ``rng``'s seed —
+        never on which worker ran it.
+    antithetic:
+        Run mirrored pairs (generalized antithetic sampling) instead of
+        independent walks.
+    max_hops:
+        Hard hop limit per walk; walks cut off here count as ``truncated``
+        zero-valued samples.
+    """
+    if num_walks < 1:
+        raise ValueError(f"num_walks must be >= 1, got {num_walks}")
+    if antithetic and num_walks % 2:
+        raise ValueError(f"antithetic batches need an even num_walks, got {num_walks}")
+    if max_hops < 1:
+        raise ValueError(f"max_hops must be >= 1, got {max_hops}")
+    start_time = now()
+    surface = scene.surfaces[source]
+    half = num_walks // 2 if antithetic else num_walks
+
+    points, normals, live = surface.sample(rng, half)
+    if antithetic:
+        points = np.concatenate([points, points])
+        normals = np.concatenate([normals, normals])
+        live = np.concatenate([live, live])
+
+    first_radius, _ = scene.distance(points)
+    raw = _unit_vectors(rng, half)
+    directions = np.concatenate([raw, -raw]) if antithetic else raw
+    u_dot_n = np.einsum("wk,wk->w", directions, normals)
+    # Buried starts can sit inside a sibling raw box (first_radius == 0);
+    # their weight is zero, so divide by a placeholder radius instead of
+    # tripping a divide warning on the dead branch of the where().
+    safe_radius = np.where(live, first_radius, 1.0)
+    coefficient = np.where(
+        live,
+        -3.0 * scene.permittivity * surface.total_area * u_dot_n / safe_radius,
+        0.0,
+    )
+    positions = points + first_radius[:, None] * directions
+    active = live.copy()
+    hit = np.full(num_walks, -1, dtype=np.int64)
+    hops = 0
+    truncated = 0
+
+    for _ in range(max_hops):
+        if not active.any():
+            break
+        # Full-batch draws every hop keep the stream schedule independent
+        # of which walks are still alive (and pair the antithetic halves).
+        raw = _unit_vectors(rng, half)
+        directions = np.concatenate([raw, -raw]) if antithetic else raw
+        escape_uniform = rng.random(num_walks)
+        mu_uniform = rng.random(num_walks)
+        psi_uniform = rng.random(num_walks)
+
+        rows = np.flatnonzero(active)
+        hops += rows.size
+        distance, nearest = scene.distance(positions[rows])
+
+        captured = distance <= scene.capture
+        captured_rows = rows[captured]
+        hit[captured_rows] = nearest[captured]
+        active[captured_rows] = False
+
+        moving = rows[~captured]
+        if moving.size == 0:
+            continue
+        offset = positions[moving] - scene.center
+        rho = np.linalg.norm(offset, axis=1)
+        outside = rho > scene.radius
+
+        exterior = moving[outside]
+        if exterior.size:
+            escaped_mask = escape_uniform[exterior] > scene.radius / rho[outside]
+            gone = exterior[escaped_mask]
+            active[gone] = False  # phi = 0 at infinity: zero-valued sample
+            returning = exterior[~escaped_mask]
+            if returning.size:
+                positions[returning] = _poisson_reentry(
+                    positions[returning],
+                    scene.center,
+                    scene.radius,
+                    mu_uniform[returning],
+                    psi_uniform[returning],
+                )
+
+        interior = moving[~outside]
+        if interior.size:
+            step = distance[~captured][~outside]
+            positions[interior] = positions[interior] + step[:, None] * directions[interior]
+    else:
+        truncated = int(active.sum())
+        active[:] = False
+
+    conductors = np.arange(scene.num_conductors)
+    terminal = coefficient[:, None] * (hit[:, None] == conductors[None, :])
+    if antithetic:
+        samples = 0.5 * (terminal[:half] + terminal[half:])
+        num_samples = half
+    else:
+        samples = terminal
+        num_samples = num_walks
+    hit_counts = np.bincount(hit[hit >= 0], minlength=scene.num_conductors)
+    escaped = int((hit < 0).sum()) - truncated
+    return WalkBatchResult(
+        source=source,
+        num_samples=num_samples,
+        sums=samples.sum(axis=0),
+        sumsq=(samples * samples).sum(axis=0),
+        hits=hit_counts,
+        escaped=escaped,
+        truncated=truncated,
+        hops=hops,
+        seconds=now() - start_time,
+    )

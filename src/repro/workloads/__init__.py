@@ -21,6 +21,7 @@ backend against them.
 
 from repro.workloads.accuracy import (
     BENCH_ACCURACY_FILENAME,
+    STOCHASTIC_Z,
     run_accuracy_suite,
     update_goldens,
     write_accuracy_json,
@@ -42,6 +43,7 @@ from repro.workloads.golden import (
 )
 from repro.workloads.registry import (
     NEW_GEOMETRY_TAG,
+    TOLERANCE_MODES,
     Workload,
     all_workloads,
     available_workloads,
@@ -57,6 +59,8 @@ __all__ = [
     "NEW_GEOMETRY_TAG",
     "REFERENCE_BACKEND",
     "REFERENCE_OPTIONS",
+    "STOCHASTIC_Z",
+    "TOLERANCE_MODES",
     "Workload",
     "all_workloads",
     "available_workloads",

@@ -8,6 +8,21 @@ matrix against the committed dense golden reference
 (``benchmarks/golden/<family>.json``) and gates the relative Frobenius
 error against the family's per-backend tolerance.
 
+Two tolerance modes exist per (workload, backend) pair (declared through
+``Workload.backend_tolerance_modes``):
+
+* ``"exact"`` (default) — the relative Frobenius error must not exceed the
+  tolerance;
+* ``"stochastic"`` — for Monte Carlo backends: the tolerance is widened by
+  a confidence interval derived from the backend's reported per-entry
+  standard errors (``capacitance_stderr``), i.e. the gate becomes
+  ``error <= tolerance + z * ||stderr||_F / ||golden||_F`` with
+  ``z =`` :data:`STOCHASTIC_Z`.  A correct estimator with an honest error
+  bar then passes at any walk budget, while a rigged estimate whose error
+  exceeds both the tolerance and its own claimed uncertainty still fails.
+  A backend declared stochastic that returns no standard errors is a hard
+  failure — the widened gate must never run on unquantified noise.
+
 The report's ``data`` is the machine-readable payload written to
 ``BENCH_accuracy.json`` by ``python -m repro accuracy``; the CI accuracy
 gate (``benchmarks/check_accuracy.py``) consumes it.
@@ -19,9 +34,11 @@ import json
 from pathlib import Path
 from typing import Sequence
 
+import numpy as np
+
 from repro.analysis.report import format_table
 from repro.core.experiments import ExperimentReport
-from repro.engine.compare import compare_capacitance
+from repro.engine.compare import align_capacitance, compare_capacitance
 from repro.engine.registry import available_backends, get_backend
 from repro.engine.request import ExtractionRequest
 from repro.engine.service import ExtractionService
@@ -30,6 +47,7 @@ from repro.workloads.registry import Workload, all_workloads, get_workload
 
 __all__ = [
     "BENCH_ACCURACY_FILENAME",
+    "STOCHASTIC_Z",
     "run_accuracy_suite",
     "update_goldens",
     "write_accuracy_json",
@@ -37,6 +55,11 @@ __all__ = [
 
 #: Default name of the machine-readable accuracy artifact.
 BENCH_ACCURACY_FILENAME = "BENCH_accuracy.json"
+
+#: Confidence multiplier of the stochastic tolerance mode: the gate allows
+#: ``z`` matrix-level standard errors on top of the declared tolerance
+#: (``z = 3`` keeps the false-failure probability per pair well under 1 %).
+STOCHASTIC_Z = 3.0
 
 
 def _select_workloads(names: Sequence[str] | None) -> list[Workload]:
@@ -117,32 +140,61 @@ def run_accuracy_suite(
             status = batch.statuses[status_index]
             status_index += 1
             tolerance = workload.tolerance_for(backend)
+            mode = workload.tolerance_mode_for(backend)
             record: dict = {
                 "tolerance": tolerance,
+                "tolerance_mode": mode,
                 "within_tolerance": False,
                 "error": None,
             }
-            if status.result is None or golden_error is not None:
-                if status.result is None:
-                    record["error"] = status.error
-                    failures.append(f"{workload.name}/{backend}: {status.error}")
-                else:
-                    record["error"] = "no usable golden reference"
+            failure: str | None = None
+            if status.result is None:
+                failure = str(status.error)
+            elif golden_error is not None:
+                failure = "no usable golden reference"
+            elif mode == "stochastic" and status.result.capacitance_stderr is None:
+                # The widened gate must never run on unquantified noise.
+                failure = (
+                    "tolerance mode is stochastic but the backend returned "
+                    "no capacitance_stderr"
+                )
+            if failure is not None:
+                record["error"] = failure
+                if golden_error is None or status.result is None:
+                    failures.append(f"{workload.name}/{backend}: {failure}")
                 # Failed pairs must still appear in the grid, not only in
                 # the trailing failure list.
                 rows.append(
                     [workload.name, backend, "-", "-", f"{tolerance:.3f}", "FAIL"]
                 )
             else:
-                assert reference is not None and entry is not None
+                assert reference is not None and entry is not None and status.result is not None
                 comparison = compare_capacitance(
                     status.result.capacitance,
                     reference,
                     names=status.result.conductor_names,
                     reference_names=entry["conductor_names"],
                 )
-                within = comparison.frobenius_relative_error <= tolerance
+                effective_tolerance = tolerance
+                if mode == "stochastic":
+                    assert status.result.capacitance_stderr is not None
+                    aligned_stderr = align_capacitance(
+                        status.result.capacitance_stderr,
+                        status.result.conductor_names,
+                        entry["conductor_names"],
+                    )
+                    reference_norm = float(np.linalg.norm(reference))
+                    slack = (
+                        STOCHASTIC_Z * float(np.linalg.norm(aligned_stderr)) / reference_norm
+                        if reference_norm > 0.0
+                        else float("inf")
+                    )
+                    effective_tolerance = tolerance + slack
+                    record["stochastic_slack"] = slack
+                    record["stochastic_z"] = STOCHASTIC_Z
+                within = comparison.frobenius_relative_error <= effective_tolerance
                 record.update(comparison.as_dict())
+                record["effective_tolerance"] = effective_tolerance
                 record["within_tolerance"] = within
                 record["num_unknowns"] = status.result.num_unknowns
                 record["total_seconds"] = status.result.total_seconds
@@ -150,14 +202,14 @@ def run_accuracy_suite(
                     failures.append(
                         f"{workload.name}/{backend}: relative error "
                         f"{comparison.frobenius_relative_error:.4f} exceeds "
-                        f"tolerance {tolerance:.4f}"
+                        f"{mode} tolerance {effective_tolerance:.4f}"
                     )
                 if worst is None or comparison.frobenius_relative_error > worst["frobenius_relative_error"]:
                     worst = {
                         "workload": workload.name,
                         "backend": backend,
                         "frobenius_relative_error": comparison.frobenius_relative_error,
-                        "tolerance": tolerance,
+                        "tolerance": effective_tolerance,
                     }
                 rows.append(
                     [
@@ -165,7 +217,7 @@ def run_accuracy_suite(
                         backend,
                         str(status.result.num_unknowns),
                         f"{comparison.frobenius_relative_error:.4f}",
-                        f"{tolerance:.3f}",
+                        f"{effective_tolerance:.3f}" + ("*" if mode == "stochastic" else ""),
                         "ok" if within else "FAIL",
                     ]
                 )
@@ -184,6 +236,15 @@ def run_accuracy_suite(
             title=f"Accuracy vs golden references ({'quick' if quick else 'full'} mode)",
         )
     ]
+    if any(
+        workload.tolerance_mode_for(backend) == "stochastic"
+        for workload in selected
+        for backend in backend_names
+    ):
+        text_parts.append(
+            "* stochastic tolerance: declared tolerance widened by "
+            f"z={STOCHASTIC_Z:g} matrix-level standard errors of the estimate"
+        )
     if worst is not None:
         text_parts.append(
             f"Worst case: {worst['workload']}/{worst['backend']} relative error "

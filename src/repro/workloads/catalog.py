@@ -31,6 +31,7 @@ __all__ = [
     "REFERENCE_BACKEND",
     "REFERENCE_OPTIONS",
     "DEFAULT_BACKEND_OPTIONS",
+    "DEFAULT_TOLERANCE_MODES",
     "register_stock_workloads",
 ]
 
@@ -54,6 +55,15 @@ DEFAULT_BACKEND_OPTIONS: Mapping[str, Mapping[str, Any]] = {
     "galerkin-shared": {"workers": 2},
     "galerkin-distributed": {"workers": 2},
     "galerkin-aca": {},
+    "frw": {"num_walks": 4096, "seed": 0},
+}
+
+#: Per-backend tolerance modes applied to every family: the Monte Carlo
+#: ``frw`` backend gates stochastically (tolerance widened by the
+#: confidence interval of its reported standard errors), everything else
+#: gates exactly.
+DEFAULT_TOLERANCE_MODES: Mapping[str, str] = {
+    "frw": "stochastic",
 }
 
 
@@ -67,6 +77,7 @@ def _workload(
     backend_tolerances: Mapping[str, float] | None = None,
     default_tolerance: float = 0.12,
     backend_options: Mapping[str, Mapping[str, Any]] | None = None,
+    backend_tolerance_modes: Mapping[str, str] | None = None,
     reference_options: Mapping[str, Any] | None = None,
     tags: tuple[str, ...] = (),
 ) -> Workload:
@@ -75,6 +86,8 @@ def _workload(
     }
     for backend, options in (backend_options or {}).items():
         merged_options[backend] = {**merged_options.get(backend, {}), **options}
+    merged_modes = dict(DEFAULT_TOLERANCE_MODES)
+    merged_modes.update(backend_tolerance_modes or {})
     return Workload(
         name=name,
         description=description,
@@ -85,6 +98,7 @@ def _workload(
         backend_options=merged_options,
         backend_tolerances=dict(backend_tolerances or {}),
         default_tolerance=default_tolerance,
+        backend_tolerance_modes=merged_modes,
         reference_options=dict(reference_options or {}),
         tags=tags,
     )

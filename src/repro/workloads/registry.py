@@ -17,6 +17,7 @@ from typing import Any, Callable, Mapping
 from repro.geometry.layout import Layout
 
 __all__ = [
+    "TOLERANCE_MODES",
     "Workload",
     "register_workload",
     "unregister_workload",
@@ -28,6 +29,9 @@ __all__ = [
 #: Tag carried by the families that are new geometry (not present in the
 #: paper's original evaluation set).
 NEW_GEOMETRY_TAG = "new-geometry"
+
+#: Valid per-backend tolerance modes of the accuracy gate.
+TOLERANCE_MODES = ("exact", "stochastic")
 
 
 @dataclass(frozen=True)
@@ -61,6 +65,13 @@ class Workload:
         backends without an entry use ``default_tolerance``.
     default_tolerance:
         Fallback relative-error tolerance.
+    backend_tolerance_modes:
+        Per-backend tolerance *mode*: ``"exact"`` (default — the relative
+        Frobenius error must sit under the tolerance) or ``"stochastic"``
+        (for Monte Carlo backends — the tolerance is widened by a
+        confidence interval derived from the backend's reported standard
+        errors, so a correct estimator with an honest error bar passes at
+        any walk budget).  Backends without an entry gate exactly.
     reference_options:
         Extra options of the golden-reference extraction (forwarded to the
         reference backend on top of its harness defaults).
@@ -78,6 +89,7 @@ class Workload:
     backend_options: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
     backend_tolerances: Mapping[str, float] = field(default_factory=dict)
     default_tolerance: float = 0.12
+    backend_tolerance_modes: Mapping[str, str] = field(default_factory=dict)
     reference_options: Mapping[str, Any] = field(default_factory=dict)
     tags: tuple[str, ...] = ()
 
@@ -96,6 +108,12 @@ class Workload:
                 raise ValueError(
                     f"workload {self.name!r} tolerance for backend {backend!r} "
                     f"must be positive, got {tolerance}"
+                )
+        for backend, mode in self.backend_tolerance_modes.items():
+            if mode not in TOLERANCE_MODES:
+                raise ValueError(
+                    f"workload {self.name!r} tolerance mode for backend "
+                    f"{backend!r} must be one of {TOLERANCE_MODES}, got {mode!r}"
                 )
 
     # ------------------------------------------------------------------
@@ -135,6 +153,10 @@ class Workload:
     def tolerance_for(self, backend: str) -> float:
         """Relative-error tolerance of one backend vs the golden reference."""
         return float(self.backend_tolerances.get(backend, self.default_tolerance))
+
+    def tolerance_mode_for(self, backend: str) -> str:
+        """Tolerance mode of one backend: ``"exact"`` or ``"stochastic"``."""
+        return str(self.backend_tolerance_modes.get(backend, "exact"))
 
     @property
     def is_new_geometry(self) -> bool:

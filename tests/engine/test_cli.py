@@ -20,6 +20,7 @@ class TestBackendsCommand:
             "galerkin-shared",
             "galerkin-distributed",
             "galerkin-aca",
+            "frw",
         ):
             assert name in output
 
@@ -57,6 +58,25 @@ class TestExtractCommand:
             main(["extract", "--generator", "flux_capacitor"])
 
 
+class TestFrwCommand:
+    def test_frw_writes_json(self, capsys, tmp_path):
+        target = tmp_path / "BENCH_frw.json"
+        code = main(["frw", "--quick", "--workers", "1,2", "--output", str(target)])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        data = json.loads(target.read_text())
+        assert data["workload"] == "crossing_wires"
+        assert data["budget"]["variance_ratio"] > 0.0
+        assert set(data["adaptive"]["modes"]) == {"plain", "antithetic"}
+        assert set(data["parallel"]["workers"]) == {"1", "2"}
+        for entry in data["parallel"]["workers"].values():
+            assert entry["max_abs_diff"] == 0.0
+
+    def test_unknown_workload_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="no workload named"):
+            main(["frw", "--workload", "flux_capacitor", "--output", str(tmp_path / "x.json")])
+
+
 class TestBenchCommand:
     def test_bench_writes_json(self, capsys, tmp_path):
         target = tmp_path / "BENCH_engine.json"
@@ -71,9 +91,13 @@ class TestBenchCommand:
             "galerkin-shared",
             "galerkin-distributed",
             "galerkin-aca",
+            "frw",
         }
-        for entry in data["backends"].values():
+        for name, entry in data["backends"].items():
             assert entry["setup_seconds"] >= 0.0
-            assert entry["num_unknowns"] > 0
+            if name == "frw":
+                assert entry["num_unknowns"] == 0  # Monte Carlo: no system
+            else:
+                assert entry["num_unknowns"] > 0
         assert data["throughput_per_second"] > 0.0
         assert data["service_batch"]["cache_hits"] >= 1

@@ -68,6 +68,44 @@ def _solver_payload(
     }
 
 
+def _frw_payload(
+    variance_ratio=3.5,
+    plain_walks=8192,
+    antithetic_walks=3072,
+    plain_reached=True,
+    antithetic_reached=True,
+    worker_counts=(1, 2, 4),
+    max_abs_diff=0.0,
+    walks_per_second=25000.0,
+) -> dict:
+    return {
+        "budget": {"variance_ratio": variance_ratio},
+        "adaptive": {
+            "modes": {
+                "plain": {
+                    "reached_target": plain_reached,
+                    "walks_per_conductor": plain_walks,
+                    "rel_std": 0.09,
+                },
+                "antithetic": {
+                    "reached_target": antithetic_reached,
+                    "walks_per_conductor": antithetic_walks,
+                    "rel_std": 0.08,
+                },
+            }
+        },
+        "parallel": {
+            "workers": {
+                str(count): {
+                    "max_abs_diff": max_abs_diff,
+                    "walks_per_second": walks_per_second,
+                }
+                for count in worker_counts
+            }
+        },
+    }
+
+
 def _service_payload(
     num_requests=150,
     throughput=100.0,
@@ -210,6 +248,47 @@ class TestCheckSolver:
         assert failures and "operator_traversals" in failures[0]
 
 
+class TestCheckFrw:
+    def test_green_payload_passes(self):
+        assert gate.check_frw(_frw_payload()) == []
+
+    def test_variance_ratio_must_exceed_one(self):
+        failures = gate.check_frw(_frw_payload(variance_ratio=0.9))
+        assert failures and "variance ratio" in failures[0]
+        failures = gate.check_frw(_frw_payload(variance_ratio=1.0))
+        assert failures and "variance ratio" in failures[0]
+
+    def test_unreached_adaptive_target_fails(self):
+        failures = gate.check_frw(_frw_payload(plain_reached=False))
+        assert failures and "never reached" in failures[0]
+
+    def test_antithetic_must_need_fewer_walks(self):
+        failures = gate.check_frw(
+            _frw_payload(plain_walks=4096, antithetic_walks=4096)
+        )
+        assert failures and "no measurable reduction" in failures[0]
+
+    def test_missing_walk_counts_fail(self):
+        failures = gate.check_frw(_frw_payload(antithetic_walks=None))
+        assert failures and "missing adaptive walk counts" in failures[0]
+
+    def test_single_worker_count_fails(self):
+        failures = gate.check_frw(_frw_payload(worker_counts=(1,)))
+        assert failures and ">= 2 worker" in failures[0]
+
+    def test_non_bit_identical_parallel_sweep_fails(self):
+        failures = gate.check_frw(_frw_payload(max_abs_diff=1e-18))
+        assert failures and "not bit-identical" in failures[0]
+
+    def test_implausible_throughput_fails(self):
+        failures = gate.check_frw(_frw_payload(walks_per_second=0.0))
+        assert failures and "throughput" in failures[0]
+
+    def test_empty_report_fails_everywhere(self):
+        failures = gate.check_frw({})
+        assert len(failures) >= 4  # ratio, both modes, walk counts, workers
+
+
 class TestCheckService:
     def test_green_payload_passes(self):
         assert gate.check_service(_service_payload()) == []
@@ -306,6 +385,40 @@ class TestMain:
         monkeypatch.setenv("BENCH_GATE_SKIP", "1")
         assert self._run(baseline, engine, scaling, solver, service) == 0
         assert "skipped" in capsys.readouterr().out
+
+    def _run_with_frw(self, artifacts, frw) -> int:
+        baseline, engine, scaling, solver, service = artifacts
+        return gate.main(
+            [
+                "--baseline", str(baseline),
+                "--engine", str(engine),
+                "--scaling", str(scaling),
+                "--solver", str(solver),
+                "--service", str(service),
+                "--frw", str(frw),
+            ]
+        )
+
+    def test_frw_gate_is_opt_in(self, artifacts, tmp_path):
+        # Without --frw the gate never looks for the artifact: the default
+        # run must stay green even though no BENCH_frw.json exists here.
+        assert self._run(*artifacts) == 0
+
+    def test_frw_green_payload_passes(self, artifacts, tmp_path, capsys):
+        frw = tmp_path / "BENCH_frw.json"
+        frw.write_text(json.dumps(_frw_payload()))
+        assert self._run_with_frw(artifacts, frw) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_frw_artifact_is_gated(self, artifacts, tmp_path, capsys):
+        frw = tmp_path / "BENCH_frw.json"
+        frw.write_text(json.dumps(_frw_payload(variance_ratio=0.5)))
+        assert self._run_with_frw(artifacts, frw) == 1
+        assert "variance ratio" in capsys.readouterr().out
+
+    def test_missing_frw_artifact_fails(self, artifacts, tmp_path, capsys):
+        assert self._run_with_frw(artifacts, tmp_path / "nope.json") == 1
+        assert "frw benchmark not found" in capsys.readouterr().out
 
     def test_update_baseline_writes_file(self, artifacts, capsys):
         baseline, engine, scaling, solver, service = artifacts

@@ -1,0 +1,89 @@
+"""Tests of the ``frw`` engine backend: registration, contract, physics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.results import ExtractionResult
+from repro.engine import available_backends, get_backend
+from repro.frw.backend import FRWBackend
+
+OPTIONS = {"num_walks": 2048, "seed": 0}
+
+
+@pytest.fixture(scope="module")
+def result(crossing_layout):
+    return get_backend("frw").extract(crossing_layout, **OPTIONS)
+
+
+class TestRegistration:
+    def test_registered_as_seventh_backend(self):
+        assert "frw" in available_backends()
+        backend = get_backend("frw")
+        assert isinstance(backend, FRWBackend)
+        assert backend.name == "frw"
+        assert "random walk" in backend.description.lower()
+
+
+class TestResultContract:
+    def test_unified_result_with_stderr(self, result):
+        assert type(result) is ExtractionResult
+        assert result.backend == "frw"
+        assert result.conductor_names == ["source", "target"]
+        assert result.capacitance.shape == (2, 2)
+        assert result.capacitance_stderr is not None
+        assert result.capacitance_stderr.shape == (2, 2)
+        assert (result.capacitance_stderr > 0.0).all()
+        # No linear system anywhere.
+        assert result.num_unknowns == 0
+        assert result.setup_seconds >= 0.0 and result.solve_seconds > 0.0
+
+    def test_metadata_carries_walk_statistics(self, result):
+        metadata = result.metadata
+        assert metadata["num_walks"] == [2048, 2048]
+        assert metadata["seed"] == 0
+        assert metadata["antithetic"] is True
+        assert metadata["rel_std"] > 0.0
+        assert metadata["walks_per_second"] > 0.0
+        assert len(metadata["hits"]) == 2
+        assert metadata["capture_distance"] > 0.0
+        assert all(delta > 0.0 for delta in metadata["surface_deltas"])
+
+    def test_as_dict_exposes_stderr(self, result):
+        summary = result.as_dict()
+        assert summary["backend"] == "frw"
+        stderr = np.asarray(summary["capacitance_stderr_farad"])
+        np.testing.assert_array_equal(stderr, result.capacitance_stderr)
+
+    def test_seeded_extraction_is_reproducible(self, crossing_layout, result):
+        again = get_backend("frw").extract(crossing_layout, **OPTIONS)
+        np.testing.assert_array_equal(result.capacitance, again.capacitance)
+        np.testing.assert_array_equal(result.capacitance_stderr, again.capacitance_stderr)
+
+    @pytest.mark.multiprocess
+    def test_worker_count_does_not_change_the_matrix(self, crossing_layout, result):
+        pooled = get_backend("frw").extract(crossing_layout, num_workers=2, **OPTIONS)
+        np.testing.assert_array_equal(result.capacitance, pooled.capacitance)
+        np.testing.assert_array_equal(result.capacitance_stderr, pooled.capacitance_stderr)
+
+
+class TestPhysics:
+    def test_estimate_agrees_with_the_dense_reference(self, crossing_layout, result):
+        reference = get_backend("pwc-dense").extract(crossing_layout, cells_per_edge=3)
+        # Entry-wise agreement within 5 sigma of the reported uncertainty --
+        # this is the honest-error-bar property the stochastic accuracy
+        # gate relies on.
+        gap = np.abs(result.capacitance - reference.capacitance)
+        assert (gap < 5.0 * result.capacitance_stderr + 0.05 * np.abs(reference.capacitance)).all()
+
+    def test_adaptive_option_reaches_target(self, crossing_layout):
+        adaptive = get_backend("frw").extract(
+            crossing_layout,
+            num_walks=1024,
+            target_rel_std=0.15,
+            max_walks=32768,
+            seed=0,
+        )
+        assert adaptive.metadata["rel_std"] <= 0.15
+        assert adaptive.metadata["target_rel_std"] == 0.15

@@ -1,0 +1,153 @@
+"""Tests of the walk scene: Gaussian surfaces and the distance oracle."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.frw.scene import build_scene
+from repro.geometry.conductor import Box, Conductor
+from repro.geometry.layout import Layout
+
+
+def two_cubes(gap: float = 1.0) -> Layout:
+    """Two unit cubes separated by ``gap`` along x."""
+    return Layout(
+        [
+            Conductor("left", [Box((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))]),
+            Conductor("right", [Box((1.0 + gap, 0.0, 0.0), (2.0 + gap, 1.0, 1.0))]),
+        ]
+    )
+
+
+class TestBuildScene:
+    def test_flattens_every_box(self):
+        scene = build_scene(two_cubes())
+        assert scene.num_conductors == 2
+        assert scene.box_lo.shape == (2, 3)
+        assert list(scene.box_conductor) == [0, 1]
+        assert len(scene.surfaces) == 2
+
+    def test_bounding_sphere_encloses_conductors(self):
+        scene = build_scene(two_cubes())
+        corners = np.concatenate([scene.box_lo, scene.box_hi])
+        assert (np.linalg.norm(corners - scene.center, axis=1) <= scene.radius).all()
+
+    def test_delta_respects_gap_and_edge(self):
+        # gap 0.5 < min edge 1.0, so the clearance follows the gap.
+        scene = build_scene(two_cubes(gap=0.5), delta_fraction=0.4)
+        assert scene.surfaces[0].delta == pytest.approx(0.2)
+        # gap 2.0 > min edge 1.0: the thinnest edge takes over.
+        scene = build_scene(two_cubes(gap=2.0), delta_fraction=0.4)
+        assert scene.surfaces[0].delta == pytest.approx(0.4)
+
+    def test_capture_scales_with_thinnest_edge(self):
+        scene = build_scene(two_cubes(), capture_fraction=0.02)
+        assert scene.capture == pytest.approx(0.02)
+
+    def test_touching_conductors_rejected(self):
+        layout = Layout(
+            [
+                Conductor("left", [Box((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))]),
+                Conductor("right", [Box((1.0, 0.0, 0.0), (2.0, 1.0, 1.0))]),
+            ]
+        )
+        with pytest.raises(ValueError, match="touches another"):
+            build_scene(layout)
+
+    def test_fraction_validation(self):
+        layout = two_cubes()
+        for bad in (0.0, 0.5, -0.1, 0.9):
+            with pytest.raises(ValueError, match="delta_fraction"):
+                build_scene(layout, delta_fraction=bad)
+            with pytest.raises(ValueError, match="capture_fraction"):
+                build_scene(layout, capture_fraction=bad)
+
+    def test_scene_survives_pickling(self):
+        # Scenes cross the fork-pool pipe; the round trip must preserve the
+        # distance oracle exactly.
+        scene = build_scene(two_cubes())
+        clone = pickle.loads(pickle.dumps(scene))
+        points = np.array([[-1.0, 0.5, 0.5], [3.0, 0.5, 0.5], [1.5, 0.5, 0.5]])
+        for original, copied in zip(scene.distance(points), clone.distance(points)):
+            np.testing.assert_array_equal(original, copied)
+
+
+class TestDistanceOracle:
+    def test_known_distances(self):
+        scene = build_scene(two_cubes(gap=1.0))
+        points = np.array(
+            [
+                [-1.0, 0.5, 0.5],  # 1.0 left of the left cube
+                [3.5, 0.5, 0.5],  # 0.5 right of the right cube
+                [0.5, 0.5, 0.5],  # inside the left cube
+            ]
+        )
+        distance, conductor = scene.distance(points)
+        np.testing.assert_allclose(distance, [1.0, 0.5, 0.0])
+        assert list(conductor) == [0, 1, 0]
+
+    def test_diagonal_distance(self):
+        scene = build_scene(two_cubes())
+        point = np.array([[-3.0, -4.0, 0.5]])  # 3,4 offset from the corner
+        distance, conductor = scene.distance(point)
+        assert distance[0] == pytest.approx(5.0)
+        assert conductor[0] == 0
+
+
+class TestGaussianSurface:
+    def test_single_box_has_six_faces(self):
+        surface = build_scene(two_cubes()).surfaces[0]
+        assert surface.num_faces == 6
+        side = 1.0 + 2.0 * surface.delta
+        assert surface.total_area == pytest.approx(6.0 * side * side)
+
+    def test_samples_sit_on_the_inflated_surface(self, rng):
+        scene = build_scene(two_cubes())
+        surface = scene.surfaces[0]
+        points, normals, live = surface.sample(rng, 512)
+        assert points.shape == (512, 3)
+        assert live.all()  # a lone box never buries its own samples
+        np.testing.assert_allclose(np.linalg.norm(normals, axis=1), 1.0)
+        # Every start point is at least delta from its conductor (faces are
+        # offset by delta; corners reach sqrt(3) * delta) and belongs to it.
+        distance, conductor = scene.distance(points)
+        assert (conductor == 0).all()
+        assert (distance >= surface.delta * (1.0 - 1e-12)).all()
+        assert (distance <= np.sqrt(3.0) * surface.delta * (1.0 + 1e-12)).all()
+
+    def test_overlapping_boxes_bury_samples(self, rng):
+        # An L-shaped conductor: candidate faces inside the sibling's
+        # inflated box must come back dead, never resampled.
+        layout = Layout(
+            [
+                Conductor(
+                    "ell",
+                    [
+                        Box((0.0, 0.0, 0.0), (2.0, 1.0, 1.0)),
+                        Box((0.0, 0.0, 0.0), (1.0, 2.0, 1.0)),
+                    ],
+                ),
+                Conductor("far", [Box((5.0, 0.0, 0.0), (6.0, 1.0, 1.0))]),
+            ]
+        )
+        surface = build_scene(layout).surfaces[0]
+        assert surface.num_faces == 12
+        points, _, live = surface.sample(rng, 2048)
+        assert live.any() and not live.all()
+        # Dead points really are strictly inside the inflated union.
+        buried = points[~live]
+        inside = np.logical_and(
+            (buried[:, None, :] > surface.inflated_lo[None, :, :]).all(axis=2),
+            (buried[:, None, :] < surface.inflated_hi[None, :, :]).all(axis=2),
+        )
+        assert inside.any(axis=1).all()
+
+    def test_sampling_is_seed_deterministic(self):
+        surface = build_scene(two_cubes()).surfaces[1]
+        first = surface.sample(np.random.default_rng(7), 64)
+        second = surface.sample(np.random.default_rng(7), 64)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)

@@ -1,0 +1,158 @@
+"""Tests of the stochastic tolerance mode of the accuracy harness.
+
+The mode must (a) pass an honest Monte Carlo estimator whose error is
+covered by its own reported standard errors, (b) fail a rigged estimator
+whose error exceeds both the tolerance and its claimed uncertainty, and
+(c) hard-fail a backend declared stochastic that reports no standard
+errors at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.results import ExtractionResult
+from repro.engine import register_backend, unregister_backend
+from repro.workloads import (
+    STOCHASTIC_Z,
+    TOLERANCE_MODES,
+    get_workload,
+    golden_capacitance,
+    golden_entry,
+    run_accuracy_suite,
+    update_golden,
+)
+from repro.workloads.registry import Workload, register_workload
+
+WORKLOAD = "crossing_wires"
+FAKE = "fake-mc"
+
+
+@pytest.fixture(scope="module")
+def golden_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("golden")
+    update_golden(get_workload(WORKLOAD), golden_dir=directory, modes=("quick",))
+    return directory
+
+
+@pytest.fixture(scope="module")
+def golden_matrix(golden_dir):
+    entry = golden_entry(get_workload(WORKLOAD), quick=True, golden_dir=golden_dir)
+    return golden_capacitance(entry), list(entry["conductor_names"])
+
+
+class _FakeMonteCarlo:
+    """A backend returning a canned matrix with a canned error bar."""
+
+    name = FAKE
+    description = "canned stochastic backend for gate tests"
+
+    def __init__(self, capacitance, names, stderr):
+        self._capacitance = np.asarray(capacitance, dtype=float)
+        self._names = list(names)
+        self._stderr = None if stderr is None else np.asarray(stderr, dtype=float)
+
+    def extract(self, layout, **options):
+        return ExtractionResult(
+            capacitance=self._capacitance.copy(),
+            conductor_names=list(self._names),
+            capacitance_stderr=None if self._stderr is None else self._stderr.copy(),
+            backend=self.name,
+        )
+
+
+@pytest.fixture
+def fake_backend(golden_matrix):
+    """Register a canned stochastic backend plus a workload declaring it."""
+    registered: list[str] = []
+    stock = get_workload(WORKLOAD)
+    probe = dataclasses.replace(
+        stock,
+        backend_tolerance_modes={**stock.backend_tolerance_modes, FAKE: "stochastic"},
+    )
+    register_workload(probe, replace=True)
+
+    def install(scale: float, stderr_relative: float | None):
+        reference, names = golden_matrix
+        stderr = (
+            None
+            if stderr_relative is None
+            else np.full_like(reference, stderr_relative * float(np.linalg.norm(reference)) / 2.0)
+        )
+        register_backend(_FakeMonteCarlo(reference * scale, names, stderr), replace=True)
+        registered.append(FAKE)
+
+    yield install
+    for name in registered[:1]:
+        unregister_backend(name)
+    register_workload(stock, replace=True)
+
+
+def _run(golden_dir):
+    return run_accuracy_suite(
+        quick=True, workloads=[WORKLOAD], backends=[FAKE], golden_dir=golden_dir
+    )
+
+
+class TestStochasticMode:
+    def test_mode_declarations_are_validated(self):
+        with pytest.raises(ValueError, match="must be one of"):
+            Workload(
+                name="bad-modes",
+                description="x",
+                factory=lambda: None,
+                backend_tolerance_modes={"frw": "fuzzy"},
+            )
+        assert set(TOLERANCE_MODES) == {"exact", "stochastic"}
+
+    def test_stock_families_declare_frw_stochastic(self):
+        workload = get_workload(WORKLOAD)
+        assert workload.tolerance_mode_for("frw") == "stochastic"
+        assert workload.tolerance_mode_for("pwc-dense") == "exact"
+
+    def test_real_frw_passes_stochastically(self, golden_dir):
+        report = run_accuracy_suite(
+            quick=True, workloads=[WORKLOAD], backends=["frw"], golden_dir=golden_dir
+        )
+        record = report.data["workloads"][WORKLOAD]["backends"]["frw"]
+        assert report.data["all_within_tolerance"] is True
+        assert record["tolerance_mode"] == "stochastic"
+        assert record["stochastic_slack"] > 0.0
+        assert record["stochastic_z"] == STOCHASTIC_Z
+        assert record["effective_tolerance"] > record["tolerance"]
+        assert "*" in report.text  # stochastic rows are marked in the table
+
+    def test_honest_error_bar_passes_despite_large_error(self, golden_dir, fake_backend):
+        # 30% off the golden, but the claimed uncertainty covers it: the
+        # widened gate must accept (z * slack swallows the deviation).
+        fake_backend(scale=1.3, stderr_relative=0.2)
+        report = _run(golden_dir)
+        record = report.data["workloads"][WORKLOAD]["backends"][FAKE]
+        assert record["within_tolerance"] is True
+        assert record["frobenius_relative_error"] > record["tolerance"]
+        assert record["frobenius_relative_error"] <= record["effective_tolerance"]
+
+    def test_rigged_estimate_fails(self, golden_dir, fake_backend):
+        # 50% off while claiming 0.1% uncertainty: neither the tolerance
+        # nor the confidence interval covers the error.
+        fake_backend(scale=1.5, stderr_relative=0.001)
+        report = _run(golden_dir)
+        record = report.data["workloads"][WORKLOAD]["backends"][FAKE]
+        assert record["within_tolerance"] is False
+        assert report.data["all_within_tolerance"] is False
+        assert any("stochastic tolerance" in failure for failure in report.data["failures"])
+
+    def test_stochastic_backend_without_stderr_is_a_hard_failure(
+        self, golden_dir, fake_backend
+    ):
+        # Even a perfect matrix fails when the declared-stochastic backend
+        # reports no error bar: the widened gate must never run blind.
+        fake_backend(scale=1.0, stderr_relative=None)
+        report = _run(golden_dir)
+        record = report.data["workloads"][WORKLOAD]["backends"][FAKE]
+        assert record["within_tolerance"] is False
+        assert "no capacitance_stderr" in record["error"]
+        assert report.data["all_within_tolerance"] is False
