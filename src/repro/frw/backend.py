@@ -120,6 +120,7 @@ class FRWBackend:
                 "hits": estimate.hits.tolist(),
                 "escaped": estimate.escaped.tolist(),
                 "truncated": estimate.truncated.tolist(),
+                "buried": estimate.buried.tolist(),
                 "hops": estimate.hops.tolist(),
                 "walk_seconds": estimate.walk_seconds,
                 "walks_per_second": walk_rate,

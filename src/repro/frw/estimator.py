@@ -42,7 +42,7 @@ __all__ = ["FRWEstimate", "estimate_capacitance"]
 
 _WALKS_TOTAL = counter(
     "repro_frw_walks_total",
-    "Floating-random-walk walks by outcome (hit / escaped / truncated).",
+    "Floating-random-walk walks by outcome (hit / escaped / truncated / buried).",
     ("outcome",),
 )
 _HOPS_TOTAL = counter(
@@ -74,10 +74,11 @@ class FRWEstimate:
     num_samples:
         Statistical samples per source conductor (pairs in antithetic
         mode).
-    hits, escaped, truncated:
+    hits, escaped, truncated, buried:
         Walk outcome counts: ``hits[i, j]`` walks from source ``i``
-        terminated on conductor ``j``; the rest escaped to infinity or hit
-        the hop limit.
+        terminated on conductor ``j``; the rest escaped to infinity, hit
+        the hop limit, or started buried inside the source's inflated
+        union (zero-weight samples, never launched).
     hops:
         Total sphere hops per source conductor.
     walk_seconds:
@@ -98,6 +99,7 @@ class FRWEstimate:
     hits: np.ndarray
     escaped: np.ndarray
     truncated: np.ndarray
+    buried: np.ndarray
     hops: np.ndarray
     walk_seconds: float
     rel_std: float
@@ -140,6 +142,7 @@ class _RowAccumulator:
         self.hits = np.zeros(self.num_conductors, dtype=np.int64)
         self.escaped = 0
         self.truncated = 0
+        self.buried = 0
         self.hops = 0
         self.seconds = 0.0
         self.batches = 0
@@ -152,6 +155,7 @@ class _RowAccumulator:
         self.hits += result.hits
         self.escaped += result.escaped
         self.truncated += result.truncated
+        self.buried += result.buried
         self.hops += result.hops
         self.seconds += result.seconds
         self.batches += 1
@@ -193,6 +197,7 @@ def _run_batches(
         _WALKS_TOTAL.inc(float(result.hits.sum()), outcome="hit")
         _WALKS_TOTAL.inc(float(result.escaped), outcome="escaped")
         _WALKS_TOTAL.inc(float(result.truncated), outcome="truncated")
+        _WALKS_TOTAL.inc(float(result.buried), outcome="buried")
         _HOPS_TOTAL.inc(float(result.hops))
         _BATCH_SECONDS.observe(result.seconds)
     return results
@@ -293,6 +298,7 @@ def estimate_capacitance(
         hits=np.stack([row.hits for row in rows]),
         escaped=np.asarray([row.escaped for row in rows], dtype=np.int64),
         truncated=np.asarray([row.truncated for row in rows], dtype=np.int64),
+        buried=np.asarray([row.buried for row in rows], dtype=np.int64),
         hops=np.asarray([row.hops for row in rows], dtype=np.int64),
         walk_seconds=float(sum(row.seconds for row in rows)),
         rel_std=_relative_std(rows),

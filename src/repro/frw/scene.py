@@ -274,10 +274,15 @@ def build_scene(
     lo = np.asarray(box_lo)
     hi = np.asarray(box_hi)
     center = 0.5 * (lo.min(axis=0) + hi.max(axis=0))
-    # The bounding sphere must contain every inflated Gaussian surface too;
-    # a 5 % margin over the half-diagonal covers the clearances.
+    # Each box's farthest point from the centre is a *mixed* corner (the
+    # per-axis max of |lo - c| and |hi - c|), not necessarily the pure
+    # lo/hi corner.  The bounding sphere must contain every inflated
+    # Gaussian surface too; a 5 % margin over the farthest corner covers
+    # the clearances.
     radius = 1.05 * float(
-        np.max(np.linalg.norm(np.concatenate([lo, hi]) - center, axis=1))
+        np.max(
+            np.linalg.norm(np.maximum(np.abs(lo - center), np.abs(hi - center)), axis=1)
+        )
     )
     min_edge = float(np.min(hi - lo))
     surfaces = tuple(

@@ -74,6 +74,10 @@ class WalkBatchResult:
     truncated:
         Walks cut off at the hop limit (also zero-valued; a non-negligible
         count signals the hop limit is too small for the geometry).
+    buried:
+        Walks whose start point fell inside the inflated union of the
+        source conductor's own boxes — never launched, zero-weight samples
+        by construction (see :meth:`~repro.frw.scene.GaussianSurface.sample`).
     hops:
         Total sphere hops taken, for throughput accounting.
     seconds:
@@ -87,6 +91,7 @@ class WalkBatchResult:
     hits: np.ndarray
     escaped: int
     truncated: int
+    buried: int
     hops: int
     seconds: float
 
@@ -274,7 +279,10 @@ def run_walk_batch(
         samples = terminal
         num_samples = num_walks
     hit_counts = np.bincount(hit[hit >= 0], minlength=scene.num_conductors)
-    escaped = int((hit < 0).sum()) - truncated
+    # hit == -1 covers three outcomes: buried starts (never launched),
+    # hop-limit truncations, and genuine escapes to infinity.
+    buried = int((~live).sum())
+    escaped = int((hit < 0).sum()) - truncated - buried
     return WalkBatchResult(
         source=source,
         num_samples=num_samples,
@@ -283,6 +291,7 @@ def run_walk_batch(
         hits=hit_counts,
         escaped=escaped,
         truncated=truncated,
+        buried=buried,
         hops=hops,
         seconds=now() - start_time,
     )

@@ -45,7 +45,12 @@ class TestFixedBudget:
         assert estimate.num_batches.tolist() == [4, 4]
         # Pairs are the antithetic sample unit.
         assert estimate.num_samples.tolist() == [256, 256]
-        outcomes = estimate.hits.sum(axis=1) + estimate.escaped + estimate.truncated
+        outcomes = (
+            estimate.hits.sum(axis=1)
+            + estimate.escaped
+            + estimate.truncated
+            + estimate.buried
+        )
         assert outcomes.tolist() == [512, 512]
         assert estimate.rel_std > 0.0
         assert estimate.walk_seconds >= 0.0

@@ -30,9 +30,35 @@ class TestBuildScene:
         assert list(scene.box_conductor) == [0, 1]
         assert len(scene.surfaces) == 2
 
+    @staticmethod
+    def all_corners(scene):
+        """All 8 corners of every box in the scene, shape (8 * B, 3)."""
+        corners = []
+        for lo, hi in zip(scene.box_lo, scene.box_hi):
+            for ix in (lo[0], hi[0]):
+                for iy in (lo[1], hi[1]):
+                    for iz in (lo[2], hi[2]):
+                        corners.append((ix, iy, iz))
+        return np.asarray(corners)
+
     def test_bounding_sphere_encloses_conductors(self):
         scene = build_scene(two_cubes())
-        corners = np.concatenate([scene.box_lo, scene.box_hi])
+        corners = self.all_corners(scene)
+        assert (np.linalg.norm(corners - scene.center, axis=1) <= scene.radius).all()
+
+    def test_bounding_sphere_encloses_mixed_corners(self):
+        # Asymmetric layout whose farthest point from the scene centre is a
+        # *mixed* corner (per-axis mix of lo and hi), not a pure lo/hi
+        # corner — a radius computed from pure corners only would leave
+        # conductor material protruding outside the sphere.
+        layout = Layout(
+            [
+                Conductor("a", [Box((0.0, 0.0, 0.0), (4.0, 10.0, 1.0))]),
+                Conductor("b", [Box((6.0, -10.0, 0.0), (10.0, 0.0, 1.0))]),
+            ]
+        )
+        scene = build_scene(layout)
+        corners = self.all_corners(scene)
         assert (np.linalg.norm(corners - scene.center, axis=1) <= scene.radius).all()
 
     def test_delta_respects_gap_and_edge(self):

@@ -42,7 +42,9 @@ class TestAccounting:
         result = run_walk_batch(scene, 0, 256, np.random.default_rng(1), antithetic=False)
         assert result.source == 0
         assert result.num_samples == 256
-        assert int(result.hits.sum()) + result.escaped + result.truncated == 256
+        outcomes = int(result.hits.sum()) + result.escaped + result.truncated
+        assert outcomes + result.buried == 256
+        assert result.buried == 0  # a lone box never buries its own starts
         assert result.hits.shape == (2,)
         assert result.hops > 0
         assert result.seconds >= 0.0
@@ -50,14 +52,37 @@ class TestAccounting:
     def test_antithetic_counts_pairs_as_samples(self, scene):
         result = run_walk_batch(scene, 0, 256, np.random.default_rng(1), antithetic=True)
         assert result.num_samples == 128
-        assert int(result.hits.sum()) + result.escaped + result.truncated == 256
+        outcomes = int(result.hits.sum()) + result.escaped + result.truncated
+        assert outcomes + result.buried == 256
 
     def test_tiny_hop_limit_truncates(self, scene):
         result = run_walk_batch(
             scene, 0, 64, np.random.default_rng(2), antithetic=False, max_hops=1
         )
         assert result.truncated > 0
-        assert int(result.hits.sum()) + result.escaped + result.truncated == 64
+        outcomes = int(result.hits.sum()) + result.escaped + result.truncated
+        assert outcomes + result.buried == 64
+
+    def test_buried_starts_counted_separately(self):
+        # An L-shaped conductor buries some starts inside its own inflated
+        # union; they must land in `buried`, not inflate `escaped`.
+        layout = Layout(
+            [
+                Conductor(
+                    "ell",
+                    [
+                        Box((0.0, 0.0, 0.0), (2.0, 1.0, 1.0)),
+                        Box((0.0, 0.0, 0.0), (1.0, 2.0, 1.0)),
+                    ],
+                ),
+                Conductor("far", [Box((5.0, 0.0, 0.0), (6.0, 1.0, 1.0))]),
+            ]
+        )
+        scene = build_scene(layout)
+        result = run_walk_batch(scene, 0, 2048, np.random.default_rng(4), antithetic=False)
+        assert result.buried > 0
+        outcomes = int(result.hits.sum()) + result.escaped + result.truncated
+        assert outcomes + result.buried == 2048
 
     def test_sign_structure_of_the_sums(self, scene):
         # With a healthy budget the sampled row has the short-circuit
